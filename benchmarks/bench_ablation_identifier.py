@@ -1,0 +1,69 @@
+"""Ablation — identifier encoding: compact base32+CRC vs naive hex.
+
+DESIGN.md: the identifier must fit one DNS label (63 bytes) and reject
+corrupted/foreign labels.  A naive hex encoding of the same fields with
+no checksum is both longer and silently accepts corruption; this bench
+quantifies size and throughput of each codec.
+"""
+
+import struct
+
+from conftest import emit
+
+from repro.core.identifier import DecoyIdentity, IdentifierCodec
+from repro.net.addr import ip_from_int, ip_to_int
+
+IDENTITIES = [
+    DecoyIdentity(sent_at=1000 + index, vp_address=ip_from_int(0x64600000 + index),
+                  dst_address="8.8.8.8", ttl=(index % 64) + 1, sequence=index % 10000)
+    for index in range(512)
+]
+
+
+def naive_hex_encode(identity: DecoyIdentity) -> str:
+    packed = struct.pack(
+        "!III B H", identity.sent_at, ip_to_int(identity.vp_address),
+        ip_to_int(identity.dst_address), identity.ttl, identity.sequence,
+    )
+    return packed.hex()
+
+
+def encode_all_base32():
+    codec = IdentifierCodec()
+    return [codec.encode(identity) for identity in IDENTITIES]
+
+
+def test_ablation_identifier_codec(benchmark):
+    labels = benchmark(encode_all_base32)
+    hex_labels = [naive_hex_encode(identity) for identity in IDENTITIES]
+
+    base32_len = len(labels[0])
+    hex_len = len(hex_labels[0])
+    codec = IdentifierCodec()
+
+    # Corruption detection: flip one character in every base32 label and
+    # count silent acceptances (hex has no checksum at all).
+    silent = 0
+    for label in labels:
+        token = label.split("-")[0]
+        corrupted = ("a" if token[0] != "a" else "b") + token[1:] + "-0001"
+        try:
+            codec.decode(corrupted)
+            silent += 1
+        except Exception:
+            pass
+
+    emit("ablation_identifier", "\n".join([
+        "Ablation: identifier codec",
+        f"base32+CRC label: {base32_len} chars (fits 63-byte DNS label "
+        "with room for the sequence suffix)",
+        f"naive hex label:  {hex_len} chars, no integrity check",
+        f"single-char corruption silently accepted by base32+CRC codec: "
+        f"{silent}/{len(labels)}",
+    ]))
+
+    assert base32_len <= 63
+    assert base32_len < hex_len + 6  # competitive size despite the checksum
+    assert silent <= 1  # CRC-16 collision chance is ~2^-16 per trial
+    decoded = codec.decode(labels[0])
+    assert decoded == IDENTITIES[0]

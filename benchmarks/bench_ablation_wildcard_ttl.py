@@ -1,0 +1,58 @@
+"""Ablation — wildcard record TTL vs. active cache refreshing.
+
+Section 5.1 rules out cache refreshing as the cause of re-appearing
+queries: with the wildcard record TTL at 3,600 s, refreshing resolvers
+would re-fetch the name right at the one-hour mark, producing a spike in
+Figure 4 that the measurement does not show.  This bench runs the same
+campaign with refreshing resolvers enabled and disabled and measures the
+mass of unsolicited-request delays near multiples of the record TTL.
+"""
+
+from conftest import emit
+
+from repro.analysis.report import percent
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import Experiment
+
+
+def run_campaign(refreshing: bool):
+    config = ExperimentConfig.tiny(seed=717171)
+    config.cache_refreshing_resolvers = refreshing
+    return Experiment(config).run()
+
+
+def ttl_spike_mass(result, ttl: float = 3600.0, window: float = 120.0) -> float:
+    """Fraction of DNS-decoy unsolicited delays within +-window of k*ttl."""
+    deltas = [
+        event.delta for event in result.phase1.events
+        if event.decoy.protocol == "dns"
+    ]
+    if not deltas:
+        return 0.0
+    near = sum(
+        1 for delta in deltas
+        if any(abs(delta - k * ttl) <= window for k in (1, 2))
+    )
+    return near / len(deltas)
+
+
+def test_ablation_wildcard_ttl_refresh_spike(benchmark):
+    plain = run_campaign(refreshing=False)
+    refreshing = benchmark.pedantic(run_campaign, args=(True,),
+                                    rounds=1, iterations=1)
+
+    mass_plain = ttl_spike_mass(plain)
+    mass_refreshing = ttl_spike_mass(refreshing)
+    emit("ablation_wildcard_ttl", "\n".join([
+        "Ablation: wildcard record TTL (3600 s) vs active cache refreshing",
+        f"refreshing OFF (the measured reality): "
+        f"{percent(mass_plain)} of unsolicited-request delays fall within "
+        "2 minutes of the 1h/2h marks",
+        f"refreshing ON  (the counterfactual):  {percent(mass_refreshing)}",
+        "The paper's no-spike observation in Figure 4 is therefore a valid",
+        "discriminator between cache refreshing and genuine shadowing.",
+    ]))
+
+    assert mass_plain < 0.02
+    assert mass_refreshing > 0.10
+    assert mass_refreshing > 5 * max(mass_plain, 0.001)

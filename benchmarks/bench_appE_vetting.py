@@ -1,0 +1,61 @@
+"""Appendix E — mitigating noise: platform vetting.
+
+Paper: VPs behind DNS interception are detected by pair-resolver probes
+(an address in the target's /24 with no DNS service must not answer) and
+removed before Phase I; providers that reset outgoing TTLs are excluded
+outright.  The bench runs vetting over a platform seeded with both kinds
+of offender and verifies the filters catch them.
+"""
+
+from conftest import emit
+
+import pytest
+
+from repro.analysis.report import percent, render_table
+from repro.core.campaign import Campaign
+from repro.core.config import ExperimentConfig
+from repro.core.ecosystem import build_ecosystem
+from repro.datasets.providers import ALL_PROVIDERS, VpnProvider
+from repro.simkit.rng import RandomRouter
+from repro.vpn.platform import VpnPlatform
+
+
+def run_vetting():
+    config = ExperimentConfig.tiny(seed=424242)
+    eco = build_ecosystem(config)
+    # Seed the platform with a TTL-resetting provider that slipped through
+    # procurement, as Appendix E's field test would encounter.
+    offender = VpnProvider("ResetterVPN", "global", "https://example", 0.10,
+                           resets_ttl=True)
+    eco.platform.__init__(  # rebuild with the offender included
+        RandomRouter(config.seed), vp_scale=config.vp_scale,
+        providers=list(ALL_PROVIDERS) + [offender],
+    )
+    campaign = Campaign(eco)
+    report = campaign.vet_platform()
+    return eco, report
+
+
+def test_appendix_e_platform_vetting(benchmark):
+    eco, report = benchmark(run_vetting)
+
+    total = len(report.kept) + report.removed
+    emit("appE_vetting", "\n".join([
+        "Appendix E: platform vetting",
+        f"vantage points recruited:        {total}",
+        f"  removed (TTL-reset provider):  {len(report.removed_ttl_reset)}",
+        f"  removed (pair-resolver filter): {len(report.removed_intercepted)}",
+        f"  kept for Phase I:              {len(report.kept)} "
+        f"({percent(len(report.kept) / total)})",
+    ]))
+
+    # Every ResetterVPN node is gone.
+    assert report.removed_ttl_reset
+    assert all(vp.provider == "ResetterVPN" for vp in report.removed_ttl_reset)
+    assert all(vp.provider != "ResetterVPN" for vp in report.kept)
+    # The interceptor deployment catches at least one VP at default rates.
+    assert report.removed_intercepted
+    # Removed-for-interception VPs really do sit behind interceptors.
+    campaign = Campaign(eco)
+    for vp in report.removed_intercepted:
+        assert campaign._pair_probe(vp, "1.1.1.4")

@@ -1,0 +1,49 @@
+"""Extension — landscape stability across continuous rounds.
+
+The paper rotates through its VPs "continuously in a round-robin fashion
+without stop" for two months and reports a single aggregated landscape.
+Running the campaign for several rounds checks the implicit assumption:
+the per-destination problematic ratios are a stable property of the
+ecosystem, not an artifact of one pass.
+"""
+
+from conftest import emit
+
+from repro.analysis.longitudinal import per_round_summaries, round_stability
+from repro.analysis.report import percent, render_table
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import Experiment
+
+
+def run_rounds():
+    config = ExperimentConfig.tiny(seed=818181)
+    config.phase1_rounds = 3
+    config.phase2_paths_per_destination = 2  # landscape focus
+    return Experiment(config).run()
+
+
+def test_ext_longitudinal_stability(benchmark):
+    result = benchmark.pedantic(run_rounds, rounds=1, iterations=1)
+
+    summaries = per_round_summaries(result.ledger, result.phase1.events)
+    stability = round_stability(summaries)
+
+    emit("ext_longitudinal", render_table(
+        ("round", "DNS decoys", "shadowed", "share"),
+        [(summary.round_index, summary.decoys, summary.shadowed,
+          percent(summary.shadowed_share)) for summary in summaries],
+        title="Extension: per-round DNS landscape over 3 round-robin passes",
+    ) + f"\n\nmax total-variation distance vs round 0: {stability:.3f} "
+        "(0 = identical destination distribution each round)")
+
+    assert len(summaries) == 3
+    assert all(summary.decoys > 0 for summary in summaries)
+    # Every round sees substantial shadowing...
+    assert all(summary.shadowed_share > 0.2 for summary in summaries)
+    shares = [summary.shadowed_share for summary in summaries]
+    assert max(shares) - min(shares) < 0.1
+    # ...and the destination distribution barely moves between rounds.
+    assert stability < 0.25
+    # Yandex stays (nearly) fully shadowed in every round.
+    for summary in summaries:
+        assert summary.destination_ratios.get("Yandex", 0.0) > 0.9

@@ -1,0 +1,104 @@
+"""Extension — the limited-storage hypothesis behind Figure 7.
+
+Section 5.2 links observer location to retention: wire observers (routing
+devices) re-use data sooner than destination operators, "possibly due to
+the limited storage capacity of routing devices serving as traffic
+observers".  This bench makes the hypothesis mechanical: the same shadow
+policy run with an unbounded store vs a small FIFO buffer under
+continuous observation pressure, comparing realized delay CDFs.
+"""
+
+import random
+
+from conftest import emit
+
+from repro.analysis.report import percent
+from repro.analysis.temporal import Cdf
+from repro.analysis.stats import ks_distance
+from repro.honeypot.deployment import HoneypotDeployment
+from repro.intel.blocklist import Blocklist
+from repro.intel.directory import IpDirectory
+from repro.observers import RetentionStore, ShadowExhibitor, UnsolicitedEmitter
+from repro.observers.policy import (
+    AddressAllocator,
+    OriginGroup,
+    OriginPool,
+    ShadowPolicy,
+)
+from repro.simkit.distributions import Constant, LogNormal
+from repro.simkit.events import Simulator
+from repro.simkit.units import DAY, HOUR
+
+ZONE = "www.experiment.domain"
+OBSERVATIONS = 600
+ARRIVAL_SPACING = 60.0  # one observed name per minute
+
+
+def run_observer(capacity):
+    sim = Simulator()
+    deployment = HoneypotDeployment(zone=ZONE)
+    pool = OriginPool(
+        "vendor", [OriginGroup(4134, "CN", 1.0, 0.0)],
+        AddressAllocator(), IpDirectory(), Blocklist(), random.Random(5),
+    )
+    policy = ShadowPolicy(
+        name="dpi-box",
+        delay=LogNormal(median=8 * HOUR, sigma=1.0),
+        uses=Constant(2),
+        protocol_weights={"dns": 1.0},
+        origin_pool=pool,
+    )
+    store = RetentionStore(capacity=capacity)
+    exhibitor = ShadowExhibitor(
+        policy, sim, UnsolicitedEmitter(deployment, sim, random.Random(6)),
+        random.Random(7), retention=store,
+    )
+    observed_at = {}
+    for index in range(OBSERVATIONS):
+        domain = f"cap{index:04d}-0001.{ZONE}"
+        observed_at[domain] = index * ARRIVAL_SPACING
+        sim.schedule_at(
+            observed_at[domain],
+            lambda domain=domain: exhibitor.observe(domain, "100.64.5.5"),
+        )
+    sim.run(until=30 * DAY)
+    # Steady-state view: the final buffer-full of observations never faces
+    # eviction (arrivals stop), so both arms exclude that tail to compare
+    # like with like.
+    steady_cutoff = (OBSERVATIONS - 64) * ARRIVAL_SPACING
+    delays = [entry.time - observed_at[entry.domain]
+              for entry in deployment.log
+              if entry.domain in observed_at
+              and observed_at[entry.domain] < steady_cutoff]
+    return Cdf.from_values(delays), store
+
+
+def test_ext_retention_capacity(benchmark):
+    unbounded_cdf, unbounded_store = run_observer(capacity=None)
+    bounded_cdf, bounded_store = benchmark.pedantic(
+        run_observer, args=(64,), rounds=1, iterations=1,
+    )
+
+    distance = ks_distance(unbounded_cdf, bounded_cdf)
+    emit("ext_retention_capacity", "\n".join([
+        "Extension: limited observer storage shortens realized retention",
+        f"unbounded store: {len(unbounded_cdf)} unsolicited requests, "
+        f"{percent(unbounded_cdf.at(6 * HOUR))} within 6h, "
+        f"{percent(unbounded_cdf.at(DAY))} within 1 day",
+        f"64-slot buffer: {len(bounded_cdf)} requests "
+        f"({bounded_store.evictions} evictions, "
+        f"{bounded_store.cancelled_requests} cancelled), "
+        f"{percent(bounded_cdf.at(6 * HOUR))} within 6h, "
+        f"{percent(bounded_cdf.at(DAY))} within 1 day",
+        f"KS distance between the two delay CDFs: {distance:.2f}",
+        "Same policy, same traffic: the Figure 7 'shorter on the wire'",
+        "shape emerges from buffer eviction alone.",
+    ]))
+
+    assert unbounded_store.evictions == 0
+    assert bounded_store.evictions > 400
+    # Under pressure, the buffer holds ~64 minutes of data, so every
+    # surviving request fired within roughly that window.
+    assert bounded_cdf.at(2 * HOUR) > 0.95
+    assert bounded_cdf.at(6 * HOUR) > unbounded_cdf.at(6 * HOUR) + 0.2
+    assert distance > 0.2

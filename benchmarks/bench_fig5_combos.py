@@ -1,0 +1,52 @@
+"""Figure 5 — breakdown of DNS decoys per destination resolver, grouped by
+protocol combination and latency bucket.
+
+Paper shapes: resolvers beyond Resolver_h produce only DNS-DNS repeats,
+mostly within the hour; ~50% of decoys to Yandex/114DNS trigger HTTP or
+HTTPS after hours or days; >99% of Yandex decoys are shadowed.
+"""
+
+from conftest import emit
+
+from repro.analysis.combos import decoy_breakdown, http_https_share, shadowed_share
+from repro.analysis.report import percent, render_table
+from repro.datasets.resolvers import RESOLVER_H_NAMES
+
+
+def test_fig5_decoy_breakdown(benchmark, result):
+    rows = benchmark(decoy_breakdown, result.ledger, result.phase1.events)
+
+    display = [row for row in rows if row.decoys >= 3]
+    emit("fig5_combos", render_table(
+        ("Destination", "Combo", "Latency", "Decoys", "Share of sent"),
+        [(row.destination_name, row.combo, row.latency_bucket, row.decoys,
+          percent(row.share_of_sent)) for row in display[:60]],
+        title="Figure 5: DNS decoys per destination by protocol combination "
+              "and latency bucket",
+    ) + "\n\n" + render_table(
+        ("Destination", "Shadowed", "Drew HTTP/HTTPS"),
+        [(name,
+          percent(shadowed_share(result.ledger, result.phase1.events, name)),
+          percent(http_https_share(result.ledger, result.phase1.events, name)))
+         for name in RESOLVER_H_NAMES],
+        title="Per-destination decoy outcomes (paper: Yandex >99% shadowed; "
+              "Yandex/114DNS ~50% trigger HTTP/HTTPS)",
+    ))
+
+    assert shadowed_share(result.ledger, result.phase1.events, "Yandex") > 0.95
+    yandex_http = http_https_share(result.ledger, result.phase1.events, "Yandex")
+    assert 0.3 < yandex_http < 0.85
+
+    # Non-Resolver_h resolvers: only DNS-DNS combos.
+    resolver_h = set(RESOLVER_H_NAMES)
+    dns_cloud_overrides = {"DNSPod", "OracleDyn", "OpenNIC"}  # on-path DNS observers
+    for row in rows:
+        if (row.destination_name not in resolver_h
+                and row.destination_name not in dns_cloud_overrides):
+            assert row.combo == "DNS-DNS", row
+
+    # HTTP(S) from Resolver_h only in the later buckets.
+    for row in rows:
+        if row.combo in ("DNS-HTTP", "DNS-HTTPS") and \
+                row.destination_name in resolver_h:
+            assert row.latency_bucket in ("<1d", ">=1d")

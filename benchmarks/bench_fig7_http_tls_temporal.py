@@ -1,0 +1,47 @@
+"""Figure 7 — CDF of time between unsolicited requests and HTTP (/TLS)
+decoys.
+
+Paper shapes: retention is shorter than for DNS decoys (less mass after
+days); HTTP (97.7% mid-path observers) shows shorter intervals than TLS
+(65% destination observers) — the paper links on-the-wire observation to
+limited device storage.
+"""
+
+from conftest import emit
+
+from repro.analysis.report import percent, render_table
+from repro.analysis.temporal import dns_delay_cdfs, web_delay_cdfs
+from repro.simkit.units import DAY, HOUR, MINUTE
+
+
+def test_fig7_web_retention_cdfs(benchmark, result):
+    cdfs = benchmark(web_delay_cdfs, result.phase1.events)
+
+    thresholds = (
+        ("<10m", 10 * MINUTE), ("<1h", HOUR), ("<6h", 6 * HOUR),
+        ("<1d", DAY), ("<3d", 3 * DAY), ("<10d", 10 * DAY),
+    )
+    emit("fig7_http_tls_temporal", render_table(
+        ["Decoy", "n"] + [label for label, _ in thresholds],
+        [
+            [protocol.upper(), len(cdf)] +
+            [percent(cdf.at(value)) for _, value in thresholds]
+            for protocol, cdf in sorted(cdfs.items())
+        ],
+        title="Figure 7: CDF of unsolicited-request delay for HTTP/TLS "
+              "decoys (paper: shorter retention than DNS; HTTP < TLS)",
+    ))
+
+    http = cdfs["http"]
+    tls = cdfs["tls"]
+    assert len(http) > 30 and len(tls) > 30
+
+    # Shorter retention than DNS decoys to Yandex.
+    yandex = dns_delay_cdfs(result.phase1.events)["Yandex"]
+    assert http.at(DAY) > yandex.at(DAY)
+    assert tls.at(DAY) > yandex.at(DAY)
+
+    # HTTP (wire observers) beats TLS (destination observers) early on.
+    assert http.at(6 * HOUR) > tls.at(6 * HOUR)
+    # Only a small share arrives after 3 days.
+    assert 1 - http.at(3 * DAY) < 0.25

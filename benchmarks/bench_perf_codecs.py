@@ -1,0 +1,69 @@
+"""Performance — wire codec throughput.
+
+Not a paper artifact, but the property that makes paper-scale campaigns
+(46.6M DNS + 3.4B HTTP/TLS decoys) tractable in simulation: encoding and
+decoding must be cheap.  pytest-benchmark tracks regressions.
+"""
+
+import random
+
+import pytest
+
+from repro.core.identifier import DecoyIdentity, IdentifierCodec
+from repro.protocols.dns import DnsMessage, make_query
+from repro.protocols.http import HttpRequest, make_get
+from repro.protocols.tls import ClientHello, TlsPlaintext, wrap_handshake
+
+DOMAIN = "g6d8jjkut5obc4-9982.www.experiment.domain"
+
+
+def test_perf_dns_roundtrip(benchmark):
+    wire = make_query(DOMAIN, txid=7).encode()
+
+    def roundtrip():
+        return DnsMessage.decode(wire).qname
+
+    assert benchmark(roundtrip) == DOMAIN
+
+
+def test_perf_http_roundtrip(benchmark):
+    wire = make_get(DOMAIN).encode()
+
+    def roundtrip():
+        return HttpRequest.decode(wire).host
+
+    assert benchmark(roundtrip) == DOMAIN
+
+
+def test_perf_tls_roundtrip(benchmark):
+    hello = ClientHello(server_name=DOMAIN, random=bytes(32))
+    wire = wrap_handshake(hello.encode())
+
+    def roundtrip():
+        record = TlsPlaintext.decode(wire)
+        return ClientHello.decode(record.fragment).server_name
+
+    assert benchmark(roundtrip) == DOMAIN
+
+
+def test_perf_identifier_roundtrip(benchmark):
+    codec = IdentifierCodec()
+    identity = DecoyIdentity(sent_at=123456, vp_address="100.96.0.7",
+                             dst_address="8.8.8.8", ttl=64, sequence=42)
+
+    def roundtrip():
+        return codec.decode(codec.encode(identity))
+
+    assert benchmark(roundtrip) == identity
+
+
+def test_perf_end_to_end_tiny_campaign(benchmark):
+    """Decoys-per-second of the whole pipeline at test scale."""
+    from repro.core.config import ExperimentConfig
+    from repro.core.experiment import Experiment
+
+    def run():
+        return Experiment(ExperimentConfig.tiny(seed=99)).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(result.ledger) > 1000

@@ -1,0 +1,65 @@
+"""Section 4 (in-text) — campaign volume accounting.
+
+Paper: 46,613,616 DNS decoys, 1,694,109,438 HTTP and TLS decoys each,
+covering 157K DNS paths and 10.1M web paths, at no more than 2 decoys per
+second toward any single target.  The bench derives the rotation cadence
+those numbers imply and checks that the paper-scale configuration of this
+reproduction reproduces the path populations and respects the rate limit.
+"""
+
+from conftest import emit
+
+from repro.core.scalemath import (
+    PAPER_DNS_DECOYS,
+    PAPER_DNS_PATHS,
+    PAPER_DURATION,
+    PAPER_HTTP_DECOYS,
+    PAPER_WEB_PATHS,
+    paper_implied_rounds,
+    volume_for,
+)
+from repro.datasets.providers import PAPER_TOTAL_VP_COUNT
+from repro.simkit.units import DAY
+
+
+def test_sec4_campaign_volume(benchmark):
+    implied = benchmark(paper_implied_rounds)
+
+    # Reconstruct the paper's totals from the implied cadence.
+    dns_view = volume_for(PAPER_TOTAL_VP_COUNT, 36, 0,
+                          implied["dns_rounds"], PAPER_DURATION)
+    web_view = volume_for(PAPER_TOTAL_VP_COUNT, 0, 2325,
+                          implied["web_rounds"], PAPER_DURATION)
+
+    emit("sec4_volume", "\n".join([
+        "Section 4: campaign volume accounting",
+        f"paper DNS decoys:  {PAPER_DNS_DECOYS:,} -> "
+        f"{implied['dns_rounds']:.0f} full rotations "
+        f"({implied['dns_rounds_per_day']:.1f}/day over 61 days)",
+        f"paper web decoys:  {PAPER_HTTP_DECOYS:,} (each of HTTP/TLS) -> "
+        f"{implied['web_rounds']:.0f} rotations "
+        f"({implied['web_rounds_per_day']:.1f}/day)",
+        f"path populations:  DNS {PAPER_TOTAL_VP_COUNT * 36:,} "
+        f"(paper: {PAPER_DNS_PATHS:,}); "
+        f"web {PAPER_TOTAL_VP_COUNT * 2325:,} (paper: {PAPER_WEB_PATHS:,})",
+        f"aggregate send rate at paper scale: "
+        f"{(dns_view.total_decoys - 2 * dns_view.http_decoys + 3 * web_view.http_decoys) / PAPER_DURATION:.0f}"
+        " decoys/second across the fleet",
+        "per-target rate: each destination receives one decoy per VP per "
+        "rotation — far below the 2/second/target ethics cap.",
+    ]))
+
+    # The implied cadence must reconstruct the paper's totals exactly.
+    assert round(dns_view.dns_decoys) == PAPER_DNS_DECOYS
+    assert round(web_view.http_decoys) == PAPER_HTTP_DECOYS
+    # Path populations match the in-text figures to rounding.
+    assert abs(PAPER_TOTAL_VP_COUNT * 36 - PAPER_DNS_PATHS) / PAPER_DNS_PATHS < 0.01
+    assert abs(PAPER_TOTAL_VP_COUNT * 2325 - PAPER_WEB_PATHS) / PAPER_WEB_PATHS < 0.01
+    # Rotation cadences are physically plausible (a few per day).
+    assert 1 < implied["dns_rounds_per_day"] < 20
+    assert 1 < implied["web_rounds_per_day"] < 20
+    # Per-target rate limit: worst case, every VP hits one target within a
+    # day's rotation: 4364 sends spread over >= 4364 * 0.5s of schedule.
+    per_target_per_second = (implied["web_rounds_per_day"] *
+                             PAPER_TOTAL_VP_COUNT) / DAY
+    assert per_target_per_second < 2.0

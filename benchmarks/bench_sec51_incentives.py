@@ -1,0 +1,39 @@
+"""Section 5.1 (in-text) — HTTP and HTTPS probing incentives after DNS
+decoys.
+
+Paper: ~95% of unsolicited HTTP requests perform path enumeration against
+the honey website; no exploit payloads appear; 57% of HTTP and 72% of
+HTTPS origin addresses are on the Spamhaus blocklist.
+"""
+
+from conftest import emit
+
+from repro.analysis.payloads import incentive_report
+from repro.analysis.report import percent, render_table
+
+
+def test_sec51_probing_incentives(benchmark, result):
+    report = benchmark(incentive_report, result.phase1.events,
+                       result.eco.blocklist, "dns")
+
+    emit("sec51_incentives", "\n".join([
+        "Section 5.1: probing incentives of HTTP(S) requests after DNS decoys",
+        f"unsolicited HTTP(S) requests analyzed: {report.requests}",
+        f"  path enumeration: {percent(report.enumeration_share)} (paper: ~95%)",
+        f"  exploit payloads: {percent(report.exploit_share)} (paper: none)",
+        f"  root-page fetches: {percent(report.root_share)}",
+        f"  HTTP origins blocklisted:  {percent(report.blocklist_rate_http)} "
+        "(paper: 57%)",
+        f"  HTTPS origins blocklisted: {percent(report.blocklist_rate_https)} "
+        "(paper: 72%)",
+        "",
+        render_table(("probed path", "hits"), report.top_paths,
+                     title="Most-enumerated honeypot paths"),
+    ]))
+
+    assert report.requests > 50
+    assert report.enumeration_share > 0.85
+    assert report.exploit_share == 0.0
+    assert 0.3 < report.blocklist_rate_http < 0.8
+    assert 0.45 < report.blocklist_rate_https < 0.95
+    assert report.blocklist_rate_https > report.blocklist_rate_http

@@ -1,0 +1,35 @@
+"""Section 5.1 (in-text) — multi-use retention of DNS decoy data.
+
+Paper: more than one hour after emission, 51% of DNS decoys still produce
+over 3 unsolicited requests, and 2.4% produce more than 10; 40% of query
+names sent to Yandex re-appear in HTTP(S) requests 10 days later.
+"""
+
+from conftest import emit
+
+from repro.analysis.report import percent
+from repro.analysis.temporal import multi_use_stats, reappearance_share
+from repro.simkit.units import DAY, HOUR
+
+
+def test_sec51_multi_use_retention(benchmark, result):
+    stats = benchmark(multi_use_stats, result.phase1.events, HOUR, "dns")
+
+    yandex_10d = reappearance_share(result.phase1.events, "Yandex",
+                                    after=10 * DAY)
+    emit("sec51_multiuse", "\n".join([
+        "Section 5.1: multi-use retention of DNS decoy data",
+        f"DNS decoys with unsolicited requests >1h after emission: "
+        f"{stats.decoys_with_late_requests}",
+        f"  of which >3 unsolicited requests: "
+        f"{percent(stats.share_more_than_3)} (paper: 51%)",
+        f"  of which >10 unsolicited requests: "
+        f"{percent(stats.share_more_than_10)} (paper: 2.4%)",
+        f"Yandex names re-appearing in HTTP(S) >10 days later: "
+        f"{percent(yandex_10d)} (paper: 40%)",
+    ]))
+
+    assert 0.25 < stats.share_more_than_3 < 0.75
+    assert 0.0 < stats.share_more_than_10 < 0.15
+    assert stats.share_more_than_10 < stats.share_more_than_3
+    assert 0.1 < yandex_10d < 0.7

@@ -1,0 +1,53 @@
+"""Section 5.2 (in-text) — HTTP/TLS shadowing grouped by observer AS.
+
+Paper: the top 5 observer ASes account for >80% of shadowing behaviours;
+protocol combinations differ per network (AS4134 HTTP decoys: 66% HTTP /
+17% HTTPS unsolicited; AS29988 emits DNS only); AS40444 and AS29988
+trigger unsolicited DNS queries exclusively from their own ASes.
+"""
+
+from conftest import emit
+
+from repro.analysis.origins import observer_as_groups
+from repro.analysis.report import percent, render_table
+
+
+def test_sec52_observer_as_groups(benchmark, result):
+    groups = benchmark(observer_as_groups, result.locations,
+                       result.phase1.events, result.eco.directory)
+
+    emit("sec52_observer_groups", render_table(
+        ("Observer AS", "Paths", "Share", "Same-AS origins", "Combos"),
+        [
+            (f"AS{group.asn} {group.as_name[:26]}", group.paths,
+             percent(group.share_of_all_paths),
+             percent(group.same_as_origin_share),
+             ", ".join(f"{combo} {percent(share, 0)}"
+                       for combo, share in sorted(
+                           group.combo_shares.items(),
+                           key=lambda item: -item[1])[:3]))
+            for group in groups
+        ],
+        title="Section 5.2: HTTP/TLS shadowing grouped by observer AS "
+              "(paper: top 5 cover >80%)",
+    ))
+
+    assert groups
+    top5 = sum(group.share_of_all_paths for group in groups[:5])
+    assert top5 > 0.6  # paper: >80%
+
+    by_asn = {group.asn: group for group in groups}
+    assert 4134 in by_asn
+    chinanet = by_asn[4134]
+    # Chinanet-observed decoys favour HTTP(S) re-probing.
+    http_like = sum(share for combo, share in chinanet.combo_shares.items()
+                    if combo.endswith("HTTP") or combo.endswith("HTTPS"))
+    assert http_like > 0.5
+    # Same-network origins are a sizable share for Chinanet.
+    assert chinanet.same_as_origin_share > 0.2
+
+    for asn in (40444, 29988):
+        if asn in by_asn:
+            group = by_asn[asn]
+            assert set(group.combo_shares) <= {"HTTP-DNS", "TLS-DNS"}
+            assert group.same_as_origin_share == 1.0

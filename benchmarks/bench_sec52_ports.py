@@ -1,0 +1,36 @@
+"""Section 5.2 (in-text) — open ports of observers on the wire.
+
+Paper: 92% of observers expose no open ports; among the remainder the
+most common open port is 179 (BGP), marking them as routing devices
+between networks.
+"""
+
+from conftest import emit
+
+from repro.analysis.ports import observer_port_audit
+from repro.analysis.report import percent, render_table
+
+
+def test_sec52_observer_port_audit(benchmark, result):
+    audit = benchmark(observer_port_audit, result.locations, result.eco.topology)
+
+    responsive = [scan for scan in audit["results"] if scan.responsive]
+    emit("sec52_ports", "\n".join([
+        "Section 5.2: open ports of on-path observers",
+        f"observer addresses scanned: {audit['observers_scanned']}",
+        f"  no open ports: {percent(audit['silent_fraction'])} (paper: 92%)",
+        f"  most common open port: {audit['top_open_port']} (paper: 179/BGP)",
+        "",
+        render_table(
+            ("address", "ports", "banners"),
+            [(scan.address, ",".join(map(str, scan.open_ports)),
+              ",".join(banner for _, banner in scan.banners))
+             for scan in responsive[:10]],
+            title="Responsive observers",
+        ),
+    ]))
+
+    assert audit["observers_scanned"] > 10
+    assert audit["silent_fraction"] > 0.75
+    if audit["port_counts"]:
+        assert audit["top_open_port"] == 179

@@ -1,0 +1,30 @@
+"""Table 4 — the DNS servers decoys are sent to.
+
+Structural artifact: 20 public resolvers + 1 self-built + 13 roots +
+2 TLD servers.  Benchmarks pair-address derivation over the full set
+(the vetting hot path).
+"""
+
+from conftest import emit
+
+from repro.analysis.report import render_table
+from repro.datasets.resolvers import ALL_DNS_DESTINATIONS
+
+
+def derive_pairs():
+    return [(destination.name, destination.pair_address)
+            for destination in ALL_DNS_DESTINATIONS]
+
+
+def test_table4_dns_destinations(benchmark):
+    pairs = benchmark(derive_pairs)
+    emit("table4_destinations", render_table(
+        ("Type", "Name", "IP", "Pair resolver (App. E)"),
+        [(destination.kind, destination.name, destination.address, pair)
+         for destination, (_, pair) in zip(ALL_DNS_DESTINATIONS, pairs)],
+        title="Table 4: DNS servers to which we send decoys",
+    ))
+    kinds = {}
+    for destination in ALL_DNS_DESTINATIONS:
+        kinds[destination.kind] = kinds.get(destination.kind, 0) + 1
+    assert kinds == {"public": 20, "self-built": 1, "root": 13, "tld": 2}

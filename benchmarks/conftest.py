@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+One full campaign runs per session (seeded, default scale) and every
+table/figure bench analyzes its output.  Reproduced artifacts are both
+printed through pytest capture and emitted to ``benchmarks/out/`` so that
+``pytest benchmarks/ --benchmark-only`` leaves the regenerated rows on
+disk next to the timing tables.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import Experiment, ExperimentResult
+
+BENCH_SEED = 20240301
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def result() -> ExperimentResult:
+    """The session campaign every artifact bench analyzes."""
+    config = ExperimentConfig(
+        seed=BENCH_SEED,
+        web_site_count=160,
+        web_destination_count=64,
+        web_vps_per_destination=14,
+        phase2_paths_per_destination=16,
+    )
+    return Experiment(config).run()
+
+
+def emit(name: str, text: str) -> None:
+    """Write one reproduced artifact to stdout and benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    # Bypass pytest capture so the regenerated rows appear in the tee'd
+    # bench log alongside pytest-benchmark's timing tables.
+    print(f"\n=== {name} ===\n{text}", file=sys.__stdout__)

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Section 6 mitigations, demonstrated on the measurement substrate.
+
+Three scenes:
+
+1. A Chinanet-style DPI box sniffs plain TLS decoys — and then the same
+   decoys with Encrypted Client Hello, which hide the experiment domain
+   behind the provider's public name.
+2. The same ECH hellos reach the terminating provider, which decrypts and
+   sees everything — encryption does not stop destination collection.
+3. An oblivious DNS relay splits who-asked from what-was-asked, breaking
+   the client/name correlation that makes sniffed QNAMEs a tracking tool.
+
+Run:  python examples/mitigations_demo.py
+"""
+
+import random
+
+from repro.analysis.plot import ascii_bars
+from repro.mitigations import (
+    EchConfig,
+    ObliviousDnsProxy,
+    build_ech_client_hello,
+    seal_query,
+)
+from repro.mitigations.ech import terminate
+from repro.net.packet import Packet
+from repro.net.path import Hop
+from repro.observers.onpath import WireSniffer
+from repro.protocols.tls import ClientHello, wrap_handshake
+
+ZONE = "www.experiment.domain"
+DECOYS = 100
+
+
+class RecordingExhibitor:
+    """Counts what the DPI box manages to hand to its shadow pipeline."""
+
+    def __init__(self):
+        self.captured = []
+
+    def observe(self, domain, observed_from):
+        self.captured.append(domain)
+
+
+def sniff_decoys(use_ech: bool, config: EchConfig) -> RecordingExhibitor:
+    rng = random.Random(42)
+    exhibitor = RecordingExhibitor()
+    hop = Hop(address="100.64.9.9", asn=4134, country="CN")
+    sniffer = WireSniffer(hop, ("tls",), exhibitor, ZONE)
+    for index in range(DECOYS):
+        inner = f"decoy{index:03d}-0001.{ZONE}"
+        hello = (build_ech_client_hello(inner, config, rng) if use_ech
+                 else ClientHello(server_name=inner,
+                                  random=bytes(rng.randrange(256)
+                                               for _ in range(32))))
+        packet = Packet.tcp("100.96.0.1", "198.18.0.1", 64, 40000, 443,
+                            wrap_handshake(hello.encode()))
+        sniffer.tap(3, hop, packet)
+    return exhibitor
+
+
+def main() -> None:
+    config = EchConfig(config_id=3, public_name="cdn-frontend.example",
+                       secret=b"a-sixteen-byte-k")
+
+    plain = sniff_decoys(use_ech=False, config=config)
+    ech = sniff_decoys(use_ech=True, config=config)
+    print("Scene 1 — on-path DPI vs TLS decoys")
+    print(ascii_bars({
+        "plain SNI captured": len(plain.captured) / DECOYS,
+        "ECH captured": len(ech.captured) / DECOYS,
+    }, width=30))
+
+    rng = random.Random(43)
+    recovered = 0
+    for index in range(DECOYS):
+        inner = f"decoy{index:03d}-0001.{ZONE}"
+        hello = build_ech_client_hello(inner, config, rng)
+        decoded = ClientHello.decode(hello.encode())
+        if terminate(decoded, config) == inner:
+            recovered += 1
+    print("\nScene 2 — the terminating provider opens ECH")
+    print(f"  inner names recovered by the key holder: {recovered}/{DECOYS}")
+    print("  -> encryption hides data on the wire, not from the destination;")
+    print("     for DNS, the resolver still decodes and sees everything.")
+
+    proxy = ObliviousDnsProxy(
+        "100.88.250.1", key_id=9, target_secret=b"a-sixteen-byte-k",
+        resolve=lambda proxy_address, name: "203.0.113.11",
+    )
+    rng = random.Random(44)
+    for index in range(DECOYS):
+        sealed = seal_query(f"q{index:03d}-0001.{ZONE}", key_id=9,
+                            target_secret=b"a-sixteen-byte-k", rng=rng)
+        proxy.relay(f"100.96.1.{index % 250 + 1}", sealed)
+    print("\nScene 3 — oblivious DNS splits origin from content")
+    print(f"  queries relayed:                {len(proxy.proxy_log)}")
+    clear_names_at_proxy = sum(
+        1 for entry in proxy.proxy_log
+        if ZONE.encode() in entry.sealed_bytes
+    )
+    client_addresses_at_target = sum(
+        1 for entry in proxy.target_log
+        if entry.proxy_address != proxy.proxy_address
+    )
+    print(f"  clear-text names at the proxy:  {clear_names_at_proxy}")
+    print(f"  client addresses at the target: {client_addresses_at_target}")
+    print(f"  client<->name correlation possible: {proxy.correlation_possible()}")
+
+
+if __name__ == "__main__":
+    main()

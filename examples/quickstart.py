@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Quickstart: run a small traffic-shadowing measurement end to end.
+
+Builds the simulated Internet (VPN platform, topology, resolvers, on-path
+observers, honeypots), spreads DNS/HTTP/TLS decoys (Phase I), tracerouting
+problematic paths (Phase II), and prints the headline findings.
+
+Run:  python examples/quickstart.py [seed]
+"""
+
+import sys
+
+from repro import Experiment, ExperimentConfig
+from repro.analysis import (
+    dns_delay_cdfs,
+    multi_use_stats,
+    observer_location_table,
+    top_observer_ases,
+)
+from repro.analysis.landscape import destination_ratio_summary, problematic_path_ratios
+from repro.analysis.report import percent, render_table
+from repro.simkit.units import DAY, HOUR, MINUTE, format_duration
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 20240301
+    config = ExperimentConfig(seed=seed)
+    print(f"Running campaign (seed={seed}, ~{config.vp_scale:.0%} of paper scale)...")
+    result = Experiment(config).run()
+
+    platform_rows = result.eco.platform.summary()
+    print()
+    print(render_table(
+        ("segment", "providers", "VPs", "ASes", "locations"),
+        [(row.label, row.providers, row.vps, row.ases, row.countries)
+         for row in platform_rows],
+        title="Measurement platform (cf. Table 1)",
+    ))
+
+    print()
+    print(f"Decoys sent:            {len(result.ledger.records(phase=1)):,}")
+    print(f"Honeypot log entries:   {len(result.log):,}")
+    print(f"Unsolicited requests:   {len(result.phase1.events):,}")
+    print(f"Problematic paths:      {len(result.problematic_path_keys()):,}")
+
+    rows = problematic_path_ratios(result.ledger, result.phase1.events)
+    summary = destination_ratio_summary(rows, "dns")
+    worst = sorted(summary.items(), key=lambda item: -item[1])[:5]
+    print()
+    print(render_table(
+        ("destination", "problematic paths"),
+        [(name, percent(ratio)) for name, ratio in worst],
+        title="Most-susceptible DNS destinations (cf. Figure 3)",
+    ))
+
+    cdfs = dns_delay_cdfs(result.phase1.events)
+    print()
+    print(render_table(
+        ("resolver", "n", "<1min", "<1h", "<1day", "<10days"),
+        [
+            (name, len(cdf), percent(cdf.at(MINUTE)), percent(cdf.at(HOUR)),
+             percent(cdf.at(DAY)), percent(cdf.at(10 * DAY)))
+            for name, cdf in cdfs.items() if len(cdf)
+        ],
+        title="Retention of DNS decoy data (cf. Figure 4)",
+    ))
+    from repro.analysis.plot import ascii_cdf
+    print()
+    print(ascii_cdf(
+        {name: cdf for name, cdf in cdfs.items() if len(cdf)},
+        thresholds=(MINUTE, HOUR, DAY, 10 * DAY),
+        width=32,
+        title="Figure 4 as curves:",
+    ))
+
+    stats = multi_use_stats(result.phase1.events)
+    print()
+    print(f"DNS decoys still producing >3 unsolicited requests an hour after "
+          f"emission: {percent(stats.share_more_than_3)} (paper: 51%)")
+
+    table = observer_location_table(result.locations)
+    print()
+    print(render_table(
+        ("protocol", "hops 1-3", "hops 4-6", "hops 7-9", "destination"),
+        [
+            (
+                protocol,
+                percent(sum(share for hop, share in hops.items() if hop <= 3) / 100),
+                percent(sum(share for hop, share in hops.items() if 4 <= hop <= 6) / 100),
+                percent(sum(share for hop, share in hops.items() if 7 <= hop <= 9) / 100),
+                percent(hops.get(10, 0.0) / 100),
+            )
+            for protocol, hops in sorted(table.items())
+        ],
+        title="Where observers sit on the path (cf. Table 2)",
+    ))
+
+    observer_rows = top_observer_ases(result.locations)
+    print()
+    print(render_table(
+        ("protocol", "AS", "network", "observers", "share"),
+        [(row.protocol, f"AS{row.asn}", row.as_name[:40], row.observers,
+          percent(row.share)) for row in observer_rows],
+        title="Top observer networks (cf. Table 3)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

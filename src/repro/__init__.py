@@ -1,0 +1,45 @@
+"""repro — a simulation-backed reproduction of *Yesterday Once More: Global
+Measurement of Internet Traffic Shadowing Behaviors* (IMC 2024).
+
+Quickstart::
+
+    from repro import Experiment, ExperimentConfig
+
+    result = Experiment(ExperimentConfig(seed=1)).run()
+    print(len(result.phase1.events), "unsolicited requests correlated")
+
+The package layers:
+
+* :mod:`repro.simkit` — discrete-event simulator and seeded randomness
+* :mod:`repro.net` — IPv4/UDP/TCP packets, TTL transit, ICMP
+* :mod:`repro.protocols` — DNS / HTTP / TLS wire codecs
+* :mod:`repro.topology` — synthetic AS-level Internet paths
+* :mod:`repro.vpn` — the VPN-based vantage-point platform
+* :mod:`repro.honeypot` — wildcard DNS + honey web/TLS endpoints
+* :mod:`repro.observers` — shadowing exhibitor behaviour models
+* :mod:`repro.intel` — IP directory, blocklist, exploit signatures, portscan
+* :mod:`repro.core` — decoys, Phase I/II pipeline, correlation
+* :mod:`repro.analysis` — regeneration of every paper table and figure
+"""
+
+from repro.core.config import ExperimentConfig
+from repro.core.correlate import Correlator, DecoyLedger, ShadowingEvent
+from repro.core.decoy import Decoy, DecoyFactory
+from repro.core.experiment import Experiment, ExperimentResult
+from repro.core.identifier import DecoyIdentity, IdentifierCodec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "ExperimentConfig",
+    "DecoyIdentity",
+    "IdentifierCodec",
+    "Decoy",
+    "DecoyFactory",
+    "DecoyLedger",
+    "Correlator",
+    "ShadowingEvent",
+    "__version__",
+]

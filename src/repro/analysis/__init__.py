@@ -1,0 +1,68 @@
+"""Analyses that regenerate the paper's tables and figures.
+
+Every function here consumes an
+:class:`~repro.core.experiment.ExperimentResult` (or pieces of one) and
+returns plain data structures — the benchmark harness renders them as the
+rows/series the paper reports.
+
+Artifact map:
+
+* Figure 3  → :func:`repro.analysis.landscape.problematic_path_ratios`
+* Table 2   → :func:`repro.analysis.landscape.observer_location_table`
+* Table 3   → :func:`repro.analysis.origins.top_observer_ases`
+* Figure 4  → :func:`repro.analysis.temporal.dns_delay_cdfs`
+* Figure 5  → :func:`repro.analysis.combos.decoy_breakdown`
+* Figure 6  → :func:`repro.analysis.origins.origin_as_distribution`
+* Figure 7  → :func:`repro.analysis.temporal.web_delay_cdfs`
+* Section 5.1 multi-use → :func:`repro.analysis.temporal.multi_use_stats`
+* Section 5.1/5.2 incentives → :mod:`repro.analysis.payloads`
+* Section 5.2 ports → :func:`repro.analysis.ports.observer_port_audit`
+"""
+
+from repro.analysis.casestudies import anycast_case_study, yandex_case_study
+from repro.analysis.combos import decoy_breakdown
+from repro.analysis.geography import country_destination_matrix, regional_ratios
+from repro.analysis.longitudinal import per_round_summaries, round_stability
+from repro.analysis.landscape import observer_location_table, problematic_path_ratios
+from repro.analysis.origins import (
+    observer_as_groups,
+    origin_as_distribution,
+    top_observer_ases,
+)
+from repro.analysis.payloads import incentive_report
+from repro.analysis.ports import observer_port_audit
+from repro.analysis.paperreport import full_report
+from repro.analysis.stats import ks_distance, proportion_ci, total_variation
+from repro.analysis.temporal import (
+    Cdf,
+    dns_delay_cdfs,
+    multi_use_stats,
+    web_delay_cdfs,
+)
+from repro.analysis.validation import validate
+
+__all__ = [
+    "Cdf",
+    "dns_delay_cdfs",
+    "web_delay_cdfs",
+    "multi_use_stats",
+    "problematic_path_ratios",
+    "observer_location_table",
+    "top_observer_ases",
+    "origin_as_distribution",
+    "observer_as_groups",
+    "decoy_breakdown",
+    "incentive_report",
+    "observer_port_audit",
+    "full_report",
+    "validate",
+    "ks_distance",
+    "total_variation",
+    "proportion_ci",
+    "country_destination_matrix",
+    "regional_ratios",
+    "per_round_summaries",
+    "round_stability",
+    "yandex_case_study",
+    "anycast_case_study",
+]

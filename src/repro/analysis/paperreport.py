@@ -1,0 +1,208 @@
+"""One-shot report rendering every paper artifact from a finished run.
+
+Used by the CLI (``python -m repro run``) and reusable on reloaded
+bundles (:mod:`repro.core.persist`): anything exposing ``ledger``,
+``log``, ``phase1``, ``phase2``, ``locations``, ``directory`` and
+``blocklist`` attributes works.
+"""
+
+from typing import List
+
+from repro.analysis.combos import http_https_share, shadowed_share
+from repro.analysis.landscape import (
+    destination_ratio_summary,
+    destination_share,
+    observer_location_table,
+    problematic_path_ratios,
+)
+from repro.analysis.origins import (
+    observer_as_groups,
+    observer_country_counts,
+    origin_as_distribution,
+    origin_blocklist_rate,
+    top_observer_ases,
+)
+from repro.analysis.payloads import incentive_report
+from repro.analysis.report import percent, render_table
+from repro.analysis.temporal import (
+    dns_delay_cdfs,
+    multi_use_stats,
+    other_resolver_cdf,
+    web_delay_cdfs,
+)
+from repro.datasets.resolvers import RESOLVER_H_NAMES
+from repro.simkit.units import DAY, HOUR, MINUTE
+
+
+def full_report(source, title: str = "Traffic shadowing measurement report",
+                include_validation: bool = False) -> str:
+    """Render all reproduced artifacts as one text document.
+
+    ``include_validation`` appends the ground-truth recall section; it
+    requires a live :class:`~repro.core.experiment.ExperimentResult`
+    (reloaded bundles carry no ground truth) and is off by default so the
+    same input always renders the same report.
+    """
+    sections: List[str] = [title, "=" * len(title)]
+
+    ledger = source.ledger
+    log = source.log
+    phase1 = source.phase1
+    locations = source.locations
+    directory = source.directory if hasattr(source, "directory") else source.eco.directory
+    blocklist = source.blocklist if hasattr(source, "blocklist") else source.eco.blocklist
+    events = phase1.events
+
+    sections.append(
+        f"\ndecoys: {len(ledger.records(phase=1)):,} (phase I) + "
+        f"{len(ledger.records(phase=2)):,} (phase II traceroute probes); "
+        f"honeypot log entries: {len(log):,}; "
+        f"unsolicited requests: {len(events):,}"
+    )
+
+    # Figure 3.
+    rows = problematic_path_ratios(ledger, events)
+    dns_summary = destination_ratio_summary(rows, "dns")
+    ranked = sorted(dns_summary.items(), key=lambda item: -item[1])
+    sections.append("\n" + render_table(
+        ("DNS destination", "problematic paths"),
+        [(name, percent(ratio)) for name, ratio in ranked if ratio > 0][:12],
+        title="Figure 3 — problematic-path ratios (DNS)",
+    ))
+
+    # Table 2.
+    table = observer_location_table(locations)
+    sections.append("\n" + render_table(
+        ["protocol"] + [str(hop) for hop in range(1, 11)],
+        [[protocol.upper()] + [f"{table[protocol].get(hop, 0.0):.1f}"
+                               for hop in range(1, 11)]
+         for protocol in sorted(table)],
+        title="Table 2 — normalized observer locations (%)",
+    ))
+
+    # Table 3.
+    observer_rows = top_observer_ases(locations)
+    sections.append("\n" + render_table(
+        ("decoy", "AS", "network", "observer IPs", "share"),
+        [(row.protocol.upper(), f"AS{row.asn}", row.as_name[:40],
+          row.observers, percent(row.share)) for row in observer_rows],
+        title="Table 3 — top observer networks",
+    ))
+    countries = observer_country_counts(locations)
+    total_observers = sum(countries.values())
+    if total_observers:
+        sections.append(
+            f"observer IPs by country: "
+            + ", ".join(f"{country}={count}" for country, count
+                        in sorted(countries.items(), key=lambda item: -item[1]))
+        )
+
+    # Figure 4.
+    cdfs = dns_delay_cdfs(events)
+    sections.append("\n" + render_table(
+        ("resolver", "n", "<1m", "<1h", "<1d", "<10d"),
+        [(name, len(cdf), percent(cdf.at(MINUTE)), percent(cdf.at(HOUR)),
+          percent(cdf.at(DAY)), percent(cdf.at(10 * DAY)))
+         for name, cdf in cdfs.items() if len(cdf)],
+        title="Figure 4 — retention of DNS decoy data (Resolver_h)",
+    ))
+    other = other_resolver_cdf(events)
+    if len(other):
+        sections.append(
+            f"other public resolvers: {percent(other.at(MINUTE))} of "
+            f"{len(other)} unsolicited requests within one minute"
+        )
+
+    # Figure 5 digest.
+    sections.append("\n" + render_table(
+        ("destination", "shadowed", "drew HTTP/HTTPS"),
+        [(name, percent(shadowed_share(ledger, events, name)),
+          percent(http_https_share(ledger, events, name)))
+         for name in RESOLVER_H_NAMES],
+        title="Figure 5 — Resolver_h decoy outcomes",
+    ))
+
+    # Section 5.1 multi-use.
+    stats = multi_use_stats(events)
+    sections.append(
+        f"\nSection 5.1 — of DNS decoys still active >1h after emission, "
+        f"{percent(stats.share_more_than_3)} produced >3 unsolicited "
+        f"requests and {percent(stats.share_more_than_10)} produced >10"
+    )
+
+    # Figure 6 digest.
+    origin_rows = origin_as_distribution(events, directory, top_n=2)
+    sections.append("\n" + render_table(
+        ("destination", "request", "origin AS", "share"),
+        [(row.destination_name, row.request_protocol.upper(),
+          f"AS{row.asn} {row.as_name[:28]}", percent(row.share))
+         for row in origin_rows],
+        title="Figure 6 — top origins of unsolicited requests",
+    ))
+    sections.append(
+        "origin blocklist rates (DNS decoys): "
+        f"dns {percent(origin_blocklist_rate(events, blocklist, 'dns', 'dns'))}, "
+        f"http {percent(origin_blocklist_rate(events, blocklist, 'http', 'dns'))}, "
+        f"https {percent(origin_blocklist_rate(events, blocklist, 'https', 'dns'))}"
+    )
+
+    # Figure 7.
+    web = web_delay_cdfs(events)
+    sections.append("\n" + render_table(
+        ("decoy", "n", "<1h", "<1d", "<3d"),
+        [(protocol.upper(), len(cdf), percent(cdf.at(HOUR)),
+          percent(cdf.at(DAY)), percent(cdf.at(3 * DAY)))
+         for protocol, cdf in sorted(web.items())],
+        title="Figure 7 — retention of HTTP/TLS decoy data",
+    ))
+    sections.append(
+        f"observers at destination: dns {percent(destination_share(locations, 'dns'))}, "
+        f"http {percent(destination_share(locations, 'http'))}, "
+        f"tls {percent(destination_share(locations, 'tls'))}"
+    )
+
+    # Section 5.2 groups + incentives.
+    groups = observer_as_groups(locations, events, directory)
+    if groups:
+        sections.append("\n" + render_table(
+            ("observer AS", "paths", "share", "same-AS origins"),
+            [(f"AS{group.asn} {group.as_name[:26]}", group.paths,
+              percent(group.share_of_all_paths),
+              percent(group.same_as_origin_share)) for group in groups],
+            title="Section 5.2 — HTTP/TLS shadowing by observer AS",
+        ))
+    incentives = incentive_report(events, blocklist)
+    sections.append(
+        f"\nprobing incentives: {percent(incentives.enumeration_share)} path "
+        f"enumeration, {percent(incentives.exploit_share)} exploit payloads "
+        f"across {incentives.requests} unsolicited HTTP(S) requests"
+    )
+
+    # Geographic view (Figure 3's map form).
+    from repro.analysis.geography import (
+        country_destination_matrix,
+        regional_ratios,
+        render_heat_matrix,
+    )
+    cells = country_destination_matrix(ledger, events, "dns")
+    if cells:
+        sections.append("\nFigure 3 (map form) — DNS heat matrix:")
+        sections.append(render_heat_matrix(cells, max_countries=14))
+        regions = regional_ratios(cells)
+        sections.append("by region: " + ", ".join(
+            f"{region} {percent(ratio)}"
+            for region, ratio in sorted(regions.items(), key=lambda item: -item[1])
+        ))
+
+    # Ground-truth validation, when the source carries a live ecosystem.
+    if include_validation and hasattr(source, "eco"):
+        from repro.analysis.validation import validate
+        report = validate(source.eco.ground_truth, source.phase1,
+                          source.phase2, ledger,
+                          source.config.observation_window)
+        sections.append(
+            f"\nvalidation vs ground truth: recall "
+            f"{percent(report.recall)} over {report.planted_domains} planted "
+            f"domains, {report.false_domains} unexplained flags"
+        )
+    return "\n".join(sections) + "\n"

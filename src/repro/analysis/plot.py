@@ -1,0 +1,63 @@
+"""ASCII rendering of CDF curves and share bars.
+
+Terminal-friendly stand-ins for the paper's matplotlib figures, used by
+the examples and the CLI report.
+"""
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.temporal import Cdf
+from repro.simkit.units import format_duration
+
+
+def ascii_cdf(curves: Dict[str, Cdf], thresholds: Sequence[float],
+              width: int = 40, title: str = "") -> str:
+    """Render CDF curves as per-threshold horizontal bars.
+
+    >>> from repro.analysis.temporal import Cdf
+    >>> print(ascii_cdf({"x": Cdf.from_values([1, 100])}, [10], width=10))
+    x
+        10.0s |#####     | 50.0%
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max((len(format_duration(value)) for value in thresholds),
+                      default=0)
+    for name, cdf in curves.items():
+        if not len(cdf):
+            continue
+        lines.append(name)
+        for threshold in thresholds:
+            fraction = cdf.at(threshold)
+            filled = round(fraction * width)
+            bar = "#" * filled + " " * (width - filled)
+            lines.append(
+                f"  {format_duration(threshold):>{label_width + 2}} |{bar}| "
+                f"{100 * fraction:.1f}%"
+            )
+    return "\n".join(lines)
+
+
+def ascii_bars(shares: Dict[str, float], width: int = 40,
+               title: str = "", sort: bool = True) -> str:
+    """Render a categorical share distribution as horizontal bars.
+
+    Values are fractions of 1; bars are scaled to the maximum so small
+    categories stay visible.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not shares:
+        return "\n".join(lines + ["(no data)"])
+    items = list(shares.items())
+    if sort:
+        items.sort(key=lambda item: -item[1])
+    peak = max(value for _, value in items)
+    label_width = max(len(label) for label, _ in items)
+    for label, value in items:
+        filled = 0 if peak == 0 else round(value / peak * width)
+        bar = "#" * filled
+        lines.append(f"  {label:<{label_width}} |{bar:<{width}}| {100 * value:.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Section 5.2: open-port audit of on-path observers."""
+
+from typing import Dict, List, Sequence
+
+from repro.core.phase2 import ObserverLocation
+from repro.intel.portscan import PortScanResult, scan_observers, summarize_ports
+from repro.topology.model import TopologyModel
+
+
+def observer_port_audit(
+    locations: Sequence[ObserverLocation],
+    topology: TopologyModel,
+) -> Dict[str, object]:
+    """Probe every ICMP-revealed observer address for open ports.
+
+    Reproduces the Section 5.2 audit: most observers expose nothing; among
+    the responsive ones, TCP/179 (BGP) dominates — routing devices between
+    networks.
+    """
+    addresses = sorted({
+        location.observer_address
+        for location in locations
+        if location.observer_address is not None
+    })
+    results = scan_observers(addresses, topology.known_router)
+    summary = summarize_ports(results)
+    summary["results"] = results
+    return summary

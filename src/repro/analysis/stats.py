@@ -1,0 +1,84 @@
+"""Statistical comparison utilities.
+
+Used to compare reproduced distributions against the paper's (EXPERIMENTS
+bookkeeping) and between ablation arms: Kolmogorov-Smirnov distance on
+CDFs, total-variation distance on categorical shares, and a bootstrap
+confidence interval for proportions.
+"""
+
+import math
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.temporal import Cdf
+
+
+def ks_distance(first: Cdf, second: Cdf) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic: sup |F1(x) - F2(x)|."""
+    if not len(first) or not len(second):
+        raise ValueError("KS distance needs two non-empty samples")
+    points = sorted(set(first.samples) | set(second.samples))
+    return max(abs(first.at(point) - second.at(point)) for point in points)
+
+
+def ks_significant(first: Cdf, second: Cdf, alpha: float = 0.05) -> bool:
+    """Large-sample KS test: True when the distributions differ at
+    significance ``alpha``."""
+    if not 0 < alpha < 1:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    n, m = len(first), len(second)
+    critical = math.sqrt(-0.5 * math.log(alpha / 2)) * math.sqrt((n + m) / (n * m))
+    return ks_distance(first, second) > critical
+
+
+def total_variation(first: Dict[str, float], second: Dict[str, float]) -> float:
+    """TV distance between two categorical distributions (auto-normalized)."""
+    def normalize(dist: Dict[str, float]) -> Dict[str, float]:
+        total = sum(dist.values())
+        if total <= 0:
+            raise ValueError("distribution must have positive mass")
+        return {key: value / total for key, value in dist.items()}
+
+    first = normalize(first)
+    second = normalize(second)
+    keys = set(first) | set(second)
+    return 0.5 * sum(abs(first.get(key, 0.0) - second.get(key, 0.0)) for key in keys)
+
+
+def proportion_ci(successes: int, trials: int,
+                  confidence: float = 0.95) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"need 0 <= successes <= trials, got {successes}/{trials}")
+    z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}.get(round(confidence, 2))
+    if z is None:
+        raise ValueError(f"unsupported confidence level {confidence}")
+    p = successes / trials
+    denominator = 1 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denominator
+    margin = (z / denominator) * math.sqrt(
+        p * (1 - p) / trials + z * z / (4 * trials * trials)
+    )
+    return (max(0.0, center - margin), min(1.0, center + margin))
+
+
+def bootstrap_mean_ci(samples: Sequence[float], rng: random.Random,
+                      rounds: int = 1000,
+                      confidence: float = 0.95) -> Tuple[float, float]:
+    """Percentile-bootstrap CI for the mean of ``samples``."""
+    if not samples:
+        raise ValueError("bootstrap needs at least one sample")
+    if rounds < 10:
+        raise ValueError(f"need at least 10 bootstrap rounds, got {rounds}")
+    samples = list(samples)
+    means = []
+    for _ in range(rounds):
+        resample = [samples[rng.randrange(len(samples))] for _ in samples]
+        means.append(sum(resample) / len(resample))
+    means.sort()
+    tail = (1 - confidence) / 2
+    low = means[int(tail * rounds)]
+    high = means[min(rounds - 1, int((1 - tail) * rounds))]
+    return (low, high)

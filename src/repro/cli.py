@@ -1,0 +1,113 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``     — execute a full campaign, print/save the paper-style report,
+  optionally export the result bundle for offline analysis.
+* ``report``  — regenerate the report from a previously exported bundle.
+* ``platform`` — build and summarize the VPN platform (Table 1) without
+  running a campaign.
+"""
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro.analysis.paperreport import full_report
+from repro.analysis.report import render_table
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import Experiment
+from repro.core.persist import export_result, load_bundle
+from repro.simkit.rng import RandomRouter
+from repro.vpn.platform import VpnPlatform
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Simulation-backed reproduction of the IMC'24 traffic-"
+                    "shadowing measurement.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="run a full two-phase campaign")
+    run.add_argument("--seed", type=int, default=20240301)
+    run.add_argument("--vp-scale", type=float, default=0.02,
+                     help="fraction of the paper's 4,364 VPs (default 0.02)")
+    run.add_argument("--web-destinations", type=int, default=48,
+                     help="HTTP/TLS decoy targets sampled from the pool")
+    run.add_argument("--tiny", action="store_true",
+                     help="use the fast test-sized configuration")
+    run.add_argument("--export", metavar="DIR",
+                     help="also export the result bundle to DIR")
+    run.add_argument("--output", metavar="FILE",
+                     help="write the report to FILE instead of stdout")
+
+    report = commands.add_parser("report",
+                                 help="re-render the report from a bundle")
+    report.add_argument("bundle", help="directory written by 'run --export'")
+    report.add_argument("--output", metavar="FILE")
+
+    platform = commands.add_parser("platform",
+                                   help="summarize the VPN platform (Table 1)")
+    platform.add_argument("--seed", type=int, default=20240301)
+    platform.add_argument("--vp-scale", type=float, default=1.0)
+    return parser
+
+
+def _emit(text: str, output: Optional[str]) -> None:
+    if output:
+        pathlib.Path(output).write_text(text)
+        print(f"report written to {output}")
+    else:
+        print(text)
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    if args.tiny:
+        config = ExperimentConfig.tiny(seed=args.seed)
+    else:
+        config = ExperimentConfig(
+            seed=args.seed,
+            vp_scale=args.vp_scale,
+            web_destination_count=args.web_destinations,
+        )
+    result = Experiment(config).run()
+    if args.export:
+        bundle = export_result(result, args.export)
+        print(f"bundle exported to {bundle}", file=sys.stderr)
+    _emit(full_report(result, include_validation=True), args.output)
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    bundle = load_bundle(args.bundle)
+    _emit(full_report(bundle, title=f"Report (reloaded from {args.bundle})"),
+          args.output)
+    return 0
+
+
+def _command_platform(args: argparse.Namespace) -> int:
+    platform = VpnPlatform(RandomRouter(args.seed), vp_scale=args.vp_scale)
+    print(render_table(
+        ("segment", "providers", "VPs", "ASes", "locations"),
+        [(row.label, row.providers, row.vps, row.ases, row.countries)
+         for row in platform.summary()],
+        title="VPN measurement platform (cf. Table 1)",
+    ))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "run": _command_run,
+        "report": _command_report,
+        "platform": _command_platform,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""The paper's primary contribution: the traffic-shadowing measurement pipeline.
+
+* :mod:`repro.core.identifier` — the decoy-specific identifier codec
+  (time, VP, destination, TTL encoded into one DNS label).
+* :mod:`repro.core.decoy` — decoy construction over DNS, HTTP, and TLS.
+* :mod:`repro.core.config` — experiment configuration.
+* :mod:`repro.core.ecosystem` — instantiates the simulated exhibitor
+  ecosystem the pipeline measures.
+* :mod:`repro.core.campaign` — Phase I: spreading decoys, finding
+  problematic paths.
+* :mod:`repro.core.phase2` — Phase II: hop-by-hop observer localization.
+* :mod:`repro.core.correlate` — unsolicited-request classification.
+* :mod:`repro.core.experiment` — end-to-end orchestration.
+"""
+
+from repro.core.config import ExperimentConfig
+from repro.core.correlate import Correlator, DecoyLedger, DecoyRecord, ShadowingEvent
+from repro.core.decoy import Decoy, DecoyFactory
+from repro.core.experiment import Experiment, ExperimentResult
+from repro.core.identifier import DecoyIdentity, IdentifierCodec, IdentifierError
+
+__all__ = [
+    "DecoyIdentity",
+    "IdentifierCodec",
+    "IdentifierError",
+    "Decoy",
+    "DecoyFactory",
+    "ExperimentConfig",
+    "DecoyLedger",
+    "DecoyRecord",
+    "Correlator",
+    "ShadowingEvent",
+    "Experiment",
+    "ExperimentResult",
+]

@@ -1,0 +1,343 @@
+"""Phase I: spreading decoys and finding problematic paths.
+
+The campaign vets the platform (Appendices C/E), builds one path per
+(vantage point, destination) pair — attaching on-path sniffers and
+interceptors as the topology materializes — then schedules decoy sends
+round-robin over virtual time and lets the simulator run through the
+observation window.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import ExperimentConfig
+from repro.core.correlate import DecoyLedger, DecoyRecord
+from repro.core.decoy import DecoyFactory
+from repro.core.ecosystem import Ecosystem, _resolver_asn
+from repro.core.identifier import DecoyIdentity
+from repro.datasets.resolvers import DnsDestination, PUBLIC_RESOLVERS
+from repro.datasets.tranco import WebDestination
+from repro.net.path import Path, TransitOutcome, TransitResult
+from repro.net.tcpconn import TcpClient
+from repro.topology.model import Endpoint
+from repro.vpn.vantage import VantagePoint
+from repro.vpn.vetting import VettingReport, full_vetting, vet_providers
+
+
+@dataclass
+class PathInfo:
+    """One materialized client-server path with its decorations."""
+
+    path: Path
+    vp: VantagePoint
+    destination_address: str
+    instance_country: str
+    has_interceptor: bool
+
+
+@dataclass
+class SendOutcome:
+    """What one decoy send produced at the network layer."""
+
+    record: DecoyRecord
+    transit: TransitResult
+
+
+class Campaign:
+    """Phase I executor bound to one ecosystem."""
+
+    def __init__(self, eco: Ecosystem):
+        self.eco = eco
+        self.config = eco.config
+        self.ledger = DecoyLedger()
+        self.factory = DecoyFactory(
+            zone=eco.config.zone, rng=eco.router.stream("decoy.factory")
+        )
+        self._paths: Dict[Tuple[str, str], PathInfo] = {}
+        self._sequences: Dict[Tuple[str, str], int] = {}
+        self.vetting: Optional[VettingReport] = None
+        self.sends_scheduled = 0
+        self.last_send_time = 0.0
+        self._pcap = None
+        self._pcap_stream = None
+        if eco.config.capture_pcap:
+            from repro.net.pcap import PcapWriter
+            self._pcap_stream = open(eco.config.capture_pcap, "wb")
+            self._pcap = PcapWriter(self._pcap_stream)
+
+    def close_capture(self) -> None:
+        """Flush and close the decoy pcap, if one was requested."""
+        if self._pcap_stream is not None:
+            self._pcap_stream.close()
+            self._pcap_stream = None
+            self._pcap = None
+
+    # -- path management -------------------------------------------------
+
+    def path_info(self, vp: VantagePoint, destination_address: str,
+                  destination_asn: int, destination_country: str,
+                  service_name: str = "", attach_observers: bool = True) -> PathInfo:
+        """Materialize (or fetch) the path from ``vp`` to a destination."""
+        key = (vp.address, destination_address)
+        if key in self._paths:
+            return self._paths[key]
+        topology = self.eco.topology
+        instance_country = topology.anycast_instance(
+            service_name, destination_country, vp.country
+        )
+        override = instance_country if instance_country != destination_country else None
+        path = topology.build_path(
+            vp.endpoint(),
+            Endpoint(address=destination_address, asn=destination_asn,
+                     country=destination_country),
+            destination_country_override=override,
+        )
+        has_interceptor = False
+        if attach_observers:
+            for position in range(1, path.length):  # destination excluded
+                hop = path.hop_at(position)
+                sniffer = self.eco.observer_deployment.sniffer_for(hop)
+                if sniffer is not None:
+                    path.add_tap(position, sniffer.tap)
+            first_hop = path.hop_at(1)
+            has_interceptor = self.eco.interceptor_at(first_hop.address) is not None
+        info = PathInfo(
+            path=path,
+            vp=vp,
+            destination_address=destination_address,
+            instance_country=instance_country,
+            has_interceptor=has_interceptor,
+        )
+        self._paths[key] = info
+        return info
+
+    def known_paths(self) -> List[PathInfo]:
+        return list(self._paths.values())
+
+    # -- vetting ------------------------------------------------------------
+
+    def vet_platform(self) -> VettingReport:
+        """Appendix C/E: drop TTL-resetting providers and intercepted VPs."""
+        vps = self.eco.platform.vantage_points
+        if self.config.exclude_ttl_reset_providers and self.config.pair_resolver_filter:
+            report = full_vetting(vps, PUBLIC_RESOLVERS, self._pair_probe)
+        elif self.config.exclude_ttl_reset_providers:
+            report = vet_providers(vps)
+        else:
+            report = VettingReport(kept=list(vps))
+        self.eco.platform.replace_vps(report.kept)
+        self.vetting = report
+        return report
+
+    def _pair_probe(self, vp: VantagePoint, pair_address: str) -> bool:
+        """Does a DNS query from ``vp`` to ``pair_address`` draw a response?
+
+        Pair resolvers run no DNS service, so the only possible responder
+        is an on-path interceptor.  Paths out of a VP share their first
+        (access) hop, so probing any pair address exercises the same
+        client-side segment the real decoys will cross.
+        """
+        info = self.path_info(
+            vp, pair_address,
+            destination_asn=self.eco.topology.backbone_asn("US", 0),
+            destination_country="US",
+            attach_observers=False,
+        )
+        first_hop = info.path.hop_at(1)
+        interceptor = self.eco.interceptor_at(first_hop.address)
+        return interceptor is not None and interceptor.answers_pair_probe()
+
+    # -- decoy emission -------------------------------------------------------
+
+    def next_sequence(self, vp: VantagePoint, destination_address: str) -> int:
+        key = (vp.address, destination_address)
+        value = self._sequences.get(key, 0)
+        self._sequences[key] = (value + 1) % 10000
+        return value
+
+    def send_decoy(self, info: PathInfo, protocol: str, ttl: int,
+                   phase: int, destination: object,
+                   round_index: int = 0) -> SendOutcome:
+        """Build, record, and transit one decoy right now (virtual time).
+
+        ``destination`` is either a :class:`DnsDestination` or a
+        :class:`WebDestination`; delivery semantics dispatch on it.
+        """
+        vp = info.vp
+        now = self.eco.sim.now()
+        identity = DecoyIdentity(
+            sent_at=int(now),
+            vp_address=vp.address,
+            dst_address=info.destination_address,
+            ttl=ttl,
+            sequence=self.next_sequence(vp, info.destination_address),
+        )
+        decoy = self.factory.build(identity, protocol)
+        packet = decoy.packet
+        if vp.resets_ttl:
+            # Unvetted TTL-resetting providers rewrite the IP TTL of every
+            # outgoing packet (Appendix E); the identifier still encodes
+            # the intended TTL, which is exactly why such VPs poison
+            # Phase II localization when not excluded.
+            packet = packet.with_ttl(64)
+        is_dns_dest = isinstance(destination, DnsDestination)
+        record = DecoyRecord(
+            identity=identity,
+            domain=decoy.domain,
+            protocol=protocol,
+            vp_id=vp.vp_id,
+            vp_country=vp.country,
+            vp_province=vp.province,
+            destination_address=info.destination_address,
+            destination_name=(
+                destination.name if is_dns_dest else destination.site
+            ),
+            destination_kind="dns" if is_dns_dest else "web",
+            destination_country=(
+                destination.country if is_dns_dest else destination.country
+            ),
+            instance_country=info.instance_country,
+            path_length=info.path.length,
+            sent_at=now,
+            phase=phase,
+            round_index=round_index,
+        )
+        self.ledger.register(record)
+        if self._pcap is not None:
+            self._pcap.write(packet, now)
+        transit = self._transmit(info, protocol, packet, phase)
+
+        intercepted = False
+        if protocol == "dns" and info.has_interceptor:
+            first_hop = info.path.hop_at(1)
+            interceptor = self.eco.interceptor_at(first_hop.address)
+            if interceptor is not None:
+                interceptor.on_query(decoy.domain)
+                intercepted = True
+
+        if transit.delivered and not intercepted:
+            self._deliver(decoy.domain, protocol, info, destination)
+        return SendOutcome(record=record, transit=transit)
+
+    def _transmit(self, info: PathInfo, protocol: str, packet, phase: int):
+        """Put one decoy on the wire.
+
+        Phase I HTTP/TLS decoys are sent *after a successful TCP
+        handshake* with the destination (Section 3); Phase II skips the
+        handshake so low-TTL probes never hold server connections open.
+        DNS rides UDP either way.
+        """
+        if protocol in ("http", "tls") and phase == 1:
+            client = TcpClient(
+                path=info.path,
+                src=packet.ip.src,
+                src_port=packet.transport.src_port,
+                dst_port=packet.transport.dst_port,
+                rng=self.eco.router.stream("campaign.tcp"),
+                ttl=packet.ip.ttl,
+            )
+            handshake = client.connect()
+            if not handshake.established:
+                # Live public destinations always answer, so this only
+                # happens when the SYN itself expired: no decoy data was
+                # exposed at all, and the send is reported as expired at
+                # the SYN's expiry hop without retransmitting the payload.
+                return TransitResult(
+                    outcome=TransitOutcome.EXPIRED,
+                    final_position=min(packet.ip.ttl, info.path.length),
+                    icmp=None,
+                )
+            transit = client.send(packet.payload)
+            client.close()
+            return transit
+        return info.path.transit(packet)
+
+    def _deliver(self, domain: str, protocol: str, info: PathInfo,
+                 destination: object) -> None:
+        if isinstance(destination, DnsDestination):
+            model = self.eco.resolver_models.get(destination.address)
+            if model is not None:
+                model.receive_decoy(domain, info.instance_country)
+        elif isinstance(destination, WebDestination):
+            self.eco.web_model.receive_decoy(destination, protocol, domain)
+        else:
+            raise TypeError(f"unknown destination type {type(destination)!r}")
+
+    # -- Phase I scheduling ------------------------------------------------
+
+    def schedule_phase1(self) -> int:
+        """Queue every Phase I decoy send; returns the count scheduled.
+
+        Sends round-robin across VPs with a per-destination rate limit
+        (the ethics appendix caps traffic at 2 decoys/second/target, which
+        the :class:`RoundRobinScheduler` enforces on top of the global
+        spacing).  ``phase1_rounds`` repeats the whole pass, as the
+        paper's two-month continuous rotation does.
+        """
+        from repro.vpn.scheduler import RoundRobinScheduler
+
+        config = self.config
+        sim = self.eco.sim
+        vps = self.eco.platform.vantage_points
+        if not vps:
+            raise RuntimeError("no vantage points left after vetting")
+        limiter = RoundRobinScheduler(vps, per_target_interval=0.5)
+        scheduled = 0
+        last_time = sim.now()
+
+        def schedule(send_time: float, vp: VantagePoint, destination,
+                     protocol: str, address: str, asn: int, country: str,
+                     service: str, round_index: int) -> float:
+            nonlocal scheduled, last_time
+            info = self.path_info(vp, address, asn, country, service_name=service)
+            actual = limiter.earliest_send_time(address, send_time)
+            sim.schedule_at(
+                actual,
+                lambda info=info, protocol=protocol, destination=destination,
+                       round_index=round_index:
+                    self.send_decoy(info, protocol, ttl=64, phase=1,
+                                    destination=destination,
+                                    round_index=round_index),
+                label=f"send:{protocol}",
+            )
+            scheduled += 1
+            last_time = max(last_time, actual)
+            return send_time + config.send_spacing
+
+        dns_vps = vps
+        if config.dns_vps_per_destination is not None:
+            dns_vps = vps[: config.dns_vps_per_destination]
+        sampler = self.eco.router.stream("campaign.web.vps")
+        web_choices = [
+            (destination,
+             sampler.sample(vps, min(config.web_vps_per_destination, len(vps))))
+            for destination in self.eco.web_destinations
+        ]
+
+        for round_index in range(max(1, config.phase1_rounds)):
+            send_time = sim.now() + round_index * config.round_interval
+            for destination in self.eco.dns_destinations:
+                for vp in dns_vps:
+                    send_time = schedule(
+                        send_time, vp, destination, "dns", destination.address,
+                        _resolver_asn(destination), destination.country,
+                        destination.name, round_index,
+                    )
+            for destination, chosen in web_choices:
+                for vp in chosen:
+                    for protocol in ("http", "tls"):
+                        send_time = schedule(
+                            send_time, vp, destination, protocol,
+                            destination.address, destination.asn,
+                            destination.country, destination.site, round_index,
+                        )
+
+        self.sends_scheduled += scheduled
+        self.last_send_time = last_time
+        return scheduled
+
+    def run_phase1(self) -> None:
+        """Vet, schedule, and simulate through the observation window."""
+        self.vet_platform()
+        self.schedule_phase1()
+        self.eco.sim.run(until=self.last_send_time + self.config.observation_window)

@@ -1,0 +1,116 @@
+"""Experiment configuration.
+
+One :class:`ExperimentConfig` fully determines a campaign: the seed fixes
+every random stream, and the scale knobs trade fidelity against runtime.
+Defaults give a laptop-sized campaign (~100 VPs) that reproduces every
+qualitative shape; benches scale selected knobs up.
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.simkit.units import DAY, HOUR
+
+
+@dataclass
+class ExperimentConfig:
+    """All knobs of one end-to-end experiment run."""
+
+    seed: int = 20240301
+    zone: str = "www.experiment.domain"
+
+    # -- platform scale --------------------------------------------------
+    vp_scale: float = 0.02
+    """Fraction of the paper's 4,364 VPs to recruit (0.02 -> ~90 VPs)."""
+
+    # -- destination pools ------------------------------------------------
+    web_site_count: int = 120
+    """Synthetic top sites to generate (paper: Tranco top 1K)."""
+    web_destination_count: int = 48
+    """Addresses sampled from the pool as HTTP/TLS decoy targets
+    (paper: 2,325)."""
+    dns_vps_per_destination: Optional[int] = None
+    """Cap VPs per DNS destination (None = all VPs, as in the paper)."""
+    web_vps_per_destination: int = 12
+    """VPs sampled per web destination: the full cross product is
+    quadratic and unnecessary for shape reproduction."""
+
+    # -- timing ----------------------------------------------------------
+    send_spacing: float = 0.5
+    """Virtual seconds between consecutive decoy emissions (the ethics
+    appendix's 2 packets/second/target rate limit)."""
+    phase1_rounds: int = 1
+    """Full round-robin passes over every (VP, destination) pair.  The
+    paper cycles continuously for two months; one round already yields
+    every landscape shape, additional rounds add temporal depth."""
+    round_interval: float = 2 * DAY
+    """Virtual time between the starts of consecutive rounds."""
+    observation_window: float = 30 * DAY
+    """How long after the last decoy the honeypots keep listening.
+    Long enough to catch the paper's >10-day re-appearances."""
+
+    # -- Phase II ----------------------------------------------------------
+    phase2_max_ttl: int = 64
+    phase2_paths_per_destination: int = 12
+    """Problematic paths tracerouted per destination (sampled)."""
+    phase2_observation_window: float = 12 * DAY
+
+    # -- vetting / noise ----------------------------------------------------
+    exclude_ttl_reset_providers: bool = True
+    pair_resolver_filter: bool = True
+    interceptors_enabled: bool = True
+    """Deploy DNS interceptors as a noise source. With the pair-resolver
+    filter on, affected VPs are removed before Phase I (Appendix E); the
+    ablation bench turns the filter off to quantify the damage."""
+    interceptor_asn_fraction: float = 0.08
+    """Fraction of access-AS routers hosting interceptors, in countries
+    where interception is deployed."""
+
+    # -- diagnostics --------------------------------------------------------
+    capture_pcap: Optional[str] = None
+    """Write every decoy packet put on the wire to this pcap file
+    (LINKTYPE_RAW; opens in Wireshark).  None disables capture."""
+
+    # -- wildcard zone ------------------------------------------------------
+    wildcard_record_ttl: int = 3600
+    cache_refreshing_resolvers: bool = False
+    """When True, public resolvers actively refresh cached experiment
+    names on TTL expiry.  The paper rules this behaviour out for the
+    measured resolvers (no Figure 4 spike at the one-hour mark); the
+    wildcard-TTL ablation enables it to show the counterfactual."""
+
+    def __post_init__(self):
+        if self.vp_scale <= 0:
+            raise ValueError(f"vp_scale must be positive, got {self.vp_scale}")
+        if self.send_spacing < 0:
+            raise ValueError(f"send_spacing must be non-negative, got {self.send_spacing}")
+        if self.observation_window <= 0:
+            raise ValueError("observation_window must be positive")
+        if not 1 <= self.phase2_max_ttl <= 255:
+            raise ValueError(f"phase2_max_ttl out of range: {self.phase2_max_ttl}")
+
+    @classmethod
+    def tiny(cls, seed: int = 20240301) -> "ExperimentConfig":
+        """A minimal configuration for fast tests."""
+        return cls(
+            seed=seed,
+            vp_scale=0.004,
+            web_site_count=30,
+            web_destination_count=10,
+            web_vps_per_destination=4,
+            phase2_paths_per_destination=4,
+            observation_window=15 * DAY,
+            phase2_observation_window=6 * DAY,
+        )
+
+    @classmethod
+    def paper_scale(cls, seed: int = 20240301) -> "ExperimentConfig":
+        """Full paper scale: 4,364 VPs, 1K sites.  Hours of CPU time."""
+        return cls(
+            seed=seed,
+            vp_scale=1.0,
+            web_site_count=1000,
+            web_destination_count=2325,
+            web_vps_per_destination=64,
+            observation_window=61 * DAY,
+        )

@@ -1,0 +1,172 @@
+"""Correlation of honeypot logs with decoys; unsolicited classification.
+
+Section 3 defines an incoming request bearing decoy data as unsolicited
+when:
+
+ (i)  request and decoy protocols differ (that data was never sent over
+      the request protocol); or
+ (ii) the request protocol is HTTP or TLS (no HTTP/TLS decoys are ever
+      sent *to the honeypots*); or
+ (iii) the request protocol is DNS and the unique query name already
+      appeared in an earlier DNS query — the initial decoy's recursive
+      lookup.
+
+The correlator decodes each logged domain's identifier, joins it to the
+decoy ledger, applies the rules in arrival order, and emits
+:class:`ShadowingEvent` records that every analysis consumes.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.identifier import DecoyIdentity, IdentifierCodec, IdentifierError
+from repro.honeypot.logstore import LoggedRequest, LogStore
+
+_DECOY_LABELS = {"dns": "DNS", "http": "HTTP", "tls": "TLS"}
+_REQUEST_LABELS = {"dns": "DNS", "http": "HTTP", "https": "HTTPS"}
+
+
+@dataclass(frozen=True)
+class DecoyRecord:
+    """Ledger entry: one decoy as sent, with its path context."""
+
+    identity: DecoyIdentity
+    domain: str
+    protocol: str
+    vp_id: str
+    vp_country: str
+    vp_province: Optional[str]
+    destination_address: str
+    destination_name: str
+    destination_kind: str
+    """"dns" for resolver/root/TLD targets, "web" for Tranco-pool targets."""
+    destination_country: str
+    instance_country: str
+    """Country of the anycast instance this decoy's path terminates in."""
+    path_length: int
+    sent_at: float
+    phase: int
+    delivered: bool = True
+    round_index: int = 0
+    """Which Phase I round-robin pass emitted this decoy (0-based)."""
+
+
+class DecoyLedger:
+    """Every decoy sent during an experiment, indexed by domain."""
+
+    def __init__(self):
+        self._by_domain: Dict[str, DecoyRecord] = {}
+
+    def register(self, record: DecoyRecord) -> None:
+        if record.domain in self._by_domain:
+            raise ValueError(f"duplicate decoy domain {record.domain!r}")
+        self._by_domain[record.domain] = record
+
+    def lookup(self, domain: str) -> Optional[DecoyRecord]:
+        return self._by_domain.get(domain)
+
+    def records(self, phase: Optional[int] = None) -> List[DecoyRecord]:
+        if phase is None:
+            return list(self._by_domain.values())
+        return [record for record in self._by_domain.values() if record.phase == phase]
+
+    def __len__(self) -> int:
+        return len(self._by_domain)
+
+
+@dataclass(frozen=True)
+class ShadowingEvent:
+    """One unsolicited request correlated back to its decoy."""
+
+    decoy: DecoyRecord
+    request: LoggedRequest
+    combo: str
+    """Decoy-Request protocol label, e.g. "DNS-HTTP"."""
+
+    @property
+    def delta(self) -> float:
+        """Seconds between decoy emission and the unsolicited request."""
+        return self.request.time - self.decoy.sent_at
+
+    @property
+    def origin_address(self) -> str:
+        return self.request.src_address
+
+
+@dataclass
+class CorrelationResult:
+    """Everything a correlation pass produces."""
+
+    events: List[ShadowingEvent] = field(default_factory=list)
+    initial_arrivals: Dict[str, LoggedRequest] = field(default_factory=dict)
+    """Per decoy domain, the first (solicited) DNS arrival, if any."""
+    unknown_domains: List[str] = field(default_factory=list)
+    """Logged domains whose identifier failed to decode (noise)."""
+
+    def events_for(self, domain: str) -> List[ShadowingEvent]:
+        return [event for event in self.events if event.decoy.domain == domain]
+
+    def shadowed_domains(self) -> List[str]:
+        seen = []
+        observed = set()
+        for event in self.events:
+            if event.decoy.domain not in observed:
+                observed.add(event.decoy.domain)
+                seen.append(event.decoy.domain)
+        return seen
+
+
+class Correlator:
+    """Joins honeypot logs to the decoy ledger and classifies arrivals."""
+
+    def __init__(self, ledger: DecoyLedger, zone: str,
+                 codec: Optional[IdentifierCodec] = None):
+        self._ledger = ledger
+        self._zone = zone
+        self._codec = codec if codec is not None else IdentifierCodec()
+
+    def correlate(self, log: LogStore,
+                  phase: Optional[int] = None) -> CorrelationResult:
+        """Classify every logged request; optionally restrict to decoys of
+        one experiment phase."""
+        result = CorrelationResult()
+        for domain in log.domains():
+            record = self._ledger.lookup(domain)
+            if record is None:
+                result.unknown_domains.append(domain)
+                continue
+            if phase is not None and record.phase != phase:
+                continue
+            try:
+                self._codec.decode_domain(domain, self._zone)
+            except IdentifierError:
+                result.unknown_domains.append(domain)
+                continue
+            dns_arrivals = 0
+            for entry in log.for_domain(domain):
+                unsolicited = True
+                if entry.protocol == "dns" and record.protocol == "dns":
+                    dns_arrivals += 1
+                    if dns_arrivals == 1:
+                        # Rule (iii): the first DNS appearance of a DNS
+                        # decoy's name is the decoy itself recursing.
+                        result.initial_arrivals[domain] = entry
+                        unsolicited = False
+                if unsolicited:
+                    result.events.append(
+                        ShadowingEvent(
+                            decoy=record,
+                            request=entry,
+                            combo=self.combo_label(record.protocol, entry.protocol),
+                        )
+                    )
+        return result
+
+    @staticmethod
+    def combo_label(decoy_protocol: str, request_protocol: str) -> str:
+        try:
+            return f"{_DECOY_LABELS[decoy_protocol]}-{_REQUEST_LABELS[request_protocol]}"
+        except KeyError as exc:
+            raise ValueError(
+                f"unknown protocol pair ({decoy_protocol!r}, {request_protocol!r})"
+            ) from exc

@@ -1,0 +1,94 @@
+"""Decoy construction.
+
+A decoy is one protocol message carrying the experiment domain in its
+clear-text name field: QNAME for DNS, Host for HTTP, SNI for TLS.  The
+factory encodes full wire bytes so everything downstream (sniffers,
+resolvers, honeypots) parses real messages.
+"""
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.identifier import DecoyIdentity, IdentifierCodec
+from repro.net.packet import Packet
+from repro.protocols.dns import make_query
+from repro.protocols.http import make_get
+from repro.protocols.tls import ClientHello, wrap_handshake
+
+DECOY_PROTOCOLS = ("dns", "http", "tls")
+
+_DEFAULT_PORTS = {"dns": 53, "http": 80, "tls": 443}
+
+
+@dataclass(frozen=True)
+class Decoy:
+    """One decoy, ready to transit a path."""
+
+    identity: DecoyIdentity
+    protocol: str
+    domain: str
+    packet: Packet
+
+    def __post_init__(self):
+        if self.protocol not in DECOY_PROTOCOLS:
+            raise ValueError(f"unknown decoy protocol {self.protocol!r}")
+
+
+class DecoyFactory:
+    """Builds decoys for one experiment zone."""
+
+    def __init__(self, zone: str, rng: random.Random,
+                 codec: Optional[IdentifierCodec] = None):
+        self.zone = zone.rstrip(".").lower()
+        self._rng = rng
+        self.codec = codec if codec is not None else IdentifierCodec()
+        self.built = 0
+
+    def domain_for(self, identity: DecoyIdentity) -> str:
+        """The unique experiment domain embedding ``identity``."""
+        return f"{self.codec.encode(identity)}.{self.zone}"
+
+    def build(self, identity: DecoyIdentity, protocol: str,
+              src_port: Optional[int] = None) -> Decoy:
+        """Construct the decoy packet for ``identity`` over ``protocol``.
+
+        The IP destination is the identity's destination address and the
+        IP TTL is the identity's TTL, so Phase II probes are built through
+        the exact same code path with varied identities.
+        """
+        if protocol not in DECOY_PROTOCOLS:
+            raise ValueError(f"unknown decoy protocol {protocol!r}")
+        domain = self.domain_for(identity)
+        src_port = src_port if src_port is not None else self._rng.randrange(20000, 60000)
+        dst_port = _DEFAULT_PORTS[protocol]
+        identification = self._rng.randrange(0x10000)
+        if protocol == "dns":
+            payload = make_query(domain, txid=self._rng.randrange(0x10000)).encode()
+            packet = Packet.udp(
+                src=identity.vp_address, dst=identity.dst_address,
+                ttl=identity.ttl, src_port=src_port, dst_port=dst_port,
+                payload=payload, identification=identification,
+            )
+        elif protocol == "http":
+            payload = make_get(domain).encode()
+            packet = Packet.tcp(
+                src=identity.vp_address, dst=identity.dst_address,
+                ttl=identity.ttl, src_port=src_port, dst_port=dst_port,
+                payload=payload, identification=identification,
+            )
+        elif protocol == "tls":
+            hello = ClientHello(
+                server_name=domain,
+                random=bytes(self._rng.randrange(256) for _ in range(32)),
+            )
+            payload = wrap_handshake(hello.encode())
+            packet = Packet.tcp(
+                src=identity.vp_address, dst=identity.dst_address,
+                ttl=identity.ttl, src_port=src_port, dst_port=dst_port,
+                payload=payload, identification=identification,
+            )
+        else:
+            raise ValueError(f"unknown decoy protocol {protocol!r}")
+        self.built += 1
+        return Decoy(identity=identity, protocol=protocol, domain=domain, packet=packet)

@@ -1,0 +1,511 @@
+"""Instantiation of the simulated exhibitor ecosystem.
+
+This is where the paper's *findings* become the simulation's *ground
+truth*: per-resolver shadowing profiles (Section 5.1), on-path sniffer
+deployments in the named ASes (Tables 2/3, Section 5.2), destination web
+server behaviour, origin pools with their blocklist rates, and the DNS
+interception noise of Appendix E.  The measurement pipeline then has to
+*recover* these shapes from honeypot logs alone — that recovery is what
+the benchmarks compare against the paper.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import ExperimentConfig
+from repro.datasets.asns import synthetic_asn
+from repro.datasets.resolvers import (
+    ALL_DNS_DESTINATIONS,
+    DnsDestination,
+    RESOLVER_H_NAMES,
+)
+from repro.datasets.tranco import WebDestination, generate_web_destinations, sample_web_destinations
+from repro.honeypot.deployment import HoneypotDeployment
+from repro.intel.blocklist import Blocklist
+from repro.intel.directory import IpDirectory
+from repro.observers.exhibitor import GroundTruth, ShadowExhibitor, UnsolicitedEmitter
+from repro.observers.interceptor import DnsInterceptor
+from repro.observers.onpath import ObserverDeployment, SnifferSpec
+from repro.observers.policy import AddressAllocator, OriginGroup, OriginPool, ShadowPolicy
+from repro.observers.resolver import ResolverModel, ResolverProfile
+from repro.observers.webdest import WebDestinationBehavior, WebDestinationModel
+from repro.simkit.distributions import Empirical, LogNormal, Mixture, Uniform
+from repro.simkit.events import Simulator
+from repro.simkit.rng import RandomRouter
+from repro.simkit.units import DAY, HOUR, MINUTE
+from repro.topology.model import AnycastPresence, TopologyConfig, TopologyModel
+from repro.vpn.platform import VpnPlatform
+
+# Synthetic origin networks shared by several exhibitors.
+AS_SEC_PROXY_US = synthetic_asn(50_001)   # security-vendor probing proxies
+AS_SEC_PROXY_EU = synthetic_asn(50_002)
+AS_CN_CLOUD = synthetic_asn(50_003)       # CN cloud platform receiving resolver data
+AS_RU_CLOUD = synthetic_asn(50_004)
+AS_ALT_DNS = synthetic_asn(50_005)        # interceptors' alternative resolvers
+
+# Resolver operator networks (real where the paper names them).
+RESOLVER_ASNS: Dict[str, Tuple[int, str]] = {
+    "Yandex": (13238, "RU"),
+    "Google": (15169, "US"),
+    "Cloudflare": (13335, "US"),
+    "114DNS": (9808, "CN"),
+}
+
+
+def _resolver_asn(destination: DnsDestination) -> int:
+    if destination.name in RESOLVER_ASNS:
+        return RESOLVER_ASNS[destination.name][0]
+    return synthetic_asn(40_000 + sum(destination.name.encode()) % 4096)
+
+
+@dataclass
+class Ecosystem:
+    """Everything a campaign interacts with, fully wired."""
+
+    config: ExperimentConfig
+    router: RandomRouter
+    sim: Simulator
+    directory: IpDirectory
+    blocklist: Blocklist
+    deployment: HoneypotDeployment
+    ground_truth: GroundTruth
+    topology: TopologyModel
+    platform: VpnPlatform
+    emitter: UnsolicitedEmitter
+    exhibitors: Dict[str, ShadowExhibitor]
+    resolver_models: Dict[str, ResolverModel]
+    """Keyed by destination address."""
+    dns_destinations: Tuple[DnsDestination, ...]
+    web_pool: List[WebDestination]
+    web_destinations: List[WebDestination]
+    web_model: WebDestinationModel
+    observer_deployment: ObserverDeployment
+    allocator: AddressAllocator
+    interceptors: Dict[str, Optional[DnsInterceptor]]
+    """Per-router interception decision cache, keyed by router address."""
+    interceptor_router_fraction: float
+
+    def interceptor_at(self, hop_address: str) -> Optional[DnsInterceptor]:
+        """The interceptor at this router, deciding on first sight.
+
+        Interception devices sit at client-side access routers (the paper
+        cites residential-router hijacking); the campaign consults this for
+        the first hop of each path and for pair-resolver probes.
+        """
+        if hop_address in self.interceptors:
+            return self.interceptors[hop_address]
+        interceptor: Optional[DnsInterceptor] = None
+        rng = self.router.stream("interceptor.deploy")
+        if rng.random() < self.interceptor_router_fraction:
+            alt_address = self.allocator.allocate(f"altdns:{hop_address}")
+            self.directory.register(alt_address, AS_ALT_DNS, "??", role="alt-resolver")
+            interceptor = DnsInterceptor(
+                hop_address=hop_address,
+                alt_resolver_address=alt_address,
+                sim=self.sim,
+                deployment=self.deployment,
+                rng=self.router.stream(f"interceptor:{hop_address}"),
+            )
+        self.interceptors[hop_address] = interceptor
+        return interceptor
+
+
+def build_ecosystem(config: ExperimentConfig) -> Ecosystem:
+    """Construct the full simulated world for one experiment."""
+    router = RandomRouter(config.seed)
+    sim = Simulator()
+    directory = IpDirectory()
+    blocklist = Blocklist()
+    allocator = AddressAllocator()
+    deployment = HoneypotDeployment(zone=config.zone)
+    ground_truth = GroundTruth()
+    emitter = UnsolicitedEmitter(deployment, sim, router.stream("emitter"))
+
+    def pool(name: str, groups: List[OriginGroup]) -> OriginPool:
+        return OriginPool(
+            name=name,
+            groups=groups,
+            allocator=allocator,
+            directory=directory,
+            blocklist=blocklist,
+            rng=router.stream(f"pool:{name}"),
+        )
+
+    policies = _build_policies(pool)
+    exhibitors = {
+        name: ShadowExhibitor(
+            policy=policy,
+            sim=sim,
+            emitter=emitter,
+            rng=router.stream(f"exhibitor:{name}"),
+            ground_truth=ground_truth,
+        )
+        for name, policy in policies.items()
+    }
+
+    dns_destinations = ALL_DNS_DESTINATIONS
+    resolver_profiles = _build_resolver_profiles(dns_destinations, config)
+    resolver_models: Dict[str, ResolverModel] = {}
+    for profile in resolver_profiles:
+        asn = _resolver_asn(profile.destination)
+        directory.register(
+            profile.destination.address, asn, profile.destination.country, role="resolver"
+        )
+        egress = allocator.allocate(f"egress:{profile.destination.name}")
+        directory.register(egress, asn, profile.destination.country, role="resolver-egress")
+        exhibitor = (
+            exhibitors[profile.shadow_exhibitor]
+            if profile.shadow_exhibitor is not None
+            else None
+        )
+        resolver_models[profile.destination.address] = ResolverModel(
+            profile=profile,
+            sim=sim,
+            deployment=deployment,
+            exhibitor=exhibitor,
+            egress_address=egress,
+            rng=router.stream(f"resolver:{profile.destination.name}"),
+        )
+
+    # Synthetic Tranco pool and the sampled decoy targets.
+    web_pool = generate_web_destinations(router, site_count=config.web_site_count)
+    web_destinations = sample_web_destinations(router, web_pool, config.web_destination_count)
+    for destination in web_destinations:
+        directory.register(destination.address, destination.asn,
+                           destination.country, role="web")
+
+    topology = TopologyModel(router, _build_topology_config(web_destinations))
+
+    platform = VpnPlatform(router, vp_scale=config.vp_scale)
+    for vp in platform.vantage_points:
+        directory.register(vp.address, vp.asn, vp.country, role="vp")
+
+    web_model = WebDestinationModel(
+        behavior=WebDestinationBehavior(
+            tls_shadow_rate_by_country={"CN": 0.38, "AD": 0.50, "US": 0.24, "CA": 0.20},
+            http_shadow_rate_by_country={"CN": 0.04},
+            default_tls_rate=0.16,
+            default_http_rate=0.01,
+        ),
+        exhibitors_by_country={
+            "CN": exhibitors["dest.web.cn"],
+        },
+        default_exhibitor=exhibitors["dest.web.global"],
+        rng=router.stream("webdest"),
+    )
+
+    observer_deployment = ObserverDeployment(
+        specs=_build_sniffer_specs(),
+        exhibitors=exhibitors,
+        zone=config.zone,
+        rng=router.stream("sniffer.deploy"),
+    )
+
+    return Ecosystem(
+        config=config,
+        router=router,
+        sim=sim,
+        directory=directory,
+        blocklist=blocklist,
+        deployment=deployment,
+        ground_truth=ground_truth,
+        topology=topology,
+        platform=platform,
+        emitter=emitter,
+        exhibitors=exhibitors,
+        resolver_models=resolver_models,
+        dns_destinations=dns_destinations,
+        web_pool=web_pool,
+        web_destinations=web_destinations,
+        web_model=web_model,
+        observer_deployment=observer_deployment,
+        allocator=allocator,
+        interceptors={},
+        interceptor_router_fraction=(
+            config.interceptor_asn_fraction if config.interceptors_enabled else 0.0
+        ),
+    )
+
+
+def _build_policies(pool) -> Dict[str, ShadowPolicy]:
+    """The behavioural fingerprints of every exhibitor class."""
+
+    # Shared probing-proxy origin groups: the security-vendor proxies whose
+    # addresses hit IP blocklists (Section 5.1: 57% HTTP / 72% HTTPS).
+    def prober_groups(weight: float) -> List[OriginGroup]:
+        return [
+            OriginGroup(AS_SEC_PROXY_US, "US", weight * 0.6, blocklist_rate=0.57,
+                        protocols=("http",), address_count=16),
+            OriginGroup(AS_SEC_PROXY_EU, "DE", weight * 0.4, blocklist_rate=0.72,
+                        protocols=("https",), address_count=16),
+        ]
+
+    policies: Dict[str, ShadowPolicy] = {}
+
+    # -- Resolver_h destination exhibitors --------------------------------
+    policies["resolver.yandex"] = ShadowPolicy(
+        name="resolver.yandex",
+        delay=Mixture([
+            (0.18, Uniform(2 * HOUR, 20 * HOUR)),
+            (0.42, LogNormal(median=2 * DAY, sigma=0.7)),
+            (0.40, LogNormal(median=12 * DAY, sigma=0.35)),
+        ]),
+        uses=Empirical([(1, 2, 0.18), (3, 6, 0.57), (7, 12, 0.25)]),
+        protocol_weights={"dns": 0.82, "http": 0.11, "https": 0.07},
+        origin_pool=pool("yandex", [
+            OriginGroup(13238, "RU", 0.28, blocklist_rate=0.04, protocols=("dns",)),
+            OriginGroup(15169, "US", 0.27, blocklist_rate=0.02, protocols=("dns",)),
+            OriginGroup(AS_RU_CLOUD, "RU", 0.15, blocklist_rate=0.25, protocols=("dns",)),
+        ] + prober_groups(0.30)),
+        observe_probability=0.995,
+    )
+    policies["resolver.114dns"] = ShadowPolicy(
+        name="resolver.114dns",
+        delay=Mixture([
+            (0.25, Uniform(1 * HOUR, 12 * HOUR)),
+            (0.45, LogNormal(median=1.5 * DAY, sigma=0.6)),
+            (0.30, LogNormal(median=8 * DAY, sigma=0.4)),
+        ]),
+        uses=Empirical([(1, 2, 0.25), (3, 6, 0.55), (7, 10, 0.20)]),
+        protocol_weights={"dns": 0.80, "http": 0.12, "https": 0.08},
+        origin_pool=pool("114dns", [
+            OriginGroup(15169, "US", 0.30, blocklist_rate=0.03, protocols=("dns",)),
+            OriginGroup(4134, "CN", 0.22, blocklist_rate=0.08, protocols=("dns",)),
+            OriginGroup(9808, "CN", 0.22, blocklist_rate=0.05, protocols=("dns",)),
+            OriginGroup(AS_CN_CLOUD, "CN", 0.12, blocklist_rate=0.15, protocols=("dns",)),
+        ] + prober_groups(0.14)),
+        observe_probability=0.88,
+    )
+    policies["resolver.onedns"] = ShadowPolicy(
+        name="resolver.onedns",
+        delay=Mixture([
+            (0.45, LogNormal(median=1 * DAY, sigma=0.5)),
+            (0.55, LogNormal(median=4 * DAY, sigma=0.6)),
+        ]),
+        uses=Empirical([(1, 3, 0.6), (4, 7, 0.4)]),
+        protocol_weights={"dns": 0.85, "http": 0.10, "https": 0.05},
+        origin_pool=pool("onedns", [
+            OriginGroup(15169, "US", 0.4, blocklist_rate=0.03, protocols=("dns",)),
+            OriginGroup(AS_CN_CLOUD, "CN", 0.35, blocklist_rate=0.12, protocols=("dns",)),
+        ] + prober_groups(0.25)),
+        observe_probability=0.78,
+    )
+    policies["resolver.dnspai"] = ShadowPolicy(
+        name="resolver.dnspai",
+        delay=Mixture([
+            (0.4, LogNormal(median=1 * DAY, sigma=0.5)),
+            (0.6, LogNormal(median=5 * DAY, sigma=0.5)),
+        ]),
+        uses=Empirical([(1, 3, 0.7), (4, 6, 0.3)]),
+        protocol_weights={"dns": 0.88, "http": 0.08, "https": 0.04},
+        origin_pool=pool("dnspai", [
+            OriginGroup(15169, "US", 0.35, blocklist_rate=0.03, protocols=("dns",)),
+            OriginGroup(AS_CN_CLOUD, "CN", 0.40, blocklist_rate=0.12, protocols=("dns",)),
+        ] + prober_groups(0.25)),
+        observe_probability=0.72,
+    )
+    policies["resolver.vercara"] = ShadowPolicy(
+        name="resolver.vercara",
+        delay=LogNormal(median=6 * HOUR, sigma=0.8),
+        uses=Empirical([(1, 2, 0.7), (3, 5, 0.3)]),
+        protocol_weights={"dns": 1.0},
+        origin_pool=pool("vercara", [
+            OriginGroup(15169, "US", 0.5, blocklist_rate=0.03, protocols=("dns",)),
+            OriginGroup(AS_SEC_PROXY_US, "US", 0.5, blocklist_rate=0.10, protocols=("dns",)),
+        ]),
+        observe_probability=0.62,
+    )
+
+    # -- on-path exhibitors ------------------------------------------------
+    policies["onpath.chinanet"] = ShadowPolicy(
+        name="onpath.chinanet",
+        delay=Mixture([
+            (0.30, Uniform(30, 30 * MINUTE)),
+            (0.50, LogNormal(median=3 * HOUR, sigma=0.8)),
+            (0.20, LogNormal(median=1.5 * DAY, sigma=0.5)),
+        ]),
+        uses=Empirical([(1, 2, 0.6), (3, 5, 0.4)]),
+        protocol_weights={"http": 0.66, "https": 0.17, "dns": 0.17},
+        origin_pool=pool("chinanet", [
+            OriginGroup(4134, "CN", 0.45, blocklist_rate=0.45),
+            OriginGroup(140292, "CN", 0.30, blocklist_rate=0.50),
+            OriginGroup(AS_CN_CLOUD, "CN", 0.15, blocklist_rate=0.55),
+            OriginGroup(AS_SEC_PROXY_US, "US", 0.10, blocklist_rate=0.60,
+                        protocols=("https",)),
+        ]),
+        observe_probability=1.0,
+    )
+    policies["onpath.rogers"] = ShadowPolicy(
+        name="onpath.rogers",
+        delay=Uniform(60, 6 * HOUR),
+        uses=Empirical([(1, 2, 0.8), (3, 4, 0.2)]),
+        protocol_weights={"dns": 1.0},
+        origin_pool=pool("rogers", [
+            OriginGroup(29988, "CA", 1.0, blocklist_rate=0.10),
+        ]),
+        observe_probability=1.0,
+    )
+    policies["onpath.constantcontact"] = ShadowPolicy(
+        name="onpath.constantcontact",
+        delay=Uniform(120, 12 * HOUR),
+        uses=Empirical([(1, 2, 0.9), (3, 3, 0.1)]),
+        protocol_weights={"dns": 1.0},
+        origin_pool=pool("constantcontact", [
+            OriginGroup(40444, "US", 1.0, blocklist_rate=0.15),
+        ]),
+        observe_probability=1.0,
+    )
+    policies["onpath.dns.cloud"] = ShadowPolicy(
+        name="onpath.dns.cloud",
+        delay=Mixture([
+            (0.5, Uniform(5 * MINUTE, 2 * HOUR)),
+            (0.5, LogNormal(median=8 * HOUR, sigma=0.7)),
+        ]),
+        uses=Empirical([(1, 2, 0.7), (3, 5, 0.3)]),
+        protocol_weights={"dns": 0.7, "http": 0.2, "https": 0.1},
+        origin_pool=pool("dns.cloud", [
+            OriginGroup(203020, "IN", 0.35, blocklist_rate=0.30),
+            OriginGroup(21859, "US", 0.35, blocklist_rate=0.20),
+            OriginGroup(4808, "CN", 0.30, blocklist_rate=0.25),
+        ]),
+        observe_probability=1.0,
+    )
+
+    # -- destination web servers --------------------------------------------
+    policies["dest.web.cn"] = ShadowPolicy(
+        name="dest.web.cn",
+        delay=Mixture([
+            (0.35, LogNormal(median=6 * HOUR, sigma=0.8)),
+            (0.65, LogNormal(median=2 * DAY, sigma=0.6)),
+        ]),
+        uses=Empirical([(1, 2, 0.6), (3, 6, 0.4)]),
+        protocol_weights={"dns": 0.35, "http": 0.40, "https": 0.25},
+        origin_pool=pool("dest.cn", [
+            OriginGroup(4134, "CN", 0.4, blocklist_rate=0.45),
+            OriginGroup(AS_CN_CLOUD, "CN", 0.35, blocklist_rate=0.50),
+            OriginGroup(AS_SEC_PROXY_US, "US", 0.25, blocklist_rate=0.55,
+                        protocols=("http", "https")),
+        ]),
+        observe_probability=0.9,
+    )
+    policies["dest.web.global"] = ShadowPolicy(
+        name="dest.web.global",
+        delay=Mixture([
+            (0.4, LogNormal(median=10 * HOUR, sigma=0.9)),
+            (0.6, LogNormal(median=2.5 * DAY, sigma=0.5)),
+        ]),
+        uses=Empirical([(1, 2, 0.7), (3, 4, 0.3)]),
+        protocol_weights={"dns": 0.4, "http": 0.35, "https": 0.25},
+        origin_pool=pool("dest.global", [
+            OriginGroup(AS_SEC_PROXY_US, "US", 0.5, blocklist_rate=0.50),
+            OriginGroup(AS_SEC_PROXY_EU, "DE", 0.5, blocklist_rate=0.45),
+        ]),
+        observe_probability=0.9,
+    )
+    return policies
+
+
+def _build_resolver_profiles(
+    destinations: Tuple[DnsDestination, ...],
+    config: Optional[ExperimentConfig] = None,
+) -> List[ResolverProfile]:
+    """Per-destination DNS behaviour (Section 5.1 / Figure 5)."""
+    refresh_probability = 0.0
+    refresh_ttl = 3600.0
+    if config is not None and config.cache_refreshing_resolvers:
+        refresh_probability = 0.35
+        refresh_ttl = float(config.wildcard_record_ttl)
+    shadow_bindings: Dict[str, Tuple[str, Tuple[str, ...]]] = {
+        # name -> (exhibitor policy, shadowing instance countries)
+        "Yandex": ("resolver.yandex", ()),
+        "114DNS": ("resolver.114dns", ("CN",)),  # Case Study II: CN anycast only
+        "OneDNS": ("resolver.onedns", ()),
+        "DNSPAI": ("resolver.dnspai", ()),
+        "Vercara": ("resolver.vercara", ()),
+    }
+    profiles: List[ResolverProfile] = []
+    for destination in destinations:
+        if destination.kind in ("root", "tld"):
+            profiles.append(ResolverProfile(
+                destination=destination, asn=_resolver_asn(destination),
+                recursive=False,
+            ))
+            continue
+        if destination.kind == "self-built":
+            profiles.append(ResolverProfile(
+                destination=destination, asn=_resolver_asn(destination),
+                recursive=True, retry_probability=0.0,
+            ))
+            continue
+        binding = shadow_bindings.get(destination.name)
+        profiles.append(ResolverProfile(
+            destination=destination,
+            asn=_resolver_asn(destination),
+            recursive=True,
+            # Benign sub-minute retries: the DNS-DNS spike of Figure 4.
+            retry_probability=0.45 if binding is None else 0.25,
+            retry_count=(1, 3),
+            retry_window=50.0,
+            shadow_exhibitor=binding[0] if binding else None,
+            shadow_countries=binding[1] if binding else (),
+            cache_refresh_probability=refresh_probability,
+            cache_refresh_ttl=refresh_ttl,
+        ))
+    return profiles
+
+
+def _build_sniffer_specs() -> List[SnifferSpec]:
+    """On-path DPI deployment (Tables 2/3, Section 5.2)."""
+    return [
+        # Chinanet backbone: the dominant HTTP/TLS observer network.  A
+        # smaller share of its DPI boxes parse TLS handshakes, keeping the
+        # on-path share of TLS observers below the destination share
+        # (Table 2: TLS is 65% at destination, 26% mid-path).
+        # Deployment densities are tuned so that, like the paper's Figure 3,
+        # well under 10-15% of HTTP/TLS client-server paths cross a DPI box
+        # while Chinanet still dominates the observer population (Table 3).
+        SnifferSpec(4134, 0.08, ("http", "tls"), "onpath.chinanet"),
+        SnifferSpec(4134, 0.08, ("http",), "onpath.chinanet"),
+        SnifferSpec(23650, 0.08, ("tls",), "onpath.chinanet"),
+        SnifferSpec(4812, 0.07, ("tls",), "onpath.chinanet"),
+        # Provincial access networks hosting HTTP DPI.
+        SnifferSpec(58563, 0.10, ("http",), "onpath.chinanet"),
+        SnifferSpec(137697, 0.09, ("http",), "onpath.chinanet"),
+        SnifferSpec(140292, 0.09, ("http",), "onpath.chinanet"),
+        # North-American observers that only re-query DNS.
+        SnifferSpec(40444, 0.15, ("http",), "onpath.constantcontact"),
+        SnifferSpec(29988, 0.15, ("http",), "onpath.rogers"),
+        # The few DNS wire observers (cloud/ISP upstreams of resolvers).
+        # Table 2 finds 99.7% of DNS shadowing at the destination, so these
+        # deployments stay sparse.
+        SnifferSpec(203020, 0.15, ("dns",), "onpath.dns.cloud"),
+        SnifferSpec(21859, 0.15, ("dns",), "onpath.dns.cloud"),
+        SnifferSpec(4808, 0.12, ("dns",), "onpath.dns.cloud"),
+    ]
+
+
+def _build_topology_config(web_destinations: List[WebDestination]) -> TopologyConfig:
+    """Topology knobs: anycast presence, named backbones, upstream overrides."""
+    anycast_presence = {
+        "114DNS": AnycastPresence(home="CN", countries=("CN", "US")),
+        "Cloudflare": AnycastPresence(home="US", countries=("US", "DE", "SG", "JP", "GB")),
+        "Google": AnycastPresence(home="US", countries=("US", "DE", "SG", "JP", "BR")),
+        "OpenDNS": AnycastPresence(home="US", countries=("US", "DE", "SG")),
+        "Quad9": AnycastPresence(home="US", countries=("US", "DE", "SG", "GB")),
+    }
+    upstream_overrides: Dict[str, int] = {
+        # DNS destinations fronted by the named cloud/ISP networks where the
+        # paper's few on-path DNS observers live (Table 3, DNS rows).
+        "119.29.29.29": 4808,       # DNSPod behind Unicom Beijing upstream
+        "216.146.35.35": 21859,     # Oracle Dyn behind Zenlayer
+        "217.160.166.161": 203020,  # OpenNIC behind HostRoyale
+    }
+    # A slice of US web destinations sits behind Constant Contact.
+    for destination in web_destinations:
+        if destination.country == "US" and destination.rank % 7 == 0:
+            upstream_overrides[destination.address] = 40444
+    return TopologyConfig(
+        anycast_presence=anycast_presence,
+        named_backbones={"CA": (29988,)},
+        upstream_as_overrides=upstream_overrides,
+    )

@@ -1,0 +1,154 @@
+"""End-to-end experiment orchestration.
+
+``Experiment(config).run()`` executes the whole paper pipeline:
+
+1. build the simulated world (:mod:`repro.core.ecosystem`),
+2. vet the VPN platform and run Phase I (:mod:`repro.core.campaign`),
+3. correlate honeypot logs and classify unsolicited requests,
+4. sample problematic paths and run Phase II tracerouting,
+5. locate observers from minimal trigger TTLs and ICMP reporters.
+
+The returned :class:`ExperimentResult` is the single input every analysis
+and benchmark consumes.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.campaign import Campaign, PathInfo
+from repro.core.config import ExperimentConfig
+from repro.core.correlate import CorrelationResult, Correlator, DecoyLedger
+from repro.core.ecosystem import Ecosystem, build_ecosystem
+from repro.core.phase2 import HopByHopTracer, ObserverLocation
+from repro.honeypot.logstore import LogStore
+from repro.vpn.vetting import VettingReport
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment run produced."""
+
+    config: ExperimentConfig
+    eco: Ecosystem
+    campaign: Campaign
+    phase1: CorrelationResult
+    phase2: CorrelationResult
+    locations: List[ObserverLocation]
+    vetting: VettingReport
+    timings: Dict[str, float] = None
+    """Wall-clock seconds per stage ("phase1", "phase2", "correlate") and
+    the virtual campaign span ("virtual_span")."""
+
+    @property
+    def ledger(self) -> DecoyLedger:
+        return self.campaign.ledger
+
+    @property
+    def log(self) -> LogStore:
+        return self.eco.deployment.log
+
+    def problematic_path_keys(self) -> List[Tuple[str, str, str]]:
+        """Distinct (vp_id, destination address, decoy protocol) triples
+        whose Phase I decoys triggered unsolicited requests."""
+        seen = set()
+        ordered = []
+        for event in self.phase1.events:
+            key = (event.decoy.vp_id, event.decoy.destination_address,
+                   event.decoy.protocol)
+            if key not in seen:
+                seen.add(key)
+                ordered.append(key)
+        return ordered
+
+
+class Experiment:
+    """Orchestrates one full run."""
+
+    def __init__(self, config: Optional[ExperimentConfig] = None):
+        self.config = config if config is not None else ExperimentConfig()
+
+    def run(self) -> ExperimentResult:
+        import time as _time
+
+        timings: Dict[str, float] = {}
+        started = _time.perf_counter()
+        eco = build_ecosystem(self.config)
+        timings["build"] = _time.perf_counter() - started
+
+        stage = _time.perf_counter()
+        campaign = Campaign(eco)
+        campaign.run_phase1()
+        timings["phase1"] = _time.perf_counter() - stage
+
+        correlator = Correlator(campaign.ledger, zone=self.config.zone)
+        phase1 = correlator.correlate(eco.deployment.log, phase=1)
+
+        stage = _time.perf_counter()
+        tracer = HopByHopTracer(campaign)
+        self._schedule_phase2(campaign, phase1, tracer)
+        eco.sim.run(until=eco.sim.now() + self.config.phase2_observation_window)
+        timings["phase2"] = _time.perf_counter() - stage
+
+        # Exhibitors schedule unsolicited requests days out, so Phase I
+        # decoys keep drawing traffic during the Phase II window; the final
+        # correlation pass covers the complete log, as the paper's offline
+        # analysis does.
+        stage = _time.perf_counter()
+        phase1 = correlator.correlate(eco.deployment.log, phase=1)
+        phase2 = correlator.correlate(eco.deployment.log, phase=2)
+        locations = tracer.locate(phase2)
+        timings["correlate"] = _time.perf_counter() - stage
+        timings["total"] = _time.perf_counter() - started
+        timings["virtual_span"] = eco.sim.now()
+        campaign.close_capture()
+        return ExperimentResult(
+            config=self.config,
+            eco=eco,
+            campaign=campaign,
+            phase1=phase1,
+            phase2=phase2,
+            locations=locations,
+            vetting=campaign.vetting,
+            timings=timings,
+        )
+
+    def _schedule_phase2(self, campaign: Campaign, phase1: CorrelationResult,
+                         tracer: HopByHopTracer) -> None:
+        """Sample problematic paths per destination and queue traceroutes."""
+        eco = campaign.eco
+        destinations_by_address: Dict[str, object] = {
+            destination.address: destination
+            for destination in eco.dns_destinations
+        }
+        for destination in eco.web_destinations:
+            destinations_by_address[destination.address] = destination
+
+        per_destination: Dict[Tuple[str, str], int] = {}
+        scheduled = set()
+        for event in phase1.events:
+            decoy = event.decoy
+            key = (decoy.vp_id, decoy.destination_address, decoy.protocol)
+            if key in scheduled:
+                continue
+            quota_key = (decoy.destination_address, decoy.protocol)
+            count = per_destination.get(quota_key, 0)
+            if count >= self.config.phase2_paths_per_destination:
+                continue
+            destination = destinations_by_address.get(decoy.destination_address)
+            if destination is None:
+                continue
+            vp = next(
+                (vp for vp in eco.platform.vantage_points if vp.vp_id == decoy.vp_id),
+                None,
+            )
+            if vp is None:
+                continue
+            info = campaign.path_info(
+                vp, decoy.destination_address,
+                destination_asn=eco.directory.asn_of(decoy.destination_address) or 0,
+                destination_country=decoy.destination_country,
+                service_name=decoy.destination_name,
+            )
+            tracer.schedule_traceroute(info, decoy.protocol, destination)
+            scheduled.add(key)
+            per_destination[quota_key] = count + 1

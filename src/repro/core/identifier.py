@@ -1,0 +1,125 @@
+"""Decoy identifier codec.
+
+Section 3: each decoy embeds a unique domain of the form::
+
+    g6d8jjkut5obc4-9982 . www.experiment.domain
+    \\__________________/
+     identifier string (time, IP, TTL)
+
+The identifier must survive a round trip through arbitrary third parties
+(resolver logs, DPI extractors, probing proxies) and come back decodable,
+so it is a single DNS label: base32 over a fixed binary layout plus a
+checksum, then ``-<sequence>``.  Layout (15 bytes before base32):
+
+    time-offset  u32   seconds since campaign epoch
+    vp address   u32
+    dst address  u32
+    initial TTL  u8    (varies during Phase II tracerouting)
+    checksum     u16   CRC-16/CCITT over the first 13 bytes
+
+24 base32 characters + ``-`` + sequence stays well under the 63-byte
+label limit.
+"""
+
+import base64
+import struct
+from dataclasses import dataclass
+
+from repro.net.addr import ip_from_int, ip_to_int
+
+
+class IdentifierError(ValueError):
+    """Raised for labels that do not decode to a valid identity."""
+
+
+def crc16_ccitt(data: bytes) -> int:
+    """CRC-16/CCITT-FALSE — compact integrity check for identifiers."""
+    crc = 0xFFFF
+    for byte in data:
+        crc ^= byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ 0x1021) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+    return crc
+
+
+@dataclass(frozen=True)
+class DecoyIdentity:
+    """Everything a decoy's identifier encodes."""
+
+    sent_at: int
+    """Virtual seconds since campaign epoch (truncated to whole seconds)."""
+    vp_address: str
+    dst_address: str
+    ttl: int
+    sequence: int
+    """Distinguishes decoys sharing (time, VP, destination, TTL)."""
+
+    def __post_init__(self):
+        if not 0 <= self.sent_at <= 0xFFFFFFFF:
+            raise IdentifierError(f"sent_at out of range: {self.sent_at}")
+        if not 0 <= self.ttl <= 255:
+            raise IdentifierError(f"ttl out of range: {self.ttl}")
+        if not 0 <= self.sequence <= 9999:
+            raise IdentifierError(f"sequence out of range: {self.sequence}")
+
+
+class IdentifierCodec:
+    """Encodes identities into DNS labels and back."""
+
+    def encode(self, identity: DecoyIdentity) -> str:
+        packed = struct.pack(
+            "!III B",
+            identity.sent_at,
+            ip_to_int(identity.vp_address),
+            ip_to_int(identity.dst_address),
+            identity.ttl,
+        )
+        packed += struct.pack("!H", crc16_ccitt(packed))
+        token = base64.b32encode(packed).decode("ascii").lower().rstrip("=")
+        return f"{token}-{identity.sequence:04d}"
+
+    def decode(self, label: str) -> DecoyIdentity:
+        """Parse one label back into an identity.
+
+        Raises :class:`IdentifierError` for anything that is not a genuine
+        experiment identifier — corrupted, truncated, or foreign labels.
+        """
+        token, separator, sequence_text = label.partition("-")
+        if not separator or not sequence_text.isdigit():
+            raise IdentifierError(f"label has no sequence suffix: {label!r}")
+        padding = "=" * (-len(token) % 8)
+        try:
+            packed = base64.b32decode(token.upper() + padding)
+        except Exception as exc:
+            raise IdentifierError(f"label is not base32: {label!r}") from exc
+        if len(packed) != 15:
+            raise IdentifierError(
+                f"identifier payload must be 15 bytes, got {len(packed)}"
+            )
+        body, checksum_bytes = packed[:13], packed[13:]
+        (expected,) = struct.unpack("!H", checksum_bytes)
+        if crc16_ccitt(body) != expected:
+            raise IdentifierError(f"identifier checksum mismatch in {label!r}")
+        sent_at, vp_int, dst_int, ttl = struct.unpack("!III B", body)
+        return DecoyIdentity(
+            sent_at=sent_at,
+            vp_address=ip_from_int(vp_int),
+            dst_address=ip_from_int(dst_int),
+            ttl=ttl,
+            sequence=int(sequence_text),
+        )
+
+    def decode_domain(self, domain: str, zone: str) -> DecoyIdentity:
+        """Decode the identity from a full experiment domain."""
+        domain = domain.rstrip(".").lower()
+        zone = zone.rstrip(".").lower()
+        if not domain.endswith("." + zone):
+            raise IdentifierError(f"{domain!r} is not under zone {zone!r}")
+        label = domain[: -(len(zone) + 1)]
+        if "." in label:
+            # Identifier must be the leftmost (only) extra label.
+            label = label.split(".")[0]
+        return self.decode(label)

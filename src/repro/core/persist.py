@@ -1,0 +1,177 @@
+"""Persistence: export a finished experiment to JSONL and reload it.
+
+A field deployment of this methodology accumulates honeypot logs for
+months and analyzes them offline; this module provides the same workflow
+for simulated campaigns.  ``export_result`` writes a directory bundle
+(ledger, honeypot log, correlated events, observer locations, IP
+directory, blocklist, metadata) and ``load_bundle`` reconstructs typed
+objects that every function in :mod:`repro.analysis` accepts.
+"""
+
+import dataclasses
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.core.correlate import (
+    CorrelationResult,
+    Correlator,
+    DecoyLedger,
+    DecoyRecord,
+    ShadowingEvent,
+)
+from repro.core.experiment import ExperimentResult
+from repro.core.identifier import DecoyIdentity
+from repro.core.phase2 import ObserverLocation
+from repro.honeypot.logstore import LoggedRequest, LogStore
+from repro.intel.blocklist import Blocklist
+from repro.intel.directory import IpDirectory
+
+BUNDLE_FORMAT_VERSION = 1
+
+_PATHS = {
+    "meta": "meta.json",
+    "ledger": "ledger.jsonl",
+    "log": "honeypot_log.jsonl",
+    "events": "events.jsonl",
+    "locations": "locations.jsonl",
+    "directory": "ip_directory.jsonl",
+    "blocklist": "blocklist.txt",
+}
+
+
+@dataclass
+class AnalysisBundle:
+    """Everything the analysis layer needs, reloaded from disk."""
+
+    meta: Dict
+    ledger: DecoyLedger
+    log: LogStore
+    phase1: CorrelationResult
+    phase2: CorrelationResult
+    locations: List[ObserverLocation]
+    directory: IpDirectory
+    blocklist: Blocklist
+
+
+def _write_jsonl(path: pathlib.Path, rows) -> None:
+    with path.open("w") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, sort_keys=True) + "\n")
+
+
+def _read_jsonl(path: pathlib.Path):
+    with path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def export_result(result: ExperimentResult, directory: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write the full bundle; returns the bundle directory."""
+    out = pathlib.Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+
+    config = dataclasses.asdict(result.config)
+    meta = {
+        "format_version": BUNDLE_FORMAT_VERSION,
+        "config": config,
+        "vantage_points": len(result.eco.platform),
+        "decoys": len(result.ledger),
+        "log_entries": len(result.log),
+        "phase1_events": len(result.phase1.events),
+        "phase2_events": len(result.phase2.events),
+        "locations": len(result.locations),
+        "timings": result.timings or {},
+    }
+    (out / _PATHS["meta"]).write_text(json.dumps(meta, indent=2, sort_keys=True))
+
+    _write_jsonl(out / _PATHS["ledger"], (
+        {
+            "identity": dataclasses.asdict(record.identity),
+            **{key: value for key, value in dataclasses.asdict(record).items()
+               if key != "identity"},
+        }
+        for record in result.ledger.records()
+    ))
+    _write_jsonl(out / _PATHS["log"],
+                 (dataclasses.asdict(entry) for entry in result.log))
+    _write_jsonl(out / _PATHS["locations"],
+                 (dataclasses.asdict(location) for location in result.locations))
+    _write_jsonl(out / _PATHS["directory"], (
+        dataclasses.asdict(record) for record in result.eco.directory
+    ))
+    listed = sorted(
+        record.address for record in result.eco.directory
+        if record.address in result.eco.blocklist
+    )
+    (out / _PATHS["blocklist"]).write_text("\n".join(listed) + ("\n" if listed else ""))
+    # Events are re-derivable from ledger + log, so they are stored only
+    # as a consistency cross-check.
+    _write_jsonl(out / _PATHS["events"], (
+        {"domain": event.decoy.domain, "time": event.request.time,
+         "protocol": event.request.protocol, "combo": event.combo,
+         "origin": event.origin_address, "phase": event.decoy.phase}
+        for event in list(result.phase1.events) + list(result.phase2.events)
+    ))
+    return out
+
+
+def load_bundle(directory: Union[str, pathlib.Path]) -> AnalysisBundle:
+    """Reload a bundle and re-run correlation over the stored log."""
+    src = pathlib.Path(directory)
+    meta = json.loads((src / _PATHS["meta"]).read_text())
+    if meta.get("format_version") != BUNDLE_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported bundle format {meta.get('format_version')!r}"
+        )
+
+    ledger = DecoyLedger()
+    for row in _read_jsonl(src / _PATHS["ledger"]):
+        identity = DecoyIdentity(**row.pop("identity"))
+        ledger.register(DecoyRecord(identity=identity, **row))
+
+    log = LogStore()
+    for row in _read_jsonl(src / _PATHS["log"]):
+        log.append(LoggedRequest(**row))
+
+    locations = [
+        ObserverLocation(**row) for row in _read_jsonl(src / _PATHS["locations"])
+    ]
+
+    directory_obj = IpDirectory()
+    for row in _read_jsonl(src / _PATHS["directory"]):
+        directory_obj.register(**row)
+
+    blocklist = Blocklist()
+    blocklist_path = src / _PATHS["blocklist"]
+    if blocklist_path.exists():
+        for line in blocklist_path.read_text().splitlines():
+            if line.strip():
+                blocklist.add(line.strip())
+
+    zone = meta["config"]["zone"]
+    correlator = Correlator(ledger, zone=zone)
+    phase1 = correlator.correlate(log, phase=1)
+    phase2 = correlator.correlate(log, phase=2)
+
+    stored_events = sum(1 for _ in _read_jsonl(src / _PATHS["events"]))
+    recomputed = len(phase1.events) + len(phase2.events)
+    if stored_events != recomputed:
+        raise ValueError(
+            f"bundle inconsistent: stored {stored_events} events, "
+            f"recomputed {recomputed}"
+        )
+
+    return AnalysisBundle(
+        meta=meta,
+        ledger=ledger,
+        log=log,
+        phase1=phase1,
+        phase2=phase2,
+        locations=locations,
+        directory=directory_obj,
+        blocklist=blocklist,
+    )

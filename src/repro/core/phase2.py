@@ -1,0 +1,149 @@
+"""Phase II: locating on-path traffic observers hop by hop.
+
+For each problematic path, the tracer re-sends the decoy with initial TTL
+1..path-length (each TTL yields a fresh identifier, hence a fresh unique
+domain).  After the observation window, the smallest TTL whose probe
+triggered unsolicited requests gives the observer's hop distance from the
+VP; the ICMP Time-Exceeded message returned for that TTL reveals the
+observer's address.  HTTP/TLS probes are sent without a prior TCP
+handshake (Section 3: holding connections open for 64 TTL steps would
+burden the destination servers).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.campaign import Campaign, PathInfo
+from repro.core.correlate import CorrelationResult, Correlator
+from repro.topology.model import TopologyModel
+
+
+@dataclass
+class TracerouteProbeSet:
+    """All probes sent down one problematic path."""
+
+    info: PathInfo
+    protocol: str
+    destination: object
+    domains_by_ttl: Dict[int, str] = field(default_factory=dict)
+    icmp_reporters: Dict[int, str] = field(default_factory=dict)
+    """TTL -> address that returned Time-Exceeded for that probe."""
+
+
+@dataclass
+class ObserverLocation:
+    """Phase II verdict for one problematic path."""
+
+    vp_id: str
+    vp_country: str
+    destination_address: str
+    destination_name: str
+    protocol: str
+    path_length: int
+    trigger_ttl: Optional[int]
+    """Smallest initial TTL whose probe triggered unsolicited requests;
+    None when no probe triggered within the window."""
+    observer_address: Optional[str]
+    """ICMP-revealed address of the observer hop (None at destination or
+    when the hop is ICMP-silent)."""
+    observer_asn: Optional[int]
+    observer_country: Optional[str]
+
+    @property
+    def located(self) -> bool:
+        return self.trigger_ttl is not None
+
+    @property
+    def at_destination(self) -> bool:
+        return self.trigger_ttl is not None and self.trigger_ttl >= self.path_length
+
+    def normalized_hop(self) -> Optional[int]:
+        if self.trigger_ttl is None:
+            return None
+        position = min(self.trigger_ttl, self.path_length)
+        return TopologyModel.normalized_hop(position, self.path_length)
+
+
+class HopByHopTracer:
+    """Runs Phase II over a set of problematic paths."""
+
+    def __init__(self, campaign: Campaign):
+        self.campaign = campaign
+        self.eco = campaign.eco
+        self.probe_sets: List[TracerouteProbeSet] = []
+
+    def schedule_traceroute(self, info: PathInfo, protocol: str,
+                            destination: object) -> TracerouteProbeSet:
+        """Queue probes with TTL 1..path-length for one path.
+
+        Initial TTLs beyond the path length behave identically to
+        TTL = path length (the decoy is simply delivered), so probing the
+        full 1..64 range of the paper adds no information in simulation;
+        the configured ``phase2_max_ttl`` still caps pathological paths.
+        """
+        sim = self.eco.sim
+        probe_set = TracerouteProbeSet(info=info, protocol=protocol,
+                                       destination=destination)
+        max_ttl = min(info.path.length, self.campaign.config.phase2_max_ttl)
+        send_time = sim.now()
+        for ttl in range(1, max_ttl + 1):
+            sim.schedule_at(
+                send_time,
+                lambda ttl=ttl, probe_set=probe_set: self._send_probe(probe_set, ttl),
+                label=f"traceroute:{protocol}",
+            )
+            send_time += self.campaign.config.send_spacing
+        self.probe_sets.append(probe_set)
+        return probe_set
+
+    def _send_probe(self, probe_set: TracerouteProbeSet, ttl: int) -> None:
+        outcome = self.campaign.send_decoy(
+            probe_set.info, probe_set.protocol, ttl=ttl, phase=2,
+            destination=probe_set.destination,
+        )
+        probe_set.domains_by_ttl[ttl] = outcome.record.domain
+        if outcome.transit.icmp is not None:
+            probe_set.icmp_reporters[ttl] = outcome.transit.icmp.reporter
+
+    def locate(self, correlation: CorrelationResult) -> List[ObserverLocation]:
+        """Resolve each probe set to an observer location.
+
+        ``correlation`` must come from correlating the full log against
+        the campaign ledger (phase=2): a probe "triggered" when at least
+        one unsolicited request bears its domain.
+        """
+        triggered_domains = {event.decoy.domain for event in correlation.events}
+        locations: List[ObserverLocation] = []
+        for probe_set in self.probe_sets:
+            info = probe_set.info
+            trigger_ttl: Optional[int] = None
+            for ttl in sorted(probe_set.domains_by_ttl):
+                if probe_set.domains_by_ttl[ttl] in triggered_domains:
+                    trigger_ttl = ttl
+                    break
+            observer_address: Optional[str] = None
+            observer_asn: Optional[int] = None
+            observer_country: Optional[str] = None
+            if trigger_ttl is not None and trigger_ttl < info.path.length:
+                observer_address = probe_set.icmp_reporters.get(trigger_ttl)
+                if observer_address is not None:
+                    hop = info.path.hop_at(trigger_ttl)
+                    observer_asn = hop.asn
+                    observer_country = hop.country
+            destination = probe_set.destination
+            locations.append(
+                ObserverLocation(
+                    vp_id=info.vp.vp_id,
+                    vp_country=info.vp.country,
+                    destination_address=info.destination_address,
+                    destination_name=getattr(destination, "name",
+                                             getattr(destination, "site", "")),
+                    protocol=probe_set.protocol,
+                    path_length=info.path.length,
+                    trigger_ttl=trigger_ttl,
+                    observer_address=observer_address,
+                    observer_asn=observer_asn,
+                    observer_country=observer_country,
+                )
+            )
+        return locations

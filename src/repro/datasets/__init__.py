@@ -1,0 +1,11 @@
+"""Embedded datasets from the paper's appendices.
+
+* :mod:`repro.datasets.resolvers` — Table 4: the 36 DNS destinations.
+* :mod:`repro.datasets.providers` — Table 5: the 19 VPN providers.
+* :mod:`repro.datasets.countries` — country / CN-province seeds matching
+  Table 1's coverage (82 countries, 30 of 31 provinces).
+* :mod:`repro.datasets.asns` — autonomous systems named in the paper plus
+  synthetic fillers.
+* :mod:`repro.datasets.tranco` — synthetic stand-in for the Tranco top-1K
+  destination pool (2,325 IPs in 234 ASes in the paper, scaled here).
+"""

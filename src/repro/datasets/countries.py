@@ -1,0 +1,50 @@
+"""Country and CN-province seeds matching Table 1's coverage.
+
+The platform recruits VPs in 82 countries (global phase) plus 30 of 31
+mainland-China provinces.  The lists below seed the synthetic topology;
+weights skew VP placement toward countries where commercial datacenter
+VPNs actually concentrate.
+"""
+
+from typing import Dict, Tuple
+
+# 81 countries of the global phase (CN enters via the China phase, making
+# 82 total as in Table 1).
+GLOBAL_COUNTRIES: Tuple[str, ...] = (
+    "US", "DE", "GB", "FR", "NL", "CA", "JP", "SG", "AU", "BR",
+    "IN", "RU", "KR", "SE", "CH", "ES", "IT", "PL", "TR", "MX",
+    "AR", "CL", "CO", "PE", "ZA", "EG", "NG", "KE", "MA", "IL",
+    "AE", "SA", "QA", "TH", "VN", "MY", "ID", "PH", "TW", "HK",
+    "NZ", "NO", "DK", "FI", "IE", "PT", "GR", "CZ", "AT", "BE",
+    "HU", "RO", "BG", "RS", "UA", "KZ", "GE", "AM", "AZ", "PK",
+    "BD", "LK", "NP", "MM", "KH", "LA", "MN", "UZ", "IS", "LU",
+    "MT", "CY", "EE", "LV", "LT", "SK", "SI", "HR", "AD", "MD",
+    "AL",
+)
+
+CN = "CN"
+
+ALL_COUNTRIES: Tuple[str, ...] = GLOBAL_COUNTRIES + (CN,)
+
+# 30 of 31 mainland provinces (Table 1 note).
+CN_PROVINCES: Tuple[str, ...] = (
+    "Beijing", "Shanghai", "Tianjin", "Chongqing", "Hebei", "Shanxi",
+    "Liaoning", "Jilin", "Heilongjiang", "Jiangsu", "Zhejiang", "Anhui",
+    "Fujian", "Jiangxi", "Shandong", "Henan", "Hubei", "Hunan",
+    "Guangdong", "Hainan", "Sichuan", "Guizhou", "Yunnan", "Shaanxi",
+    "Gansu", "Qinghai", "Guangxi", "InnerMongolia", "Ningxia", "Xinjiang",
+)
+
+# Relative VP-placement weight per global country: hubs where datacenter
+# VPN providers concentrate get more vantage points.
+COUNTRY_WEIGHTS: Dict[str, int] = {
+    "US": 12, "DE": 8, "GB": 7, "NL": 7, "FR": 6, "CA": 5, "JP": 5,
+    "SG": 5, "AU": 4, "RU": 4, "BR": 3, "IN": 3, "KR": 3, "SE": 3,
+    "CH": 3, "ES": 3, "IT": 3, "PL": 3, "HK": 3, "TW": 2,
+}
+_DEFAULT_WEIGHT = 1
+
+
+def country_weight(country: str) -> int:
+    """Relative share of global-phase VPs placed in ``country``."""
+    return COUNTRY_WEIGHTS.get(country, _DEFAULT_WEIGHT)

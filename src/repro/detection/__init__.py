@@ -1,0 +1,14 @@
+"""ISP-side shadowing detection (the paper's Section 6 recommendation).
+
+"We believe ISPs should learn about the risks of traffic shadowing and
+establish detection mechanisms to find unknown traffic shadowing
+exhibitors residing in their networks."
+
+:mod:`repro.detection.canary` turns the paper's own methodology inward:
+an operator routes canary traffic through each router it owns and watches
+a canary zone for re-appearance, localizing DPI boxes to the device.
+"""
+
+from repro.detection.canary import CanaryReport, CanaryVerdict, IspCanaryDetector
+
+__all__ = ["IspCanaryDetector", "CanaryReport", "CanaryVerdict"]

@@ -1,0 +1,24 @@
+"""Honeypot infrastructure (Section 3).
+
+Wildcard DNS for the experiment domain resolves every decoy name to honey
+web servers in three locations (US, DE, SG); the authoritative DNS server,
+honey website, and TLS sink all append to a unified
+:class:`~repro.honeypot.logstore.LogStore`, the sole input of the
+correlation stage.
+"""
+
+from repro.honeypot.authdns import AuthoritativeServer
+from repro.honeypot.deployment import HoneypotDeployment, HoneypotSite
+from repro.honeypot.logstore import LoggedRequest, LogStore
+from repro.honeypot.tlsserver import HoneyTlsServer
+from repro.honeypot.webserver import HoneyWebServer
+
+__all__ = [
+    "LogStore",
+    "LoggedRequest",
+    "AuthoritativeServer",
+    "HoneyWebServer",
+    "HoneyTlsServer",
+    "HoneypotDeployment",
+    "HoneypotSite",
+]

@@ -1,0 +1,91 @@
+"""Authoritative DNS server for the experiment zone.
+
+Configured with a wildcard A record (TTL 3,600 per Section 3) resolving
+every name under the experiment domain to the honey web servers.  Every
+query is logged: the initial decoy's recursive lookup *and* any later
+unsolicited re-queries both land here, which is what makes rule (iii) of
+the unsolicited classifier decidable.
+"""
+
+from typing import Optional, Sequence
+
+from repro.honeypot.logstore import LoggedRequest, LogStore, PROTOCOL_DNS
+from repro.protocols.dns import (
+    DnsMessage,
+    QTYPE,
+    RCODE,
+    ResourceRecord,
+    is_subdomain_of,
+    make_response,
+    normalize_name,
+)
+
+WILDCARD_RECORD_TTL = 3600
+
+
+class AuthoritativeServer:
+    """The honeypot-side authoritative server for one experiment zone."""
+
+    def __init__(
+        self,
+        zone: str,
+        web_addresses: Sequence[str],
+        log: LogStore,
+        site: str,
+        record_ttl: int = WILDCARD_RECORD_TTL,
+    ):
+        if not web_addresses:
+            raise ValueError("need at least one honey web address")
+        self.zone = normalize_name(zone)
+        self.web_addresses = tuple(web_addresses)
+        self.record_ttl = record_ttl
+        self._log = log
+        self.site = site
+        self.queries_served = 0
+        self.refused = 0
+
+    def covers(self, name: str) -> bool:
+        """True when ``name`` falls inside the experiment zone."""
+        return is_subdomain_of(name, self.zone)
+
+    def resolve_address(self, name: str) -> str:
+        """Wildcard resolution: deterministic honey web address per name."""
+        index = sum(name.encode()) % len(self.web_addresses)
+        return self.web_addresses[index]
+
+    def handle_query(self, wire: bytes, src_address: str, now: float) -> bytes:
+        """Process one query's wire bytes; returns response bytes.
+
+        Queries outside the zone are REFUSED (and not logged as experiment
+        traffic); in-zone queries are logged and answered from the
+        wildcard.
+        """
+        query = DnsMessage.decode(wire)
+        qname = query.qname
+        if qname is None:
+            self.refused += 1
+            return make_response(
+                DnsMessage(header=query.header, questions=query.questions or ()),
+                rcode=RCODE.FORMERR,
+            ).encode() if query.questions else wire
+        if not self.covers(qname):
+            self.refused += 1
+            return make_response(query, rcode=RCODE.REFUSED).encode()
+        self._log.append(
+            LoggedRequest(
+                time=now,
+                site=self.site,
+                protocol=PROTOCOL_DNS,
+                src_address=src_address,
+                domain=qname,
+                qtype=query.questions[0].qtype,
+            )
+        )
+        self.queries_served += 1
+        answer = ResourceRecord(
+            name=qname,
+            rtype=QTYPE.A,
+            ttl=self.record_ttl,
+            rdata=self.resolve_address(qname),
+        )
+        return make_response(query, answers=(answer,), authoritative=True).encode()

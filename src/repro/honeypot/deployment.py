@@ -1,0 +1,84 @@
+"""The three-site honeypot deployment (US, DE, SG)."""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.honeypot.authdns import AuthoritativeServer
+from repro.honeypot.logstore import LogStore
+from repro.honeypot.tlsserver import HoneyTlsServer
+from repro.honeypot.webserver import HoneyWebServer
+
+DEFAULT_EXPERIMENT_ZONE = "www.experiment.domain"
+
+# Honeypot addresses from TEST-NET-3, disjoint from every other address
+# pool in the simulation.
+_SITE_PLAN: Tuple[Tuple[str, str, str], ...] = (
+    # (site, authoritative DNS address, honey web address)
+    ("US", "203.0.113.10", "203.0.113.11"),
+    ("DE", "203.0.113.20", "203.0.113.21"),
+    ("SG", "203.0.113.30", "203.0.113.31"),
+)
+
+
+@dataclass
+class HoneypotSite:
+    """One honeypot location: authoritative DNS + web + TLS services."""
+
+    name: str
+    dns_address: str
+    web_address: str
+    authdns: AuthoritativeServer
+    web: HoneyWebServer
+    tls: HoneyTlsServer
+
+
+class HoneypotDeployment:
+    """All honeypot sites sharing one log store and one experiment zone."""
+
+    def __init__(self, zone: str = DEFAULT_EXPERIMENT_ZONE,
+                 log: Optional[LogStore] = None):
+        self.zone = zone
+        self.log = log if log is not None else LogStore()
+        self.sites: Dict[str, HoneypotSite] = {}
+        web_addresses = [web for _, _, web in _SITE_PLAN]
+        for site_name, dns_address, web_address in _SITE_PLAN:
+            authdns = AuthoritativeServer(
+                zone=zone, web_addresses=web_addresses, log=self.log, site=site_name,
+            )
+            web = HoneyWebServer(address=web_address, log=self.log, site=site_name)
+            tls = HoneyTlsServer(web=web)
+            self.sites[site_name] = HoneypotSite(
+                name=site_name,
+                dns_address=dns_address,
+                web_address=web_address,
+                authdns=authdns,
+                web=web,
+                tls=tls,
+            )
+
+    @property
+    def site_names(self) -> List[str]:
+        return list(self.sites)
+
+    def site_for_client(self, client_address: str) -> HoneypotSite:
+        """Deterministic site selection, standing in for DNS-based
+        load distribution across the three locations."""
+        names = sorted(self.sites)
+        index = sum(client_address.encode()) % len(names)
+        return self.sites[names[index]]
+
+    def authoritative_for(self, client_address: str) -> AuthoritativeServer:
+        return self.site_for_client(client_address).authdns
+
+    def resolve_experiment_name(self, name: str) -> Optional[str]:
+        """Wildcard resolution as any recursive resolver would see it."""
+        site = self.sites[sorted(self.sites)[0]]
+        if not site.authdns.covers(name):
+            return None
+        return site.authdns.resolve_address(name)
+
+    def web_site_by_address(self, address: str) -> Optional[HoneypotSite]:
+        for site in self.sites.values():
+            if site.web_address == address:
+                return site
+        return None

@@ -1,0 +1,81 @@
+"""Unified, append-only request log shared by all honeypot services."""
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+PROTOCOL_DNS = "dns"
+PROTOCOL_HTTP = "http"
+PROTOCOL_HTTPS = "https"
+KNOWN_PROTOCOLS = (PROTOCOL_DNS, PROTOCOL_HTTP, PROTOCOL_HTTPS)
+
+
+@dataclass(frozen=True)
+class LoggedRequest:
+    """One request that arrived at a honeypot.
+
+    ``domain`` is the experiment name the request carried (QNAME, Host, or
+    SNI); correlation decodes the identifier embedded in it.
+    """
+
+    time: float
+    site: str
+    protocol: str
+    src_address: str
+    domain: str
+    path: Optional[str] = None
+    """Request path for HTTP(S); None for DNS."""
+    qtype: Optional[int] = None
+    """Query type for DNS; None otherwise."""
+    user_agent: Optional[str] = None
+
+    def __post_init__(self):
+        if self.protocol not in KNOWN_PROTOCOLS:
+            raise ValueError(f"unknown protocol {self.protocol!r}")
+
+
+class LogStore:
+    """Append-only log with by-domain and by-time retrieval.
+
+    Entries are appended in event order (the simulator guarantees
+    monotonic time), so time-windowed queries can bisect.
+    """
+
+    def __init__(self):
+        self._entries: List[LoggedRequest] = []
+        self._by_domain: Dict[str, List[int]] = {}
+
+    def append(self, entry: LoggedRequest) -> None:
+        if self._entries and entry.time < self._entries[-1].time:
+            raise ValueError(
+                f"log must be appended in time order: {entry.time} after "
+                f"{self._entries[-1].time}"
+            )
+        self._by_domain.setdefault(entry.domain, []).append(len(self._entries))
+        self._entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LoggedRequest]:
+        return iter(self._entries)
+
+    def all(self) -> Tuple[LoggedRequest, ...]:
+        return tuple(self._entries)
+
+    def for_domain(self, domain: str) -> List[LoggedRequest]:
+        """All requests bearing ``domain``, in arrival order."""
+        return [self._entries[index] for index in self._by_domain.get(domain, [])]
+
+    def domains(self) -> List[str]:
+        return list(self._by_domain)
+
+    def between(self, start: float, end: float) -> List[LoggedRequest]:
+        """Entries with ``start <= time < end``."""
+        times = [entry.time for entry in self._entries]
+        low = bisect.bisect_left(times, start)
+        high = bisect.bisect_left(times, end)
+        return self._entries[low:high]
+
+    def by_protocol(self, protocol: str) -> List[LoggedRequest]:
+        return [entry for entry in self._entries if entry.protocol == protocol]

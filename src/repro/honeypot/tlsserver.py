@@ -1,0 +1,67 @@
+"""TLS sink: records SNI from unsolicited ClientHellos.
+
+Unsolicited HTTPS probes open TLS toward the honey web address; the sink
+parses the ClientHello, logs the SNI, and (like a honeypot terminating
+TLS) hands the connection to the web server for the request inside.
+"""
+
+import random
+from typing import Optional
+
+from repro.honeypot.logstore import LogStore
+from repro.honeypot.webserver import HoneyWebServer
+from repro.protocols.tls import ClientHello, TlsPlaintext
+from repro.protocols.tls.record import CONTENT_TYPE_HANDSHAKE
+from repro.protocols.tls.serverhello import ServerHello, negotiate
+
+
+class HoneyTlsServer:
+    """TLS front for the honey website at one site."""
+
+    def __init__(self, web: HoneyWebServer, rng: Optional[random.Random] = None):
+        self.web = web
+        self.handshakes_seen = 0
+        self._rng = rng if rng is not None else random.Random(0x7E15)
+
+    def answer_hello(self, record_bytes: bytes) -> Optional[bytes]:
+        """Negotiate a ServerHello for one ClientHello record.
+
+        Returns the ServerHello record bytes, or None for non-handshake
+        records — unsolicited probers see a syntactically complete
+        handshake start, as a live site would give them.
+        """
+        record = TlsPlaintext.decode(record_bytes)
+        if record.content_type != CONTENT_TYPE_HANDSHAKE:
+            return None
+        hello = ClientHello.decode(record.fragment)
+        server_random = bytes(self._rng.randrange(256) for _ in range(32))
+        server_hello = negotiate(hello, server_random)
+        return TlsPlaintext(content_type=CONTENT_TYPE_HANDSHAKE,
+                            fragment=server_hello.encode()).encode()
+
+    def handle_connection(self, record_bytes: bytes, http_wire: Optional[bytes],
+                          src_address: str, now: float) -> Optional[bytes]:
+        """Process one TLS connection: ClientHello record, then optionally
+        an HTTP request "inside" the session.
+
+        Returns the web server's response bytes when a request was made.
+        The simulation skips key exchange — what matters to the pipeline is
+        that SNI and the tunneled request are observed and logged at the
+        same timestamps a real deployment would log them.
+        """
+        record = TlsPlaintext.decode(record_bytes)
+        if record.content_type != CONTENT_TYPE_HANDSHAKE:
+            return None
+        hello = ClientHello.decode(record.fragment)
+        self.handshakes_seen += 1
+        if http_wire is None:
+            return None
+        return self.web.handle_request(http_wire, src_address, now, over_tls=True)
+
+    @staticmethod
+    def peek_sni(record_bytes: bytes) -> Optional[str]:
+        """SNI of a ClientHello record, without serving the connection."""
+        record = TlsPlaintext.decode(record_bytes)
+        if record.content_type != CONTENT_TYPE_HANDSHAKE:
+            return None
+        return ClientHello.decode(record.fragment).server_name

@@ -1,0 +1,67 @@
+"""The honey website.
+
+Serves a disclosure page on ``/`` (the ethics appendix documents the
+experiment's purpose and contact information there) and 404s everything
+else — unsolicited path-enumeration probes therefore harvest nothing, but
+every request is logged with its full path for incentive analysis.
+"""
+
+from typing import Optional
+
+from repro.honeypot.logstore import LoggedRequest, LogStore, PROTOCOL_HTTP, PROTOCOL_HTTPS
+from repro.protocols.http import HttpRequest, HttpResponse
+
+DISCLOSURE_PAGE = b"""<html>
+<head><title>Network measurement experiment</title></head>
+<body>
+<h1>Internet traffic shadowing measurement</h1>
+<p>This server is part of an academic measurement of traffic shadowing
+behaviors. Domains under this zone are generated for the experiment and
+carry no user data. If your systems reached this page unexpectedly,
+contact the research team at the address in WHOIS for this domain.</p>
+</body>
+</html>
+"""
+
+
+class HoneyWebServer:
+    """HTTP(S) honeypot endpoint at one site."""
+
+    def __init__(self, address: str, log: LogStore, site: str):
+        self.address = address
+        self._log = log
+        self.site = site
+        self.requests_served = 0
+
+    def handle_request(self, wire: bytes, src_address: str, now: float,
+                       over_tls: bool = False) -> bytes:
+        """Parse request bytes, log them, and return response bytes."""
+        request = HttpRequest.decode(wire)
+        host = request.host or ""
+        self._log.append(
+            LoggedRequest(
+                time=now,
+                site=self.site,
+                protocol=PROTOCOL_HTTPS if over_tls else PROTOCOL_HTTP,
+                src_address=src_address,
+                domain=host.lower().rstrip("."),
+                path=request.path,
+                user_agent=request.header("user-agent"),
+            )
+        )
+        self.requests_served += 1
+        if request.path == "/":
+            response = HttpResponse(
+                status=200,
+                reason="OK",
+                headers=(("Content-Type", "text/html"), ("Server", "honeypot")),
+                body=DISCLOSURE_PAGE,
+            )
+        else:
+            response = HttpResponse(
+                status=404,
+                reason="Not Found",
+                headers=(("Content-Type", "text/plain"), ("Server", "honeypot")),
+                body=b"not found",
+            )
+        return response.encode()

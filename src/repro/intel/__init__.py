@@ -1,0 +1,27 @@
+"""Intelligence substrates the paper consumes as external services.
+
+* :class:`~repro.intel.directory.IpDirectory` — the IP-to-AS/geo database
+  (the paper uses ip-api.com / IPinfo).
+* :class:`~repro.intel.blocklist.Blocklist` — the Spamhaus-like IP
+  reputation list used in Sections 5.1/5.2.
+* :mod:`repro.intel.exploitdb` — payload signature matching standing in
+  for the exploit-db check.
+* :mod:`repro.intel.portscan` — active port/banner probing of observer
+  addresses (Section 5.2).
+"""
+
+from repro.intel.blocklist import Blocklist
+from repro.intel.directory import IpDirectory, IpRecord
+from repro.intel.exploitdb import SIGNATURES, PayloadVerdict, check_payload
+from repro.intel.portscan import PortScanResult, scan_observers
+
+__all__ = [
+    "IpDirectory",
+    "IpRecord",
+    "Blocklist",
+    "check_payload",
+    "PayloadVerdict",
+    "SIGNATURES",
+    "scan_observers",
+    "PortScanResult",
+]

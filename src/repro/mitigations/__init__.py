@@ -1,0 +1,49 @@
+"""Mitigations discussed in Section 6 of the paper.
+
+The paper closes with two recommendations:
+
+* **Encrypt the clear-text fields** — TLS 1.3 Encrypted Client Hello hides
+  SNI from on-path observers (:mod:`repro.mitigations.ech`).  Encryption
+  does *not* stop the destination, which still decrypts and sees
+  everything.
+* **Split visibility of origin and content** — oblivious relays (OHTTP,
+  ODoH) ensure no single party sees both the client address and the query
+  name (:mod:`repro.mitigations.odoh`).
+
+Both are implemented against the same substrate as the measurement
+pipeline, so their effect on shadowing is directly demonstrable (see
+``benchmarks/bench_ext_mitigations.py`` and ``examples/mitigations_demo.py``).
+"""
+
+from repro.mitigations.ech import (
+    EchConfig,
+    build_ech_client_hello,
+    decrypt_ech_sni,
+    encrypt_sni,
+    outer_sni,
+)
+from repro.mitigations.doh import (
+    DohError,
+    build_doh_request,
+    build_doh_response,
+    open_doh_request,
+    open_doh_response,
+)
+from repro.mitigations.odoh import ObliviousDnsProxy, OdohQuery, seal_query, open_query
+
+__all__ = [
+    "EchConfig",
+    "build_ech_client_hello",
+    "encrypt_sni",
+    "decrypt_ech_sni",
+    "outer_sni",
+    "ObliviousDnsProxy",
+    "OdohQuery",
+    "seal_query",
+    "open_query",
+    "build_doh_request",
+    "open_doh_request",
+    "build_doh_response",
+    "open_doh_response",
+    "DohError",
+]

@@ -1,0 +1,44 @@
+"""Simulated IP network substrate.
+
+This package models exactly the slice of the Internet the paper's
+methodology relies on: IPv4 packets with a real header layout (so the TTL
+field behaves like the genuine article), UDP/TCP encapsulation, per-hop TTL
+decrement with ICMP Time-Exceeded generation, and taps through which
+on-path observers sniff transiting packets.
+"""
+
+from repro.net.addr import (
+    InvalidAddressError,
+    ip_from_int,
+    ip_to_int,
+    is_valid_ipv4,
+    same_slash24,
+    slash24,
+)
+from repro.net.errors import NetError, PacketDecodeError, TransitError
+from repro.net.icmp import IcmpTimeExceeded
+from repro.net.packet import IPv4Header, Packet, TCPSegment, UDPSegment, checksum16
+from repro.net.path import Hop, HopTap, Path, TransitOutcome, TransitResult
+
+__all__ = [
+    "ip_to_int",
+    "ip_from_int",
+    "is_valid_ipv4",
+    "same_slash24",
+    "slash24",
+    "InvalidAddressError",
+    "checksum16",
+    "IPv4Header",
+    "UDPSegment",
+    "TCPSegment",
+    "Packet",
+    "IcmpTimeExceeded",
+    "Hop",
+    "HopTap",
+    "Path",
+    "TransitOutcome",
+    "TransitResult",
+    "NetError",
+    "PacketDecodeError",
+    "TransitError",
+]

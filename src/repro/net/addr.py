@@ -1,0 +1,60 @@
+"""IPv4 address helpers.
+
+Addresses are passed around as dotted-quad strings (matching how the paper
+reports them) with conversion helpers for arithmetic.  The pair-resolver
+heuristic of Appendix E needs /24 reasoning, hence :func:`same_slash24`.
+"""
+
+from repro.net.errors import NetError
+
+
+class InvalidAddressError(NetError):
+    """Raised for strings that are not dotted-quad IPv4 addresses."""
+
+
+def ip_to_int(address: str) -> int:
+    """Convert ``"1.2.3.4"`` to its 32-bit integer form.
+
+    Rejects anything that is not exactly four decimal octets — leading
+    zeros and whitespace included, since lenient parsers are a classic
+    source of address-confusion bugs.
+    """
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise InvalidAddressError(f"expected four octets: {address!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit() or (len(part) > 1 and part[0] == "0"):
+            raise InvalidAddressError(f"bad octet {part!r} in {address!r}")
+        octet = int(part)
+        if octet > 255:
+            raise InvalidAddressError(f"octet {octet} out of range in {address!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def ip_from_int(value: int) -> str:
+    """Convert a 32-bit integer to dotted-quad form."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise InvalidAddressError(f"value {value} out of 32-bit range")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def is_valid_ipv4(address: str) -> bool:
+    """True when ``address`` parses as a strict dotted quad."""
+    try:
+        ip_to_int(address)
+    except InvalidAddressError:
+        return False
+    return True
+
+
+def slash24(address: str) -> str:
+    """The /24 prefix of an address, e.g. ``"1.1.1.0/24"`` for ``"1.1.1.1"``."""
+    value = ip_to_int(address) & 0xFFFFFF00
+    return f"{ip_from_int(value)}/24"
+
+
+def same_slash24(first: str, second: str) -> bool:
+    """True when both addresses share a /24 — the pair-resolver criterion."""
+    return (ip_to_int(first) & 0xFFFFFF00) == (ip_to_int(second) & 0xFFFFFF00)

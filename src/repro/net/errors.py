@@ -1,0 +1,13 @@
+"""Exception hierarchy for the network substrate."""
+
+
+class NetError(Exception):
+    """Base class for all simulated-network errors."""
+
+
+class PacketDecodeError(NetError):
+    """Raised when bytes on the wire do not parse as the expected layer."""
+
+
+class TransitError(NetError):
+    """Raised when a packet cannot be forwarded (e.g. malformed path)."""

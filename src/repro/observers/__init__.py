@@ -1,0 +1,51 @@
+"""Traffic-shadowing exhibitor models.
+
+Observers are the measured phenomenon: parties that record domain names
+from transiting or terminating traffic and later emit unsolicited requests
+bearing them.  The package models the paper's ecosystem —
+
+* destination resolvers with benign retries and/or shadowing pipelines
+  (:mod:`repro.observers.resolver`),
+* on-path wire sniffers pinned to router hops
+  (:mod:`repro.observers.onpath`),
+* shadowing web destinations for HTTP/TLS decoys
+  (:mod:`repro.observers.webdest`),
+* DNS interceptors as a noise source (:mod:`repro.observers.interceptor`),
+
+all driven by :class:`~repro.observers.policy.ShadowPolicy` descriptions of
+retention delay, protocol choice, reuse count, and origin networks.
+"""
+
+from repro.observers.exhibitor import GroundTruth, ObservationRecord, ShadowExhibitor, UnsolicitedEmitter
+from repro.observers.interceptor import DnsInterceptor
+from repro.observers.onpath import ObserverDeployment, SnifferSpec, WireSniffer
+from repro.observers.policy import (
+    AddressAllocator,
+    OriginGroup,
+    OriginPool,
+    ShadowPolicy,
+)
+from repro.observers.resolver import ResolverModel, ResolverProfile
+from repro.observers.retention import RetainedItem, RetentionStore
+from repro.observers.webdest import WebDestinationBehavior, WebDestinationModel
+
+__all__ = [
+    "ShadowPolicy",
+    "OriginGroup",
+    "OriginPool",
+    "AddressAllocator",
+    "ShadowExhibitor",
+    "UnsolicitedEmitter",
+    "GroundTruth",
+    "ObservationRecord",
+    "WireSniffer",
+    "SnifferSpec",
+    "ObserverDeployment",
+    "ResolverProfile",
+    "ResolverModel",
+    "RetentionStore",
+    "RetainedItem",
+    "WebDestinationModel",
+    "WebDestinationBehavior",
+    "DnsInterceptor",
+]

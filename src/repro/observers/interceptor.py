@@ -1,0 +1,78 @@
+"""On-path DNS interception — the noise source of Appendix E.
+
+Interceptors redirect DNS queries to alternative resolvers and answer
+with responses spoofed from the intended destination's address.  They are
+*not* traffic shadowing (the client is still waiting when the alternative
+resolver acts), but uncorrected they pollute observer localization; the
+pair-resolver filter exists to remove affected VPs.
+
+The model supports both sides of that story:
+
+* :meth:`DnsInterceptor.answers_pair_probe` — interceptors respond to
+  queries aimed at non-DNS addresses, which is exactly how the vetting
+  probe detects them;
+* :meth:`DnsInterceptor.on_query` — the alternative resolver recurses
+  (and aggressively retries) toward the honeypot authoritative server,
+  which is the mid-path noise the ablation benchmark quantifies.
+"""
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from repro.honeypot.deployment import HoneypotDeployment
+from repro.protocols.dns import make_query
+from repro.simkit.events import Simulator
+
+
+class DnsInterceptor:
+    """One interception device at a router hop."""
+
+    def __init__(
+        self,
+        hop_address: str,
+        alt_resolver_address: str,
+        sim: Simulator,
+        deployment: HoneypotDeployment,
+        rng: random.Random,
+        retry_count: int = 2,
+        retry_window: float = 45.0,
+    ):
+        self.hop_address = hop_address
+        self.alt_resolver_address = alt_resolver_address
+        self._sim = sim
+        self._deployment = deployment
+        self._rng = rng
+        self.retry_count = retry_count
+        self.retry_window = retry_window
+        self.intercepted = 0
+
+    def answers_pair_probe(self) -> bool:
+        """Interceptors answer DNS queries regardless of destination."""
+        return True
+
+    def on_query(self, domain: str) -> None:
+        """Redirect one intercepted query to the alternative resolver.
+
+        The alternative resolver recurses immediately and then re-queries
+        the name a few times — the classic aggressive-retry fingerprint
+        the APNIC "DNS zombies" post attributes to problematic resolver
+        implementations.
+        """
+        self.intercepted += 1
+        self._sim.schedule_in(
+            self._rng.uniform(0.02, 0.3),
+            lambda domain=domain: self._query_authoritative(domain),
+            label="interceptor:recursion",
+        )
+        for _ in range(self.retry_count):
+            self._sim.schedule_in(
+                self._rng.uniform(1.0, self.retry_window),
+                lambda domain=domain: self._query_authoritative(domain),
+                label="interceptor:retry",
+            )
+
+    def _query_authoritative(self, domain: str) -> None:
+        wire = make_query(domain, txid=self._rng.randrange(0x10000)).encode()
+        server = self._deployment.authoritative_for(self.alt_resolver_address)
+        server.handle_query(wire, self.alt_resolver_address, self._sim.now())

@@ -1,0 +1,87 @@
+"""Capacity-bounded retention stores.
+
+Section 5.2 observes that data from HTTP/TLS decoys is retained for a
+shorter time than DNS decoy data, and attributes it to "the limited
+storage capacity of routing devices serving as traffic observers".  This
+module makes that hypothesis a mechanism: a FIFO store of observed items
+that evicts the oldest entry when full, cancelling any unsolicited
+requests the evicted item still had scheduled.  The retention-capacity
+extension benchmark shows the paper's shorter-on-the-wire CDF emerging
+from eviction pressure alone.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.simkit.events import Event
+
+
+@dataclass
+class RetainedItem:
+    """One observed datum and its pending scheduled uses."""
+
+    domain: str
+    observed_at: float
+    pending: List[Event] = field(default_factory=list)
+
+    def cancel_pending(self) -> int:
+        cancelled = 0
+        for event in self.pending:
+            if not event.cancelled:
+                event.cancel()
+                cancelled += 1
+        self.pending.clear()
+        return cancelled
+
+
+class RetentionStore:
+    """FIFO observed-data store with bounded capacity.
+
+    ``capacity=None`` means unbounded — the behaviour of a destination
+    operator with a passive-DNS warehouse.  A small capacity models a
+    DPI box's on-device buffer.
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be positive or None, got {capacity}")
+        self.capacity = capacity
+        self._items: Dict[str, RetainedItem] = {}
+        self._order: List[str] = []
+        self.evictions = 0
+        self.cancelled_requests = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, domain: str) -> bool:
+        return domain in self._items
+
+    def admit(self, domain: str, now: float) -> RetainedItem:
+        """Store one observation, evicting the oldest item if full."""
+        if domain in self._items:
+            return self._items[domain]
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            oldest = self._order.pop(0)
+            evicted = self._items.pop(oldest)
+            self.cancelled_requests += evicted.cancel_pending()
+            self.evictions += 1
+        item = RetainedItem(domain=domain, observed_at=now)
+        self._items[domain] = item
+        self._order.append(domain)
+        return item
+
+    def attach(self, domain: str, event: Event) -> None:
+        """Tie a scheduled unsolicited request to its stored item, so
+        eviction cancels it."""
+        item = self._items.get(domain)
+        if item is None:
+            # Already evicted before the caller attached: the data is
+            # gone, so the request must not fire.
+            event.cancel()
+            self.cancelled_requests += 1
+            return
+        item.pending.append(event)
+
+    def items(self) -> List[RetainedItem]:
+        return [self._items[domain] for domain in self._order]

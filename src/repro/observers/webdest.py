@@ -1,0 +1,76 @@
+"""Shadowing behaviour of HTTP/TLS destination servers.
+
+Table 2 locates 65% of TLS observers and a small share of HTTP observers
+*at the destination* — web endpoints (CDNs, security services) that log
+SNI / Host values and probe them later.  Whether a given destination
+shadows is decided deterministically per address from country-level
+rates.
+"""
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.datasets.tranco import WebDestination
+from repro.observers.exhibitor import ShadowExhibitor
+
+
+@dataclass(frozen=True)
+class WebDestinationBehavior:
+    """Per-country shadowing rates for destination web servers."""
+
+    tls_shadow_rate_by_country: Dict[str, float]
+    http_shadow_rate_by_country: Dict[str, float]
+    default_tls_rate: float = 0.0
+    default_http_rate: float = 0.0
+
+    def tls_rate(self, country: str) -> float:
+        return self.tls_shadow_rate_by_country.get(country, self.default_tls_rate)
+
+    def http_rate(self, country: str) -> float:
+        return self.http_shadow_rate_by_country.get(country, self.default_http_rate)
+
+
+class WebDestinationModel:
+    """Runtime shadow decisions for the synthetic Tranco pool."""
+
+    def __init__(
+        self,
+        behavior: WebDestinationBehavior,
+        exhibitors_by_country: Dict[str, ShadowExhibitor],
+        default_exhibitor: Optional[ShadowExhibitor],
+        rng: random.Random,
+    ):
+        self.behavior = behavior
+        self._exhibitors = exhibitors_by_country
+        self._default = default_exhibitor
+        self._rng = rng
+        self._decisions: Dict[tuple, bool] = {}
+
+    def _shadows(self, destination: WebDestination, protocol: str) -> bool:
+        key = (destination.address, protocol)
+        if key not in self._decisions:
+            rate = (
+                self.behavior.tls_rate(destination.country)
+                if protocol == "tls"
+                else self.behavior.http_rate(destination.country)
+            )
+            self._decisions[key] = self._rng.random() < rate
+        return self._decisions[key]
+
+    def receive_decoy(self, destination: WebDestination, protocol: str,
+                      domain: str) -> bool:
+        """Handle one delivered HTTP/TLS decoy; returns True if shadowed.
+
+        Real destinations would also answer the request; responses do not
+        reach the honeypot so the pipeline never consumes them.
+        """
+        if protocol not in ("http", "tls"):
+            raise ValueError(f"web destinations only take http/tls decoys, got {protocol!r}")
+        if not self._shadows(destination, protocol):
+            return False
+        exhibitor = self._exhibitors.get(destination.country, self._default)
+        if exhibitor is None:
+            return False
+        exhibitor.observe(domain, observed_from=destination.address)
+        return True

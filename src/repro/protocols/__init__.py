@@ -1,0 +1,7 @@
+"""Wire-format implementations of the three decoy protocols.
+
+The paper lures observers with clear-text domain names in DNS QNAMEs, HTTP
+``Host`` headers, and TLS SNI.  Decoys in this reproduction are encoded to
+real bytes by these codecs and parsed back by observers and honeypots, so
+everything the pipeline measures flows through genuine message formats.
+"""

@@ -1,0 +1,109 @@
+"""Recursive-resolver cache with optional active refreshing.
+
+Section 5.1 considers — and rules out — "active cache refreshing
+mechanisms" as the cause of the re-appearing queries: with the wildcard
+record TTL at 3,600 s, refreshing would produce a spike at the one-hour
+mark of Figure 4, which the measurement does not show.  This module
+implements the mechanism so the ablation benchmark can demonstrate what
+that spike *would* look like.
+"""
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+
+@dataclass
+class CacheEntry:
+    """One cached answer."""
+
+    name: str
+    address: str
+    stored_at: float
+    ttl: float
+
+    def expires_at(self) -> float:
+        return self.stored_at + self.ttl
+
+    def is_fresh(self, now: float) -> bool:
+        return now < self.expires_at()
+
+
+class ResolverCache:
+    """TTL-honouring answer cache for one recursive resolver."""
+
+    def __init__(self, max_entries: int = 10_000):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self._entries: Dict[str, CacheEntry] = {}
+        self._max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, name: str, now: float) -> Optional[CacheEntry]:
+        """Fresh entry for ``name``, or None (expired entries evicted)."""
+        entry = self._entries.get(name)
+        if entry is None:
+            self.misses += 1
+            return None
+        if not entry.is_fresh(now):
+            del self._entries[name]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, name: str, address: str, ttl: float, now: float) -> CacheEntry:
+        if ttl <= 0:
+            raise ValueError(f"cache TTL must be positive, got {ttl}")
+        if len(self._entries) >= self._max_entries and name not in self._entries:
+            # Evict the entry expiring soonest — simple and deterministic.
+            victim = min(self._entries.values(), key=lambda entry: entry.expires_at())
+            del self._entries[victim.name]
+        entry = CacheEntry(name=name, address=address, stored_at=now, ttl=ttl)
+        self._entries[name] = entry
+        return entry
+
+    def entries(self) -> Tuple[CacheEntry, ...]:
+        return tuple(self._entries.values())
+
+
+class RefreshingCache(ResolverCache):
+    """A cache that re-fetches entries as their TTL expires.
+
+    ``schedule(delay, action)`` is typically ``Simulator.schedule_in``;
+    ``refetch(name)`` performs the upstream query (arriving at the
+    experiment's authoritative honeypot as a repeat of the decoy name,
+    exactly ``ttl`` seconds after the original — the signature spike).
+    ``max_refreshes`` bounds how long an unpopular name is kept warm.
+    """
+
+    def __init__(self, schedule: Callable[[float, Callable[[], None]], object],
+                 refetch: Callable[[str], None],
+                 max_refreshes: int = 2, max_entries: int = 10_000):
+        super().__init__(max_entries=max_entries)
+        if max_refreshes < 0:
+            raise ValueError(f"max_refreshes must be non-negative, got {max_refreshes}")
+        self._schedule = schedule
+        self._refetch = refetch
+        self.max_refreshes = max_refreshes
+        self.refreshes_performed = 0
+
+    def put(self, name: str, address: str, ttl: float, now: float,
+            _generation: int = 0) -> CacheEntry:
+        entry = super().put(name, address, ttl, now)
+        if _generation < self.max_refreshes:
+            self._schedule(
+                ttl,
+                lambda name=name, generation=_generation + 1:
+                    self._refresh(name, generation),
+            )
+        return entry
+
+    def _refresh(self, name: str, generation: int) -> None:
+        # The entry may have been evicted or replaced meanwhile; the
+        # refresh still fires (the upstream fetch is the observable).
+        self.refreshes_performed += 1
+        self._refetch(name)

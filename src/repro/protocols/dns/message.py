@@ -1,0 +1,319 @@
+"""DNS message encoding and decoding.
+
+Implements the RFC 1035 message format: 12-byte header, question section,
+and A/NS/CNAME/TXT/SOA resource records, with name compression on encode
+(each full name is encoded at most once; later occurrences become
+pointers).  This is the codec both decoy generation and the honeypot
+authoritative server run on.
+"""
+
+import struct
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.addr import ip_from_int, ip_to_int
+from repro.net.errors import PacketDecodeError
+from repro.protocols.dns.names import DnsNameError, decode_name, encode_name, normalize_name
+from repro.protocols.dns.types import QCLASS_IN, RCODE, QTYPE
+
+_HEADER_FMT = "!HHHHHH"
+
+FLAG_QR = 0x8000
+FLAG_AA = 0x0400
+FLAG_TC = 0x0200
+FLAG_RD = 0x0100
+FLAG_RA = 0x0080
+
+
+@dataclass(frozen=True)
+class DnsHeader:
+    """The 12-byte DNS header."""
+
+    txid: int
+    flags: int = 0
+    qdcount: int = 0
+    ancount: int = 0
+    nscount: int = 0
+    arcount: int = 0
+
+    def __post_init__(self):
+        if not 0 <= self.txid <= 0xFFFF:
+            raise ValueError(f"transaction id out of range: {self.txid}")
+
+    @property
+    def is_response(self) -> bool:
+        return bool(self.flags & FLAG_QR)
+
+    @property
+    def rcode(self) -> RCODE:
+        return RCODE(self.flags & 0x000F)
+
+    @property
+    def recursion_desired(self) -> bool:
+        return bool(self.flags & FLAG_RD)
+
+    def encode(self) -> bytes:
+        return struct.pack(
+            _HEADER_FMT, self.txid, self.flags,
+            self.qdcount, self.ancount, self.nscount, self.arcount,
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "DnsHeader":
+        if len(data) < 12:
+            raise PacketDecodeError(f"DNS header needs 12 bytes, got {len(data)}")
+        txid, flags, qdcount, ancount, nscount, arcount = struct.unpack(_HEADER_FMT, data[:12])
+        return cls(txid=txid, flags=flags, qdcount=qdcount,
+                   ancount=ancount, nscount=nscount, arcount=arcount)
+
+
+@dataclass(frozen=True)
+class DnsQuestion:
+    """One entry of the question section."""
+
+    qname: str
+    qtype: int = QTYPE.A
+    qclass: int = QCLASS_IN
+
+    def __post_init__(self):
+        object.__setattr__(self, "qname", normalize_name(self.qname))
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    """One resource record. ``rdata`` interpretation depends on ``rtype``:
+
+    * A — dotted-quad address string
+    * NS/CNAME/PTR — domain name string
+    * TXT — arbitrary text
+    * SOA — ``"mname rname serial refresh retry expire minimum"``
+    """
+
+    name: str
+    rtype: int
+    ttl: int
+    rdata: str
+    rclass: int = QCLASS_IN
+
+    def __post_init__(self):
+        object.__setattr__(self, "name", normalize_name(self.name))
+        # Real TTLs are capped at 2^31-1 (RFC 2181), but the field is a
+        # u32 on the wire and the EDNS OPT pseudo-record packs flags into
+        # it, so the codec accepts the full range.
+        if self.ttl < 0 or self.ttl > 0xFFFFFFFF:
+            raise ValueError(f"record TTL out of range: {self.ttl}")
+
+
+class _NameWriter:
+    """Tracks name offsets during message encoding for compression."""
+
+    def __init__(self):
+        self.buffer = bytearray()
+        self._offsets: Dict[str, int] = {}
+
+    def write(self, raw: bytes) -> None:
+        self.buffer.extend(raw)
+
+    def write_name(self, name: str) -> None:
+        """Emit ``name``, compressing against any previously-written suffix.
+
+        RFC 1035 4.1.4: a name may end in a pointer to a prior occurrence
+        of its tail.  The writer emits leading labels until it finds a
+        registered suffix within pointer range (14 bits), then a pointer;
+        every newly-written suffix is registered for later names.
+        """
+        name = normalize_name(name)
+        if not name:
+            self.buffer.extend(b"\x00")
+            return
+        labels = name.split(".")
+        for index in range(len(labels)):
+            suffix = ".".join(labels[index:])
+            offset = self._offsets.get(suffix)
+            if offset is not None and offset <= 0x3FFF:
+                self.buffer.extend(struct.pack("!H", 0xC000 | offset))
+                return
+            # Register this suffix at the position its first label starts,
+            # then emit that label.
+            position = len(self.buffer)
+            if position <= 0x3FFF:
+                self._offsets[suffix] = position
+            raw = labels[index].encode("ascii")
+            if not raw or len(raw) > 63:
+                # Delegate limit errors to the strict encoder.
+                encode_name(name)
+            self.buffer.append(len(raw))
+            self.buffer.extend(raw)
+        self.buffer.extend(b"\x00")
+
+
+def _encode_rdata(writer: _NameWriter, record: ResourceRecord) -> None:
+    if record.rtype in (QTYPE.NS, QTYPE.CNAME, QTYPE.PTR):
+        # Domain-name rdata may be compressed against earlier names
+        # (RFC 1035 permits it for these classic types).  The length field
+        # is backpatched once the possibly-pointered name is written.
+        encode_name(record.rdata)  # enforce label/name limits up front
+        length_position = len(writer.buffer)
+        writer.write(b"\x00\x00")
+        start = len(writer.buffer)
+        writer.write_name(record.rdata)
+        rdlength = len(writer.buffer) - start
+        writer.buffer[length_position:length_position + 2] = \
+            struct.pack("!H", rdlength)
+        return
+    if record.rtype == QTYPE.A:
+        rdata = ip_to_int(record.rdata).to_bytes(4, "big")
+    elif record.rtype == QTYPE.TXT:
+        raw = record.rdata.encode("utf-8")
+        if len(raw) > 255:
+            raise DnsNameError("TXT strings longer than 255 bytes are not supported")
+        rdata = bytes([len(raw)]) + raw
+    elif record.rtype == QTYPE.SOA:
+        fields = record.rdata.split()
+        if len(fields) != 7:
+            raise DnsNameError(f"SOA rdata needs 7 fields, got {record.rdata!r}")
+        mname, rname = fields[0], fields[1]
+        numbers = [int(value) for value in fields[2:]]
+        rdata = encode_name(mname) + encode_name(rname) + struct.pack("!IIIII", *numbers)
+    else:
+        # Unknown/opaque types (e.g. the EDNS OPT pseudo-record) carry
+        # their rdata as a hex string, mirroring the decode fallback.
+        try:
+            rdata = bytes.fromhex(record.rdata)
+        except ValueError as exc:
+            raise DnsNameError(
+                f"cannot encode rdata for record type {record.rtype}"
+            ) from exc
+    writer.write(struct.pack("!H", len(rdata)))
+    writer.write(rdata)
+
+
+def _decode_rdata(message: bytes, offset: int, rtype: int, rdlength: int) -> str:
+    blob = message[offset : offset + rdlength]
+    if rtype == QTYPE.A:
+        if rdlength != 4:
+            raise PacketDecodeError(f"A record rdata must be 4 bytes, got {rdlength}")
+        return ip_from_int(int.from_bytes(blob, "big"))
+    if rtype in (QTYPE.NS, QTYPE.CNAME, QTYPE.PTR):
+        name, _ = decode_name(message, offset)
+        return name
+    if rtype == QTYPE.TXT:
+        if rdlength < 1 or blob[0] != rdlength - 1:
+            raise PacketDecodeError("malformed TXT rdata")
+        return blob[1:].decode("utf-8")
+    if rtype == QTYPE.SOA:
+        mname, cursor = decode_name(message, offset)
+        rname, cursor = decode_name(message, cursor)
+        numbers = struct.unpack("!IIIII", message[cursor : cursor + 20])
+        return " ".join([mname, rname] + [str(value) for value in numbers])
+    # Unknown types round-trip as hex so decoding never destroys data.
+    return blob.hex()
+
+
+@dataclass(frozen=True)
+class DnsMessage:
+    """A complete DNS message."""
+
+    header: DnsHeader
+    questions: Tuple[DnsQuestion, ...] = ()
+    answers: Tuple[ResourceRecord, ...] = ()
+    authorities: Tuple[ResourceRecord, ...] = ()
+    additionals: Tuple[ResourceRecord, ...] = ()
+
+    @property
+    def qname(self) -> Optional[str]:
+        """QNAME of the first question, the field decoys embed data in."""
+        return self.questions[0].qname if self.questions else None
+
+    def encode(self) -> bytes:
+        header = replace(
+            self.header,
+            qdcount=len(self.questions),
+            ancount=len(self.answers),
+            nscount=len(self.authorities),
+            arcount=len(self.additionals),
+        )
+        writer = _NameWriter()
+        writer.write(header.encode())
+        for question in self.questions:
+            writer.write_name(question.qname)
+            writer.write(struct.pack("!HH", question.qtype, question.qclass))
+        for record in self.answers + self.authorities + self.additionals:
+            writer.write_name(record.name)
+            writer.write(struct.pack("!HHI", record.rtype, record.rclass, record.ttl))
+            _encode_rdata(writer, record)
+        return bytes(writer.buffer)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "DnsMessage":
+        header = DnsHeader.decode(data)
+        cursor = 12
+        questions: List[DnsQuestion] = []
+        for _ in range(header.qdcount):
+            try:
+                qname, cursor = decode_name(data, cursor)
+            except DnsNameError as exc:
+                raise PacketDecodeError(f"bad QNAME: {exc}") from exc
+            if cursor + 4 > len(data):
+                raise PacketDecodeError("truncated question section")
+            qtype, qclass = struct.unpack("!HH", data[cursor : cursor + 4])
+            cursor += 4
+            questions.append(DnsQuestion(qname=qname, qtype=qtype, qclass=qclass))
+
+        def read_records(count: int, cursor: int) -> Tuple[List[ResourceRecord], int]:
+            records: List[ResourceRecord] = []
+            for _ in range(count):
+                try:
+                    name, cursor = decode_name(data, cursor)
+                except DnsNameError as exc:
+                    raise PacketDecodeError(f"bad record name: {exc}") from exc
+                if cursor + 10 > len(data):
+                    raise PacketDecodeError("truncated resource record")
+                rtype, rclass, ttl, rdlength = struct.unpack("!HHIH", data[cursor : cursor + 10])
+                cursor += 10
+                if cursor + rdlength > len(data):
+                    raise PacketDecodeError("resource record rdata runs past message end")
+                rdata = _decode_rdata(data, cursor, rtype, rdlength)
+                cursor += rdlength
+                records.append(
+                    ResourceRecord(name=name, rtype=rtype, rclass=rclass, ttl=ttl, rdata=rdata)
+                )
+            return records, cursor
+
+        answers, cursor = read_records(header.ancount, cursor)
+        authorities, cursor = read_records(header.nscount, cursor)
+        additionals, cursor = read_records(header.arcount, cursor)
+        return cls(
+            header=header,
+            questions=tuple(questions),
+            answers=tuple(answers),
+            authorities=tuple(authorities),
+            additionals=tuple(additionals),
+        )
+
+
+def make_query(qname: str, txid: int, qtype: int = QTYPE.A,
+               recursion_desired: bool = True) -> DnsMessage:
+    """Build a standard query — the DNS decoy format."""
+    flags = FLAG_RD if recursion_desired else 0
+    return DnsMessage(
+        header=DnsHeader(txid=txid, flags=flags, qdcount=1),
+        questions=(DnsQuestion(qname=qname, qtype=qtype),),
+    )
+
+
+def make_response(query: DnsMessage, answers: Tuple[ResourceRecord, ...] = (),
+                  rcode: RCODE = RCODE.NOERROR, authoritative: bool = False) -> DnsMessage:
+    """Build the response a server would return for ``query``."""
+    if not query.questions:
+        raise ValueError("cannot answer a query with no question")
+    flags = FLAG_QR | FLAG_RA | int(rcode)
+    if query.header.recursion_desired:
+        flags |= FLAG_RD
+    if authoritative:
+        flags |= FLAG_AA
+    return DnsMessage(
+        header=DnsHeader(txid=query.header.txid, flags=flags),
+        questions=query.questions,
+        answers=tuple(answers),
+    )

@@ -1,0 +1,31 @@
+"""DNS constants: record types, classes, response codes."""
+
+import enum
+
+
+class QTYPE(enum.IntEnum):
+    """Resource record types used in the experiment."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    PTR = 12
+    MX = 15
+    TXT = 16
+    AAAA = 28
+    ANY = 255
+
+
+class RCODE(enum.IntEnum):
+    """Response codes."""
+
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+
+
+QCLASS_IN = 1

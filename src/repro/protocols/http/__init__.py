@@ -1,0 +1,10 @@
+"""HTTP/1.1 message serializer and parser."""
+
+from repro.protocols.http.message import (
+    HttpMessageError,
+    HttpRequest,
+    HttpResponse,
+    make_get,
+)
+
+__all__ = ["HttpRequest", "HttpResponse", "make_get", "HttpMessageError"]

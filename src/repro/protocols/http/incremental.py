@@ -1,0 +1,100 @@
+"""Incremental HTTP/1.1 request parsing.
+
+Honeypots on real networks receive requests in arbitrary TCP segment
+boundaries; a parser that needs the whole message in one buffer cannot
+serve a socket loop.  :class:`HttpRequestParser` accepts bytes in any
+chunking, yields complete :class:`~repro.protocols.http.message.HttpRequest`
+objects as they finish (Content-Length framed), and enforces bounds so a
+hostile peer cannot balloon memory.
+"""
+
+from typing import List, Optional
+
+from repro.protocols.http.message import HttpMessageError, HttpRequest
+
+_CRLFCRLF = b"\r\n\r\n"
+_DEFAULT_MAX_HEAD = 16 * 1024
+_DEFAULT_MAX_BODY = 1 * 1024 * 1024
+
+
+class HttpRequestParser:
+    """Feed-me-bytes parser producing complete requests.
+
+    >>> parser = HttpRequestParser()
+    >>> parser.feed(b"GET / HTTP/1.1\\r\\nHost: a")
+    []
+    >>> [request.host for request in parser.feed(b".example\\r\\n\\r\\n")]
+    ['a.example']
+    """
+
+    def __init__(self, max_head_bytes: int = _DEFAULT_MAX_HEAD,
+                 max_body_bytes: int = _DEFAULT_MAX_BODY):
+        if max_head_bytes < 64:
+            raise ValueError(f"max_head_bytes too small: {max_head_bytes}")
+        if max_body_bytes < 0:
+            raise ValueError(f"max_body_bytes must be non-negative: {max_body_bytes}")
+        self._buffer = bytearray()
+        self._max_head = max_head_bytes
+        self._max_body = max_body_bytes
+        self._expected: Optional[int] = None
+        """Total message size once the head has been seen; None while the
+        separator is still outstanding."""
+        self.requests_parsed = 0
+
+    def feed(self, data: bytes) -> List[HttpRequest]:
+        """Consume ``data``; return every request completed by it."""
+        self._buffer.extend(data)
+        completed: List[HttpRequest] = []
+        while True:
+            request = self._try_extract()
+            if request is None:
+                break
+            completed.append(request)
+        return completed
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)
+
+    def _try_extract(self) -> Optional[HttpRequest]:
+        if self._expected is None:
+            separator = self._buffer.find(_CRLFCRLF)
+            if separator < 0:
+                if len(self._buffer) > self._max_head:
+                    raise HttpMessageError(
+                        f"request head exceeds {self._max_head} bytes"
+                    )
+                return None
+            head_size = separator + len(_CRLFCRLF)
+            declared = self._declared_length(bytes(self._buffer[:head_size]))
+            if declared > self._max_body:
+                raise HttpMessageError(
+                    f"declared body of {declared} bytes exceeds limit"
+                )
+            self._expected = head_size + declared
+        if len(self._buffer) < self._expected:
+            return None
+        raw = bytes(self._buffer[: self._expected])
+        del self._buffer[: self._expected]
+        self._expected = None
+        request = HttpRequest.decode(raw)
+        self.requests_parsed += 1
+        return request
+
+    @staticmethod
+    def _declared_length(head: bytes) -> int:
+        for line in head.split(b"\r\n")[1:]:
+            if b":" not in line:
+                continue
+            name, _, value = line.partition(b":")
+            if name.strip().lower() == b"content-length":
+                try:
+                    declared = int(value.strip())
+                except ValueError as exc:
+                    raise HttpMessageError(
+                        f"bad Content-Length: {value!r}"
+                    ) from exc
+                if declared < 0:
+                    raise HttpMessageError(f"negative Content-Length {declared}")
+                return declared
+        return 0

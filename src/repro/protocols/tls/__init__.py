@@ -1,0 +1,6 @@
+"""TLS record layer and ClientHello codec (the SNI-bearing decoy)."""
+
+from repro.protocols.tls.clienthello import ClientHello, TlsDecodeError
+from repro.protocols.tls.record import TlsPlaintext, wrap_handshake
+
+__all__ = ["ClientHello", "TlsPlaintext", "wrap_handshake", "TlsDecodeError"]

@@ -1,0 +1,43 @@
+"""Discrete-event simulation kit underpinning the measurement substrate.
+
+The paper's experiment runs for two wall-clock months; shadowing exhibitors
+replay observed data minutes to weeks after the triggering decoy.  Every
+component in this reproduction therefore operates on *virtual* time supplied
+by a :class:`~repro.simkit.events.Simulator`, and draws randomness from
+named, seeded streams (:class:`~repro.simkit.rng.RandomRouter`) so that a
+campaign is bit-for-bit reproducible from its seed.
+"""
+
+from repro.simkit.clock import VirtualClock
+from repro.simkit.distributions import (
+    Constant,
+    Distribution,
+    Empirical,
+    Exponential,
+    LogNormal,
+    Mixture,
+    Uniform,
+)
+from repro.simkit.events import Event, Simulator
+from repro.simkit.rng import RandomRouter
+from repro.simkit.units import DAY, HOUR, MINUTE, SECOND, WEEK, format_duration
+
+__all__ = [
+    "VirtualClock",
+    "Simulator",
+    "Event",
+    "RandomRouter",
+    "Distribution",
+    "Constant",
+    "Uniform",
+    "Exponential",
+    "LogNormal",
+    "Mixture",
+    "Empirical",
+    "SECOND",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+    "format_duration",
+]

@@ -1,0 +1,34 @@
+"""Virtual clock shared by every simulated component."""
+
+
+class VirtualClock:
+    """Monotonic virtual clock measured in seconds since campaign start.
+
+    Only the owning :class:`~repro.simkit.events.Simulator` advances the
+    clock; components hold a reference and read :meth:`now`.
+    """
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ValueError(f"clock cannot start before zero, got {start}")
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the clock forward to ``timestamp``.
+
+        Raises :class:`ValueError` on any attempt to move backwards; a
+        backwards jump would silently corrupt every temporal analysis
+        downstream, so it is treated as a programming error.
+        """
+        if timestamp < self._now:
+            raise ValueError(
+                f"clock cannot move backwards: at {self._now}, asked for {timestamp}"
+            )
+        self._now = float(timestamp)
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now!r})"

@@ -1,0 +1,162 @@
+"""Delay distributions used by observer and resolver behaviour models.
+
+The paper's Figure 4/7 CDFs are multi-modal: a spike of benign resolver
+retries under one minute, then mass at hours and days.  :class:`Mixture`
+composes simple components into those shapes; :class:`Empirical` replays a
+bucketed CDF directly.
+"""
+
+import bisect
+import math
+import random
+from abc import ABC, abstractmethod
+from typing import List, Sequence, Tuple
+
+
+class Distribution(ABC):
+    """A non-negative random variable sampled with an explicit RNG.
+
+    Distributions carry no RNG of their own: the caller supplies the stream
+    so determinism remains a property of the experiment seed.
+    """
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> float:
+        """Draw one value (seconds, for delay distributions)."""
+
+    def sample_many(self, rng: random.Random, n: int) -> List[float]:
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        return [self.sample(rng) for _ in range(n)]
+
+
+class Constant(Distribution):
+    """Always the same value. Useful for deterministic protocol timers."""
+
+    def __init__(self, value: float):
+        if value < 0:
+            raise ValueError(f"constant delay must be non-negative, got {value}")
+        self.value = float(value)
+
+    def sample(self, rng: random.Random) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value})"
+
+
+class Uniform(Distribution):
+    """Uniform over ``[low, high]``."""
+
+    def __init__(self, low: float, high: float):
+        if low < 0 or high < low:
+            raise ValueError(f"need 0 <= low <= high, got low={low}, high={high}")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"Uniform({self.low}, {self.high})"
+
+
+class Exponential(Distribution):
+    """Exponential with the given mean (not rate)."""
+
+    def __init__(self, mean: float):
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        self.mean = float(mean)
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self.mean)
+
+    def __repr__(self) -> str:
+        return f"Exponential(mean={self.mean})"
+
+
+class LogNormal(Distribution):
+    """Log-normal parameterized by the *median* and a shape sigma.
+
+    Medians are far easier to reason about than mu when matching a CDF:
+    ``LogNormal(median=2*DAY, sigma=0.8)`` puts half the mass past two days.
+    """
+
+    def __init__(self, median: float, sigma: float):
+        if median <= 0:
+            raise ValueError(f"median must be positive, got {median}")
+        if sigma <= 0:
+            raise ValueError(f"sigma must be positive, got {sigma}")
+        self.median = float(median)
+        self.sigma = float(sigma)
+        self._mu = math.log(median)
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.lognormvariate(self._mu, self.sigma)
+
+    def __repr__(self) -> str:
+        return f"LogNormal(median={self.median}, sigma={self.sigma})"
+
+
+class Mixture(Distribution):
+    """Weighted mixture of component distributions.
+
+    ``Mixture([(0.6, Uniform(0, 60)), (0.4, LogNormal(2*DAY, 0.5))])``
+    reproduces the "retry spike plus long tail" shape of Figure 4.
+    """
+
+    def __init__(self, components: Sequence[Tuple[float, Distribution]]):
+        if not components:
+            raise ValueError("mixture needs at least one component")
+        weights = [weight for weight, _ in components]
+        if any(weight < 0 for weight in weights):
+            raise ValueError(f"weights must be non-negative, got {weights}")
+        total = sum(weights)
+        if total <= 0:
+            raise ValueError("mixture weights must sum to a positive value")
+        self.components: List[Tuple[float, Distribution]] = []
+        cumulative = 0.0
+        for weight, dist in components:
+            cumulative += weight / total
+            self.components.append((cumulative, dist))
+        # Guard against float drift so the final bucket always catches 1.0.
+        last_weight, last_dist = self.components[-1]
+        self.components[-1] = (1.0, last_dist)
+
+    def sample(self, rng: random.Random) -> float:
+        point = rng.random()
+        cutoffs = [cutoff for cutoff, _ in self.components]
+        index = bisect.bisect_left(cutoffs, point)
+        return self.components[index][1].sample(rng)
+
+    def __repr__(self) -> str:
+        return f"Mixture({len(self.components)} components)"
+
+
+class Empirical(Distribution):
+    """Piecewise-uniform distribution over explicit buckets.
+
+    ``Empirical([(0, 60, 0.5), (3600, 86400, 0.5)])`` draws half the mass
+    uniformly in the first minute and half between one hour and one day.
+    Buckets are ``(low, high, weight)`` and may be unsorted.
+    """
+
+    def __init__(self, buckets: Sequence[Tuple[float, float, float]]):
+        if not buckets:
+            raise ValueError("empirical distribution needs at least one bucket")
+        for low, high, weight in buckets:
+            if low < 0 or high < low:
+                raise ValueError(f"invalid bucket bounds ({low}, {high})")
+            if weight < 0:
+                raise ValueError(f"bucket weight must be non-negative, got {weight}")
+        total = sum(weight for _, _, weight in buckets)
+        if total <= 0:
+            raise ValueError("bucket weights must sum to a positive value")
+        self._mixture = Mixture([(weight, Uniform(low, high)) for low, high, weight in buckets])
+
+    def sample(self, rng: random.Random) -> float:
+        return self._mixture.sample(rng)
+
+    def __repr__(self) -> str:
+        return f"Empirical({len(self._mixture.components)} buckets)"

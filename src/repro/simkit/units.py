@@ -1,0 +1,30 @@
+"""Time units for virtual-clock arithmetic.
+
+All simulator timestamps are floats in *seconds* since campaign start.
+These constants keep call sites legible (``3 * DAY`` rather than 259200).
+"""
+
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+WEEK = 7 * DAY
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in the largest sensible unit, e.g. ``"2.5d"``.
+
+    >>> format_duration(90)
+    '1.5m'
+    >>> format_duration(864000)
+    '10.0d'
+    """
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < MINUTE:
+        return f"{seconds:.1f}s"
+    if seconds < HOUR:
+        return f"{seconds / MINUTE:.1f}m"
+    if seconds < DAY:
+        return f"{seconds / HOUR:.1f}h"
+    return f"{seconds / DAY:.1f}d"

@@ -1,0 +1,22 @@
+"""Synthetic Internet topology.
+
+Builds deterministic, AS- and country-annotated hop lists between vantage
+points and destinations, with anycast destination selection.  The shape of
+a path is::
+
+    VP access AS -> VP-country backbone -> international transit
+    -> destination-country backbone -> destination AS -> destination
+
+which gives Phase II tracerouting realistic mid-path structure: a Chinanet
+backbone sniffer naturally lands at normalized hops 4-6 of CN paths, where
+Table 2 of the paper finds HTTP observers.
+"""
+
+from repro.topology.model import (
+    AnycastPresence,
+    Endpoint,
+    TopologyConfig,
+    TopologyModel,
+)
+
+__all__ = ["Endpoint", "TopologyModel", "TopologyConfig", "AnycastPresence"]

@@ -1,0 +1,250 @@
+"""Deterministic router fabric and path builder."""
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datasets.asns import CN_BACKBONE_ASNS, synthetic_asn
+from repro.net.addr import ip_from_int
+from repro.net.path import Hop, Path
+from repro.simkit.rng import RandomRouter
+
+# Router addresses live in the lower quarter of 100.64.0.0/10 (CGNAT
+# space): clearly synthetic, never colliding with the real destination
+# addresses from the datasets nor with vantage points (allocated from
+# 100.96.0.0 upwards by the VPN platform).
+_ROUTER_SPACE_BASE = (100 << 24) | (64 << 16)
+_ROUTER_SPACE_SIZE = 1 << 20
+
+
+def _stable_hash(text: str) -> int:
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """A path endpoint: either a vantage point or a destination server."""
+
+    address: str
+    asn: int
+    country: str
+
+
+@dataclass(frozen=True)
+class AnycastPresence:
+    """Countries where an anycast service operates instances."""
+
+    home: str
+    countries: Tuple[str, ...]
+
+    def instance_for(self, client_country: str) -> str:
+        """Country of the instance a client in ``client_country`` reaches.
+
+        Clients in a presence country hit the local instance; everyone else
+        falls through to the US instance when one exists, else to home.
+        This reproduces the paper's 114DNS case: CN VPs reach CN instances
+        (which shadow) while global VPs reach US instances (which do not).
+        """
+        if client_country in self.countries:
+            return client_country
+        if "US" in self.countries:
+            return "US"
+        return self.home
+
+
+@dataclass
+class TopologyConfig:
+    """Knobs controlling path shape and router pools."""
+
+    routers_per_access_as: int = 8
+    routers_per_backbone_as: int = 24
+    routers_per_transit_as: int = 16
+    access_hops: Tuple[int, int] = (1, 2)
+    backbone_hops: Tuple[int, int] = (1, 2)
+    transit_hops: Tuple[int, int] = (1, 2)
+    destination_as_hops: Tuple[int, int] = (1, 2)
+    icmp_silent_fraction: float = 0.06
+    """Fraction of routers that never answer TTL expiry (paper limitation)."""
+    bgp_port_fraction: float = 0.08
+    """Fraction of backbone/transit routers with TCP/179 open — Section 5.2
+    finds 92% of observers portless and BGP the top open port otherwise."""
+    anycast_presence: Dict[str, AnycastPresence] = field(default_factory=dict)
+    upstream_as_overrides: Dict[str, int] = field(default_factory=dict)
+    """Destination address -> AS of its immediate upstream segment.  Lets
+    specific services sit behind named networks (e.g. a resolver fronted
+    by Zenlayer), placing on-path observers at near-destination hops."""
+    named_backbones: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
+    """Country -> backbone ASNs.  Countries absent here get one synthetic
+    backbone each; mainland China defaults to the Chinanet backbones."""
+
+
+class TopologyModel:
+    """Creates routers lazily and stitches paths deterministically.
+
+    Routers are cached by (asn, index): the same logical device appears on
+    every path that selects it, which is what lets a single on-path
+    observer account for shadowing across many client-server paths
+    (Table 3 counts observer IPs for this reason).
+    """
+
+    def __init__(self, router: RandomRouter, config: Optional[TopologyConfig] = None):
+        self._router = router
+        self.config = config if config is not None else TopologyConfig()
+        self._hops: Dict[Tuple[int, int], Hop] = {}
+        self._addresses_in_use: set = set()
+        self._paths: Dict[Tuple[str, str, Optional[str]], Path] = {}
+
+    # -- router fabric -------------------------------------------------------
+
+    def router_hop(self, asn: int, index: int, country: str) -> Hop:
+        """The router ``index`` within ``asn``, created on first use."""
+        key = (asn, index)
+        if key in self._hops:
+            return self._hops[key]
+        offset = _stable_hash(f"router:{asn}:{index}") % _ROUTER_SPACE_SIZE
+        while offset in self._addresses_in_use:
+            offset = (offset + 1) % _ROUTER_SPACE_SIZE
+        self._addresses_in_use.add(offset)
+        address = ip_from_int(_ROUTER_SPACE_BASE + offset)
+        rng = self._router.stream(f"router:{asn}:{index}")
+        responds_icmp = rng.random() >= self.config.icmp_silent_fraction
+        open_ports: Tuple[int, ...] = ()
+        if rng.random() < self.config.bgp_port_fraction:
+            open_ports = (179,)
+        hop = Hop(
+            address=address,
+            asn=asn,
+            country=country,
+            responds_icmp=responds_icmp,
+            open_ports=open_ports,
+        )
+        self._hops[key] = hop
+        return hop
+
+    def known_router(self, address: str) -> Optional[Hop]:
+        """Reverse lookup by address (used by observer port scans)."""
+        for hop in self._hops.values():
+            if hop.address == address:
+                return hop
+        return None
+
+    # -- AS selection --------------------------------------------------------
+
+    def backbone_asn(self, country: str, selector: int) -> int:
+        """The backbone AS serving ``country``.
+
+        Mainland China routes through the real Chinanet backbones; other
+        countries get one synthetic backbone each unless the config names
+        one (e.g. Rogers for CA).
+        """
+        named = self.config.named_backbones.get(country)
+        if named:
+            return named[selector % len(named)]
+        if country == "CN":
+            return CN_BACKBONE_ASNS[selector % len(CN_BACKBONE_ASNS)]
+        return synthetic_asn(10_000 + (_stable_hash(f"backbone:{country}") % 4096))
+
+    def transit_asn(self, src_country: str, dst_country: str) -> int:
+        """A synthetic international transit AS between two countries."""
+        pair = "|".join(sorted((src_country, dst_country)))
+        return synthetic_asn(20_000 + (_stable_hash(f"transit:{pair}") % 4096))
+
+    # -- anycast -------------------------------------------------------------
+
+    def anycast_instance(self, service_name: str, home_country: str,
+                         client_country: str) -> str:
+        """Country of the anycast instance a client reaches.
+
+        Services without a registered presence behave as unicast in their
+        home country.
+        """
+        presence = self.config.anycast_presence.get(service_name)
+        if presence is None:
+            return home_country
+        return presence.instance_for(client_country)
+
+    # -- path construction ---------------------------------------------------
+
+    def build_path(self, vp: Endpoint, destination: Endpoint,
+                   destination_country_override: Optional[str] = None,
+                   destination_open_ports: Tuple[int, ...] = ()) -> Path:
+        """The hop list from ``vp`` to ``destination``.
+
+        Deterministic per (vp.address, destination.address) pair; repeated
+        calls return the same cached :class:`Path` object, so taps attached
+        by the campaign survive re-lookup.
+        ``destination_country_override`` places the terminal segment in an
+        anycast instance's country rather than the service's home.
+        """
+        cache_key = (vp.address, destination.address, destination_country_override)
+        if cache_key in self._paths:
+            return self._paths[cache_key]
+        dest_country = destination_country_override or destination.country
+        pair_rng = self._router.fork(
+            f"path:{vp.address}->{destination.address}"
+        ).stream("hops")
+        config = self.config
+
+        def pick(count_range: Tuple[int, int]) -> int:
+            low, high = count_range
+            return pair_rng.randint(low, high)
+
+        def segment(asn: int, country: str, pool: int, hops: int) -> List[Hop]:
+            chosen = []
+            for _ in range(hops):
+                index = pair_rng.randrange(pool)
+                hop = self.router_hop(asn, index, country)
+                if chosen and hop.address == chosen[-1].address:
+                    hop = self.router_hop(asn, (index + 1) % pool, country)
+                chosen.append(hop)
+            return chosen
+
+        hops: List[Hop] = []
+        # The first hop is pinned per VP: every path out of a vantage point
+        # leaves through the same access router.  This is what makes the
+        # Appendix E pair-resolver heuristic sound — a VP's query to a
+        # target and to its pair resolver share the client-side hops where
+        # interception devices sit.
+        first_index = _stable_hash(f"firsthop:{vp.address}") % config.routers_per_access_as
+        hops.append(self.router_hop(vp.asn, first_index, vp.country))
+        access_extra = pick(config.access_hops) - 1
+        if access_extra > 0:
+            hops += segment(vp.asn, vp.country,
+                            config.routers_per_access_as, access_extra)
+        hops += segment(self.backbone_asn(vp.country, 0), vp.country,
+                        config.routers_per_backbone_as, pick(config.backbone_hops))
+        if vp.country != dest_country:
+            hops += segment(self.transit_asn(vp.country, dest_country), vp.country,
+                            config.routers_per_transit_as, pick(config.transit_hops))
+            hops += segment(self.backbone_asn(dest_country, 1), dest_country,
+                            config.routers_per_backbone_as, pick(config.backbone_hops))
+        upstream_asn = config.upstream_as_overrides.get(
+            destination.address, destination.asn
+        )
+        hops += segment(upstream_asn, dest_country,
+                        config.routers_per_transit_as, pick(config.destination_as_hops))
+        hops.append(
+            Hop(
+                address=destination.address,
+                asn=destination.asn,
+                country=dest_country,
+                is_destination=True,
+                open_ports=destination_open_ports,
+            )
+        )
+        path = Path(hops)
+        self._paths[cache_key] = path
+        return path
+
+    @staticmethod
+    def normalized_hop(position: int, path_length: int) -> int:
+        """Map a 1-indexed hop onto the paper's 1-10 scale (10 = destination)."""
+        if not 1 <= position <= path_length:
+            raise ValueError(
+                f"position {position} outside path of length {path_length}"
+            )
+        if path_length == 1:
+            return 10
+        scaled = 1 + round(9 * (position - 1) / (path_length - 1))
+        return int(scaled)

@@ -1,0 +1,27 @@
+"""VPN-based measurement platform.
+
+Mirrors Section 3 / Appendix C of the paper: vantage points recruited from
+datacenter VPN providers (global + mainland China), addresses learned by
+connecting out to the honeypot rather than trusting advertised locations,
+providers vetted for TTL manipulation, and VPs affected by on-path DNS
+interception removed via the Appendix E pair-resolver heuristic.
+"""
+
+from repro.vpn.platform import PlatformSummary, VpnPlatform
+from repro.vpn.scheduler import RoundRobinScheduler
+from repro.vpn.survey import PLATFORM_SURVEY, SurveyedPlatform, survey_rows
+from repro.vpn.vantage import VantagePoint
+from repro.vpn.vetting import VettingReport, pair_resolver_filter, vet_providers
+
+__all__ = [
+    "VantagePoint",
+    "VpnPlatform",
+    "PlatformSummary",
+    "RoundRobinScheduler",
+    "vet_providers",
+    "pair_resolver_filter",
+    "VettingReport",
+    "PLATFORM_SURVEY",
+    "SurveyedPlatform",
+    "survey_rows",
+]

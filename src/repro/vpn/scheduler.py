@@ -1,0 +1,56 @@
+"""Round-robin VP scheduling.
+
+Section 4: "switching between different VPs from VPN services continuously
+in a round-robin fashion without stop".  The scheduler walks the VP list
+cyclically and spaces sends to respect the paper's per-target rate limit
+(no more than 2 decoys/second toward any single destination).
+"""
+
+from typing import Iterator, List, Sequence
+
+from repro.vpn.vantage import VantagePoint
+
+
+class RoundRobinScheduler:
+    """Cycles through vantage points, tracking per-destination send times."""
+
+    def __init__(self, vantage_points: Sequence[VantagePoint],
+                 per_target_interval: float = 0.5):
+        if not vantage_points:
+            raise ValueError("scheduler needs at least one vantage point")
+        if per_target_interval < 0:
+            raise ValueError(f"interval must be non-negative, got {per_target_interval}")
+        self._vps: List[VantagePoint] = list(vantage_points)
+        self._cursor = 0
+        self.per_target_interval = per_target_interval
+        self._last_send_toward: dict = {}
+
+    def next_vp(self) -> VantagePoint:
+        """The next VP in rotation."""
+        vp = self._vps[self._cursor]
+        self._cursor = (self._cursor + 1) % len(self._vps)
+        return vp
+
+    def rounds(self, count: int) -> Iterator[VantagePoint]:
+        """Yield ``count`` full rotations worth of VPs."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        for _ in range(count * len(self._vps)):
+            yield self.next_vp()
+
+    def earliest_send_time(self, target: str, proposed: float) -> float:
+        """Shift ``proposed`` later if needed to respect the rate limit, and
+        record the reservation.
+
+        Ethics appendix: at most 2 decoy packets per second toward a given
+        target, hence the default 0.5 s spacing.
+        """
+        last = self._last_send_toward.get(target)
+        send_at = proposed
+        if last is not None and proposed - last < self.per_target_interval:
+            send_at = last + self.per_target_interval
+        self._last_send_toward[target] = send_at
+        return send_at
+
+    def __len__(self) -> int:
+        return len(self._vps)

@@ -1,0 +1,87 @@
+"""Platform vetting (Appendices C and E).
+
+Two filters run before any decoys are sent:
+
+1. **TTL-reset exclusion** — providers that rewrite the TTL of outgoing
+   packets break hop-by-hop tracerouting; such providers are detected by
+   sending probes to a controlled server and comparing received TTLs, and
+   every VP of an offending provider is dropped.
+2. **Pair-resolver interception filter** — for each DNS destination, a
+   *pair resolver* is an address in the same /24 that runs no DNS service.
+   A VP whose query to any pair resolver nonetheless draws a response sits
+   behind an on-path DNS interceptor, which would corrupt observer
+   localization; the VP is removed.
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Tuple
+
+from repro.datasets.resolvers import DnsDestination
+from repro.vpn.vantage import VantagePoint
+
+# Signature: does a DNS query from this VP to this address draw a response?
+PairProbe = Callable[[VantagePoint, str], bool]
+
+
+@dataclass
+class VettingReport:
+    """Outcome of a vetting pass."""
+
+    kept: List[VantagePoint] = field(default_factory=list)
+    removed_ttl_reset: List[VantagePoint] = field(default_factory=list)
+    removed_intercepted: List[VantagePoint] = field(default_factory=list)
+
+    @property
+    def removed(self) -> int:
+        return len(self.removed_ttl_reset) + len(self.removed_intercepted)
+
+
+def vet_providers(vps: Sequence[VantagePoint]) -> VettingReport:
+    """Drop every VP whose provider resets outgoing TTLs."""
+    report = VettingReport()
+    for vp in vps:
+        if vp.resets_ttl:
+            report.removed_ttl_reset.append(vp)
+        else:
+            report.kept.append(vp)
+    return report
+
+
+def pair_resolver_filter(
+    vps: Sequence[VantagePoint],
+    destinations: Sequence[DnsDestination],
+    probe: PairProbe,
+) -> VettingReport:
+    """Remove VPs behind DNS interceptors.
+
+    ``probe(vp, address)`` must actually send a DNS query from the VP to
+    ``address`` and report whether any response arrived.  Pair resolvers
+    offer no DNS service, so any response implies interception on the path
+    (Appendix E), and the VP is discarded.
+    """
+    report = VettingReport()
+    pair_addresses: List[Tuple[str, str]] = [
+        (destination.name, destination.pair_address) for destination in destinations
+    ]
+    for vp in vps:
+        intercepted = any(probe(vp, address) for _, address in pair_addresses)
+        if intercepted:
+            report.removed_intercepted.append(vp)
+        else:
+            report.kept.append(vp)
+    return report
+
+
+def full_vetting(
+    vps: Sequence[VantagePoint],
+    destinations: Sequence[DnsDestination],
+    probe: PairProbe,
+) -> VettingReport:
+    """TTL-reset exclusion followed by the pair-resolver filter."""
+    first = vet_providers(vps)
+    second = pair_resolver_filter(first.kept, destinations, probe)
+    return VettingReport(
+        kept=second.kept,
+        removed_ttl_reset=first.removed_ttl_reset,
+        removed_intercepted=second.removed_intercepted,
+    )

@@ -1,0 +1,57 @@
+"""Tests for the case-study analyses (Section 5.1)."""
+
+import pytest
+
+from repro.analysis.casestudies import (
+    AnycastCaseStudy,
+    anycast_case_study,
+    yandex_case_study,
+)
+from repro.core.config import ExperimentConfig
+from repro.core.correlate import DecoyLedger
+from repro.core.experiment import Experiment
+from repro.simkit.units import DAY
+
+
+@pytest.fixture(scope="module")
+def result():
+    return Experiment(ExperimentConfig.tiny(seed=20240301)).run()
+
+
+class TestYandexCaseStudy:
+    def test_digest_matches_paper_shape(self, result):
+        study = yandex_case_study(result.ledger, result.phase1.events)
+        assert study.matches_paper_shape()
+        assert study.shadowed_share > 0.9
+        assert study.median_delay is not None
+        assert study.median_delay > 6 * 3600  # retention measured in days
+        assert 0.0 <= study.share_after_10_days <= 1.0
+
+    def test_empty_world(self):
+        study = yandex_case_study(DecoyLedger(), [])
+        assert study.shadowed_share == 0.0
+        assert study.median_delay is None
+        assert not study.matches_paper_shape()
+
+
+class TestAnycastCaseStudy:
+    def test_114dns_split(self, result):
+        study = anycast_case_study(result.ledger, result.phase1.events)
+        assert study.destination == "114DNS"
+        assert study.cn_paths > 0 and study.global_paths > 0
+        assert study.matches_paper_shape()
+        assert study.cn_ratio > study.global_ratio
+
+    def test_non_anycast_destination_has_no_split(self, result):
+        """Yandex is unicast: global and CN VPs are shadowed alike, so the
+        anycast signature must NOT appear."""
+        study = anycast_case_study(result.ledger, result.phase1.events,
+                                   destination="Yandex")
+        assert not study.matches_paper_shape()
+        assert study.global_ratio > 0.8
+
+    def test_ratios_for_empty_study(self):
+        study = AnycastCaseStudy("X", 0, 0, 0, 0)
+        assert study.cn_ratio == 0.0
+        assert study.global_ratio == 0.0
+        assert not study.matches_paper_shape()

@@ -1,0 +1,144 @@
+"""Tests for the unsolicited-request classifier (Section 3 rules)."""
+
+import pytest
+
+from repro.core.correlate import Correlator, DecoyLedger, DecoyRecord
+from repro.core.identifier import DecoyIdentity, IdentifierCodec
+from repro.honeypot.logstore import LoggedRequest, LogStore
+
+ZONE = "www.experiment.domain"
+CODEC = IdentifierCodec()
+
+
+def make_record(protocol="dns", sequence=1, phase=1) -> DecoyRecord:
+    identity = DecoyIdentity(sent_at=100, vp_address="100.96.0.1",
+                             dst_address="8.8.8.8", ttl=64, sequence=sequence)
+    domain = f"{CODEC.encode(identity)}.{ZONE}"
+    return DecoyRecord(
+        identity=identity, domain=domain, protocol=protocol,
+        vp_id="vp-1", vp_country="DE", vp_province=None,
+        destination_address="8.8.8.8", destination_name="Google",
+        destination_kind="dns", destination_country="US",
+        instance_country="US", path_length=10, sent_at=100.0, phase=phase,
+    )
+
+
+def entry(domain, protocol, time, src="100.88.0.1", path=None):
+    return LoggedRequest(time=time, site="US", protocol=protocol,
+                         src_address=src, domain=domain, path=path)
+
+
+class TestClassificationRules:
+    def make(self, record):
+        ledger = DecoyLedger()
+        ledger.register(record)
+        return ledger, Correlator(ledger, ZONE), LogStore()
+
+    def test_first_dns_arrival_of_dns_decoy_is_initial(self):
+        record = make_record(protocol="dns")
+        ledger, correlator, log = self.make(record)
+        log.append(entry(record.domain, "dns", 101.0))
+        result = correlator.correlate(log)
+        assert result.events == []
+        assert record.domain in result.initial_arrivals
+
+    def test_second_dns_arrival_is_unsolicited_rule_iii(self):
+        record = make_record(protocol="dns")
+        ledger, correlator, log = self.make(record)
+        log.append(entry(record.domain, "dns", 101.0))
+        log.append(entry(record.domain, "dns", 150.0))
+        result = correlator.correlate(log)
+        assert len(result.events) == 1
+        assert result.events[0].combo == "DNS-DNS"
+        assert result.events[0].delta == pytest.approx(50.0)
+
+    def test_http_arrival_always_unsolicited_rule_ii(self):
+        record = make_record(protocol="dns")
+        ledger, correlator, log = self.make(record)
+        log.append(entry(record.domain, "http", 7300.0, path="/admin"))
+        result = correlator.correlate(log)
+        assert [event.combo for event in result.events] == ["DNS-HTTP"]
+
+    def test_dns_arrival_for_http_decoy_unsolicited_rule_i(self):
+        record = make_record(protocol="http")
+        ledger, correlator, log = self.make(record)
+        log.append(entry(record.domain, "dns", 200.0))
+        result = correlator.correlate(log)
+        assert [event.combo for event in result.events] == ["HTTP-DNS"]
+
+    def test_tls_decoy_https_request_combo(self):
+        record = make_record(protocol="tls")
+        ledger, correlator, log = self.make(record)
+        log.append(entry(record.domain, "https", 200.0))
+        result = correlator.correlate(log)
+        assert [event.combo for event in result.events] == ["TLS-HTTPS"]
+
+    def test_all_arrivals_after_initial_counted(self):
+        record = make_record(protocol="dns")
+        ledger, correlator, log = self.make(record)
+        for time in (101.0, 102.0, 5000.0, 90000.0):
+            log.append(entry(record.domain, "dns", time))
+        result = correlator.correlate(log)
+        assert len(result.events) == 3
+
+    def test_unknown_domain_is_noise(self):
+        record = make_record()
+        ledger, correlator, log = self.make(record)
+        log.append(entry(f"unknown-label-0001.{ZONE}", "dns", 101.0))
+        result = correlator.correlate(log)
+        assert result.events == []
+        assert result.unknown_domains == [f"unknown-label-0001.{ZONE}"]
+
+    def test_phase_filter(self):
+        record1 = make_record(protocol="dns", sequence=1, phase=1)
+        record2 = make_record(protocol="dns", sequence=2, phase=2)
+        ledger = DecoyLedger()
+        ledger.register(record1)
+        ledger.register(record2)
+        correlator = Correlator(ledger, ZONE)
+        log = LogStore()
+        log.append(entry(record1.domain, "http", 200.0))
+        log.append(entry(record2.domain, "http", 300.0))
+        phase1 = correlator.correlate(log, phase=1)
+        phase2 = correlator.correlate(log, phase=2)
+        assert [event.decoy.phase for event in phase1.events] == [1]
+        assert [event.decoy.phase for event in phase2.events] == [2]
+
+    def test_origin_address_exposed(self):
+        record = make_record(protocol="dns")
+        ledger, correlator, log = self.make(record)
+        log.append(entry(record.domain, "http", 200.0, src="100.88.7.7"))
+        result = correlator.correlate(log)
+        assert result.events[0].origin_address == "100.88.7.7"
+
+    def test_shadowed_domains_deduplicated(self):
+        record = make_record(protocol="dns")
+        ledger, correlator, log = self.make(record)
+        log.append(entry(record.domain, "http", 200.0))
+        log.append(entry(record.domain, "https", 300.0))
+        result = correlator.correlate(log)
+        assert result.shadowed_domains() == [record.domain]
+
+    def test_combo_label_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Correlator.combo_label("dns", "gopher")
+
+
+class TestDecoyLedger:
+    def test_duplicate_domain_rejected(self):
+        ledger = DecoyLedger()
+        record = make_record()
+        ledger.register(record)
+        with pytest.raises(ValueError):
+            ledger.register(record)
+
+    def test_lookup_and_records(self):
+        ledger = DecoyLedger()
+        record1 = make_record(sequence=1, phase=1)
+        record2 = make_record(sequence=2, phase=2)
+        ledger.register(record1)
+        ledger.register(record2)
+        assert ledger.lookup(record1.domain) is record1
+        assert ledger.lookup("nope") is None
+        assert len(ledger.records(phase=2)) == 1
+        assert len(ledger) == 2

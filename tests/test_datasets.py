@@ -1,0 +1,177 @@
+"""Tests for the embedded datasets (Tables 4/5, countries, ASes, Tranco pool)."""
+
+import pytest
+
+from repro.datasets.asns import (
+    ASES_BY_NUMBER,
+    NAMED_ASES,
+    SYNTHETIC_ASN_BASE,
+    lookup_as,
+    synthetic_asn,
+)
+from repro.datasets.countries import (
+    ALL_COUNTRIES,
+    CN_PROVINCES,
+    GLOBAL_COUNTRIES,
+    country_weight,
+)
+from repro.datasets.providers import (
+    ALL_PROVIDERS,
+    CN_PROVIDERS,
+    GLOBAL_PROVIDERS,
+    PAPER_TOTAL_VP_COUNT,
+)
+from repro.datasets.resolvers import (
+    ALL_DNS_DESTINATIONS,
+    PUBLIC_RESOLVERS,
+    RESOLVER_H_NAMES,
+    ROOT_SERVERS,
+    TLD_SERVERS,
+    is_resolver_h,
+    resolver_h,
+)
+from repro.datasets.tranco import generate_web_destinations, sample_web_destinations
+from repro.net.addr import is_valid_ipv4, same_slash24
+from repro.simkit.rng import RandomRouter
+
+
+class TestResolvers:
+    def test_twenty_public_resolvers(self):
+        assert len(PUBLIC_RESOLVERS) == 20
+
+    def test_thirteen_roots_two_tlds(self):
+        assert len(ROOT_SERVERS) == 13
+        assert len(TLD_SERVERS) == 2
+
+    def test_total_destinations_is_36(self):
+        # 20 public + 1 self-built + 13 roots + 2 TLDs, as in Section 4.
+        assert len(ALL_DNS_DESTINATIONS) == 36
+
+    def test_all_addresses_valid_and_unique(self):
+        addresses = [destination.address for destination in ALL_DNS_DESTINATIONS]
+        assert all(is_valid_ipv4(address) for address in addresses)
+        assert len(set(addresses)) == len(addresses)
+
+    def test_known_paper_addresses(self):
+        by_name = {destination.name: destination.address
+                   for destination in PUBLIC_RESOLVERS}
+        assert by_name["Google"] == "8.8.8.8"
+        assert by_name["Yandex"] == "77.88.8.8"
+        assert by_name["114DNS"] == "114.114.114.114"
+        assert by_name["Cloudflare"] == "1.1.1.1"
+
+    def test_resolver_h_set(self):
+        names = {destination.name for destination in resolver_h()}
+        assert names == {"Yandex", "114DNS", "OneDNS", "DNSPAI", "Vercara"}
+        assert is_resolver_h("Yandex")
+        assert not is_resolver_h("Google")
+
+    def test_pair_address_shares_slash24_but_differs(self):
+        for destination in PUBLIC_RESOLVERS:
+            pair = destination.pair_address
+            assert pair != destination.address
+            assert same_slash24(pair, destination.address)
+
+    def test_pair_address_avoids_network_and_broadcast(self):
+        for destination in ALL_DNS_DESTINATIONS:
+            last_octet = int(destination.pair_address.split(".")[-1])
+            assert 1 <= last_octet <= 254
+
+
+class TestProviders:
+    def test_six_global_thirteen_cn(self):
+        assert len(GLOBAL_PROVIDERS) == 6
+        assert len(CN_PROVIDERS) == 13
+        assert len(ALL_PROVIDERS) == 19
+
+    def test_all_datacenter(self):
+        assert all(provider.datacenter for provider in ALL_PROVIDERS)
+
+    def test_shares_sum_to_one_per_region(self):
+        for providers in (GLOBAL_PROVIDERS, CN_PROVIDERS):
+            assert sum(provider.vp_share for provider in providers) == pytest.approx(1.0)
+
+    def test_paper_totals(self):
+        assert PAPER_TOTAL_VP_COUNT == 4364
+
+
+class TestCountries:
+    def test_82_countries_total(self):
+        assert len(ALL_COUNTRIES) == 82
+        assert len(set(ALL_COUNTRIES)) == 82
+
+    def test_cn_not_in_global_list(self):
+        assert "CN" not in GLOBAL_COUNTRIES
+
+    def test_30_provinces(self):
+        assert len(CN_PROVINCES) == 30
+        assert len(set(CN_PROVINCES)) == 30
+
+    def test_weights_positive(self):
+        assert country_weight("US") > country_weight("AL") > 0
+
+
+class TestAsns:
+    def test_named_ases_unique(self):
+        numbers = [system.asn for system in NAMED_ASES]
+        assert len(set(numbers)) == len(numbers)
+
+    def test_paper_ases_present(self):
+        assert ASES_BY_NUMBER[4134].name == "CHINANET-BACKBONE"
+        assert ASES_BY_NUMBER[15169].name == "Google LLC"
+        assert ASES_BY_NUMBER[29988].country == "CA"
+
+    def test_synthetic_asn_range(self):
+        assert synthetic_asn(0) == SYNTHETIC_ASN_BASE
+        with pytest.raises(ValueError):
+            synthetic_asn(-1)
+
+    def test_lookup_named_and_synthetic(self):
+        assert lookup_as(4134).country == "CN"
+        assert lookup_as(synthetic_asn(7)).name == "SYNTH-7"
+        with pytest.raises(KeyError):
+            lookup_as(64512)
+
+
+class TestTranco:
+    def test_deterministic(self):
+        first = generate_web_destinations(RandomRouter(1), site_count=50)
+        second = generate_web_destinations(RandomRouter(1), site_count=50)
+        assert first == second
+
+    def test_different_seed_differs(self):
+        first = generate_web_destinations(RandomRouter(1), site_count=50)
+        second = generate_web_destinations(RandomRouter(2), site_count=50)
+        assert first != second
+
+    def test_addresses_unique(self):
+        pool = generate_web_destinations(RandomRouter(3), site_count=100)
+        addresses = [destination.address for destination in pool]
+        assert len(set(addresses)) == len(addresses)
+
+    def test_as_pool_capped(self):
+        pool = generate_web_destinations(RandomRouter(3), site_count=300, as_pool_size=50)
+        assert len({destination.asn for destination in pool}) <= 50
+
+    def test_country_mix_us_heavy(self):
+        pool = generate_web_destinations(RandomRouter(4), site_count=400)
+        from collections import Counter
+        counts = Counter(destination.country for destination in pool)
+        assert counts["US"] > counts.get("CN", 0) > 0
+
+    def test_rejects_bad_site_count(self):
+        with pytest.raises(ValueError):
+            generate_web_destinations(RandomRouter(1), site_count=0)
+
+    def test_sampling_is_deterministic_and_bounded(self):
+        router = RandomRouter(5)
+        pool = generate_web_destinations(router, site_count=80)
+        sample_a = sample_web_destinations(RandomRouter(5), pool, 20)
+        sample_b = sample_web_destinations(RandomRouter(5), pool, 20)
+        assert sample_a == sample_b
+        assert len(sample_a) == 20
+
+    def test_sampling_more_than_pool_returns_pool(self):
+        router = RandomRouter(5)
+        pool = generate_web_destinations(router, site_count=10)
+        assert len(sample_web_destinations(router, pool, 10_000)) == len(pool)

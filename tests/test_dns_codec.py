@@ -1,0 +1,213 @@
+"""Tests for the DNS wire codec: names, header, records, full messages."""
+
+import pytest
+
+from repro.net.errors import PacketDecodeError
+from repro.protocols.dns import (
+    DnsHeader,
+    DnsMessage,
+    DnsNameError,
+    DnsQuestion,
+    QTYPE,
+    RCODE,
+    ResourceRecord,
+    decode_name,
+    encode_name,
+    is_subdomain_of,
+    make_query,
+    make_response,
+    normalize_name,
+)
+from repro.protocols.dns.message import FLAG_AA, FLAG_QR
+
+
+class TestNames:
+    def test_roundtrip_simple(self):
+        wire = encode_name("www.example.com")
+        name, offset = decode_name(wire, 0)
+        assert name == "www.example.com"
+        assert offset == len(wire)
+
+    def test_normalization_lowercases_and_strips_dot(self):
+        assert normalize_name("WWW.Example.COM.") == "www.example.com"
+
+    def test_root_name(self):
+        assert encode_name("") == b"\x00"
+        name, offset = decode_name(b"\x00", 0)
+        assert name == ""
+        assert offset == 1
+
+    def test_rejects_oversized_label(self):
+        with pytest.raises(DnsNameError):
+            encode_name("a" * 64 + ".example.com")
+
+    def test_accepts_63_byte_label(self):
+        encode_name("a" * 63 + ".example.com")
+
+    def test_rejects_oversized_name(self):
+        long_name = ".".join(["a" * 60] * 5)
+        with pytest.raises(DnsNameError):
+            encode_name(long_name)
+
+    def test_rejects_empty_label(self):
+        with pytest.raises(DnsNameError):
+            encode_name("a..b")
+
+    def test_decode_rejects_truncation(self):
+        wire = encode_name("www.example.com")
+        with pytest.raises(DnsNameError):
+            decode_name(wire[:-3], 0)
+
+    def test_decode_follows_compression_pointer(self):
+        target = encode_name("example.com")
+        message = target + b"\x03www" + b"\xc0\x00"  # www + pointer to offset 0
+        name, offset = decode_name(message, len(target))
+        assert name == "www.example.com"
+        assert offset == len(message)
+
+    def test_decode_rejects_forward_pointer(self):
+        message = b"\xc0\x05" + b"\x00" * 10
+        with pytest.raises(DnsNameError):
+            decode_name(message, 0)
+
+    def test_is_subdomain_of(self):
+        assert is_subdomain_of("a.b.example.com", "example.com")
+        assert is_subdomain_of("example.com", "example.com")
+        assert not is_subdomain_of("notexample.com", "example.com")
+        assert not is_subdomain_of("example.com.evil.org", "example.com")
+
+
+class TestHeader:
+    def test_roundtrip(self):
+        header = DnsHeader(txid=0x1234, flags=FLAG_QR | FLAG_AA, qdcount=1, ancount=2)
+        assert DnsHeader.decode(header.encode()) == header
+
+    def test_rejects_bad_txid(self):
+        with pytest.raises(ValueError):
+            DnsHeader(txid=70000)
+
+    def test_flag_properties(self):
+        header = DnsHeader(txid=1, flags=FLAG_QR | int(RCODE.NXDOMAIN))
+        assert header.is_response
+        assert header.rcode is RCODE.NXDOMAIN
+
+    def test_decode_rejects_short_buffer(self):
+        with pytest.raises(PacketDecodeError):
+            DnsHeader.decode(b"\x00\x01")
+
+
+class TestMessages:
+    def test_query_roundtrip(self):
+        query = make_query("g6d8jjkut5obc4-9982.www.experiment.domain", txid=7)
+        decoded = DnsMessage.decode(query.encode())
+        assert decoded.qname == "g6d8jjkut5obc4-9982.www.experiment.domain"
+        assert decoded.header.txid == 7
+        assert decoded.header.recursion_desired
+        assert not decoded.header.is_response
+
+    def test_response_roundtrip_with_a_record(self):
+        query = make_query("www.experiment.domain", txid=9)
+        answer = ResourceRecord(name="www.experiment.domain", rtype=QTYPE.A,
+                                ttl=3600, rdata="203.0.113.10")
+        response = make_response(query, answers=(answer,), authoritative=True)
+        decoded = DnsMessage.decode(response.encode())
+        assert decoded.header.is_response
+        assert decoded.header.rcode is RCODE.NOERROR
+        assert decoded.answers[0].rdata == "203.0.113.10"
+        assert decoded.answers[0].ttl == 3600
+
+    def test_response_preserves_txid(self):
+        query = make_query("x.example.com", txid=0xBEEF)
+        response = make_response(query)
+        assert DnsMessage.decode(response.encode()).header.txid == 0xBEEF
+
+    def test_nxdomain_response(self):
+        query = make_query("missing.example.com", txid=3)
+        response = make_response(query, rcode=RCODE.NXDOMAIN)
+        assert DnsMessage.decode(response.encode()).header.rcode is RCODE.NXDOMAIN
+
+    def test_compression_shrinks_repeated_names(self):
+        query = make_query("very-long-label-for-compression.example.com", txid=1)
+        answer = ResourceRecord(name="very-long-label-for-compression.example.com",
+                                rtype=QTYPE.A, ttl=60, rdata="1.2.3.4")
+        response = make_response(query, answers=(answer,))
+        encoded = response.encode()
+        # The answer's name must be a 2-byte pointer, not a re-encoding.
+        assert len(encoded) < len(query.encode()) + 2 + 10 + 4 + 20
+        assert DnsMessage.decode(encoded).answers[0].name == query.qname
+
+    def test_txt_record_roundtrip(self):
+        query = make_query("t.example.com", txid=2, qtype=QTYPE.TXT)
+        answer = ResourceRecord(name="t.example.com", rtype=QTYPE.TXT,
+                                ttl=60, rdata="experiment contact: see homepage")
+        decoded = DnsMessage.decode(make_response(query, answers=(answer,)).encode())
+        assert decoded.answers[0].rdata == "experiment contact: see homepage"
+
+    def test_cname_and_ns_records_roundtrip(self):
+        query = make_query("alias.example.com", txid=2)
+        records = (
+            ResourceRecord(name="alias.example.com", rtype=QTYPE.CNAME,
+                           ttl=30, rdata="real.example.com"),
+            ResourceRecord(name="real.example.com", rtype=QTYPE.NS,
+                           ttl=30, rdata="ns1.example.com"),
+        )
+        decoded = DnsMessage.decode(make_response(query, answers=records).encode())
+        assert decoded.answers[0].rdata == "real.example.com"
+        assert decoded.answers[1].rdata == "ns1.example.com"
+
+    def test_soa_record_roundtrip(self):
+        query = make_query("example.com", txid=2, qtype=QTYPE.SOA)
+        soa = ResourceRecord(name="example.com", rtype=QTYPE.SOA, ttl=300,
+                             rdata="ns1.example.com admin.example.com 2024030101 7200 3600 1209600 300")
+        decoded = DnsMessage.decode(make_response(query, answers=(soa,)).encode())
+        assert decoded.answers[0].rdata.split()[2] == "2024030101"
+
+    def test_record_rejects_negative_ttl(self):
+        with pytest.raises(ValueError):
+            ResourceRecord(name="x.com", rtype=QTYPE.A, ttl=-1, rdata="1.2.3.4")
+
+    def test_make_response_requires_question(self):
+        empty = DnsMessage(header=DnsHeader(txid=1))
+        with pytest.raises(ValueError):
+            make_response(empty)
+
+    def test_decode_rejects_truncated_question(self):
+        query = make_query("www.example.com", txid=5).encode()
+        with pytest.raises(PacketDecodeError):
+            DnsMessage.decode(query[:-2])
+
+    def test_qname_none_for_empty_message(self):
+        assert DnsMessage(header=DnsHeader(txid=1)).qname is None
+
+
+class TestSuffixCompression:
+    def test_sibling_names_share_suffix_pointer(self):
+        """a.example.com then b.example.com: the second name emits one
+        label plus a pointer into the first."""
+        query = make_query("a.example.com", txid=1)
+        answers = (
+            ResourceRecord(name="a.example.com", rtype=QTYPE.CNAME,
+                           ttl=60, rdata="b.example.com"),
+        )
+        response = make_response(query, answers=answers)
+        encoded = response.encode()
+        decoded = DnsMessage.decode(encoded)
+        assert decoded.answers[0].rdata == "b.example.com"
+        # "example.com" must appear exactly once in the wire bytes.
+        assert encoded.count(b"\x07example\x03com") == 1
+
+    def test_deep_names_compress_progressively(self):
+        names = [
+            "x.deep.zone.example.com",
+            "y.deep.zone.example.com",
+            "z.zone.example.com",
+        ]
+        query = make_query(names[0], txid=2)
+        answers = tuple(
+            ResourceRecord(name=name, rtype=QTYPE.A, ttl=60, rdata="1.2.3.4")
+            for name in names
+        )
+        response = make_response(query, answers=answers)
+        decoded = DnsMessage.decode(response.encode())
+        assert [record.name for record in decoded.answers] == names
+        assert response.encode().count(b"\x04zone\x07example\x03com") == 1

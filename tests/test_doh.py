@@ -1,0 +1,118 @@
+"""Tests for the DNS-over-HTTPS mitigation wrapper."""
+
+import pytest
+
+from repro.mitigations import (
+    DohError,
+    build_doh_request,
+    build_doh_response,
+    open_doh_request,
+    open_doh_response,
+)
+from repro.mitigations.doh import wire_visible_name
+from repro.protocols.dns import QTYPE, ResourceRecord, make_query, make_response
+from repro.protocols.http import HttpRequest, HttpResponse
+
+QUERY_NAME = "abcd1234-0001.www.experiment.domain"
+
+
+class TestDohRequest:
+    def test_roundtrip(self):
+        query = make_query(QUERY_NAME, txid=7)
+        request = build_doh_request(query, "doh.resolver.example")
+        unwrapped = open_doh_request(HttpRequest.decode(request.encode()))
+        assert unwrapped.qname == QUERY_NAME
+        assert unwrapped.header.txid == 7
+
+    def test_host_header_names_resolver_not_query(self):
+        request = build_doh_request(make_query(QUERY_NAME, txid=1),
+                                    "doh.resolver.example")
+        assert request.host == "doh.resolver.example"
+        assert QUERY_NAME not in (request.host or "")
+        assert request.path == "/dns-query"
+
+    def test_query_name_absent_from_clear_text_headers(self):
+        """The whole point: no header or request line leaks the QNAME."""
+        request = build_doh_request(make_query(QUERY_NAME, txid=1),
+                                    "doh.resolver.example")
+        head = request.encode().split(b"\r\n\r\n")[0]
+        assert QUERY_NAME.encode() not in head
+
+    def test_wire_visible_name_is_sni_only(self):
+        request = build_doh_request(make_query(QUERY_NAME, txid=1),
+                                    "doh.resolver.example")
+        assert wire_visible_name(request, tls_sni="doh.resolver.example") == \
+            "doh.resolver.example"
+        assert wire_visible_name(request) is None
+
+    def test_open_rejects_wrong_method_or_path(self):
+        query = make_query(QUERY_NAME, txid=1)
+        request = build_doh_request(query, "doh.resolver.example")
+        wrong_path = HttpRequest(method="POST", path="/other",
+                                 headers=request.headers, body=request.body)
+        with pytest.raises(DohError):
+            open_doh_request(wrong_path)
+        wrong_method = HttpRequest(method="GET", path="/dns-query",
+                                   headers=request.headers, body=request.body)
+        with pytest.raises(DohError):
+            open_doh_request(wrong_method)
+
+    def test_open_rejects_wrong_content_type(self):
+        query = make_query(QUERY_NAME, txid=1)
+        request = HttpRequest(method="POST", path="/dns-query",
+                              headers=(("Content-Type", "text/plain"),),
+                              body=query.encode())
+        with pytest.raises(DohError):
+            open_doh_request(request)
+
+    def test_open_rejects_empty_body(self):
+        request = HttpRequest(
+            method="POST", path="/dns-query",
+            headers=(("Content-Type", "application/dns-message"),),
+        )
+        with pytest.raises(DohError):
+            open_doh_request(request)
+
+
+class TestDohResponse:
+    def test_roundtrip(self):
+        query = make_query(QUERY_NAME, txid=9)
+        answer = make_response(query, answers=(
+            ResourceRecord(name=QUERY_NAME, rtype=QTYPE.A, ttl=3600,
+                           rdata="203.0.113.11"),
+        ))
+        response = build_doh_response(answer)
+        unwrapped = open_doh_response(HttpResponse.decode(response.encode()))
+        assert unwrapped.answers[0].rdata == "203.0.113.11"
+        assert unwrapped.header.txid == 9
+
+    def test_open_rejects_error_status(self):
+        response = HttpResponse(status=500, reason="oops")
+        with pytest.raises(DohError):
+            open_doh_response(response)
+
+
+class TestSyntheticAsNames:
+    def test_known_pools_have_friendly_names(self):
+        from repro.datasets.asns import lookup_as, synthetic_asn
+        assert "SecProbe" in lookup_as(synthetic_asn(50_001)).name
+        assert lookup_as(synthetic_asn(50_003)).country == "CN"
+
+    def test_register_custom_name(self):
+        from repro.datasets.asns import (
+            SYNTHETIC_NAMES,
+            lookup_as,
+            register_synthetic_name,
+            synthetic_asn,
+        )
+        register_synthetic_name(77_777, "Test Hoster", "SE", "cloud")
+        try:
+            record = lookup_as(synthetic_asn(77_777))
+            assert record.name == "Test Hoster"
+            assert record.country == "SE"
+        finally:
+            del SYNTHETIC_NAMES[77_777]
+
+    def test_unnamed_synthetic_keeps_index_name(self):
+        from repro.datasets.asns import lookup_as, synthetic_asn
+        assert lookup_as(synthetic_asn(123)).name == "SYNTH-123"

@@ -1,0 +1,101 @@
+"""Construction invariants of the simulated exhibitor ecosystem."""
+
+import pytest
+
+from repro.core.config import ExperimentConfig
+from repro.core.ecosystem import build_ecosystem
+from repro.datasets.resolvers import RESOLVER_H_NAMES
+
+
+@pytest.fixture(scope="module")
+def eco():
+    return build_ecosystem(ExperimentConfig.tiny(seed=303030))
+
+
+class TestEcosystemConstruction:
+    def test_resolver_models_cover_all_destinations(self, eco):
+        assert len(eco.resolver_models) == len(eco.dns_destinations)
+        for destination in eco.dns_destinations:
+            assert destination.address in eco.resolver_models
+
+    def test_resolver_h_bound_to_shadow_exhibitors(self, eco):
+        for name in RESOLVER_H_NAMES:
+            model = next(model for model in eco.resolver_models.values()
+                         if model.name == name)
+            assert model.profile.shadow_exhibitor is not None
+            assert model._exhibitor is not None
+
+    def test_non_resolver_h_have_no_exhibitor(self, eco):
+        for model in eco.resolver_models.values():
+            if model.name not in RESOLVER_H_NAMES:
+                assert model.profile.shadow_exhibitor is None
+
+    def test_roots_and_tlds_non_recursive(self, eco):
+        for model in eco.resolver_models.values():
+            if model.profile.destination.kind in ("root", "tld"):
+                assert not model.profile.recursive
+
+    def test_114dns_shadows_cn_only(self, eco):
+        model = next(model for model in eco.resolver_models.values()
+                     if model.name == "114DNS")
+        assert model.profile.shadow_countries == ("CN",)
+        assert model.profile.shadows_at("CN")
+        assert not model.profile.shadows_at("US")
+
+    def test_every_destination_registered_in_directory(self, eco):
+        for destination in eco.dns_destinations:
+            assert eco.directory.lookup(destination.address) is not None
+        for destination in eco.web_destinations:
+            assert eco.directory.lookup(destination.address) is not None
+
+    def test_every_vp_registered_in_directory(self, eco):
+        for vp in eco.platform.vantage_points:
+            record = eco.directory.lookup(vp.address)
+            assert record is not None
+            assert record.role == "vp"
+
+    def test_resolver_egress_addresses_distinct(self, eco):
+        egresses = [model.egress_address for model in eco.resolver_models.values()]
+        assert len(set(egresses)) == len(egresses)
+
+    def test_exhibitor_pool_addresses_never_collide_with_vps(self, eco):
+        vp_addresses = {vp.address for vp in eco.platform.vantage_points}
+        for exhibitor in eco.exhibitors.values():
+            pool_addresses = set(exhibitor.policy.origin_pool.all_addresses())
+            assert not pool_addresses & vp_addresses
+
+    def test_interceptor_decision_is_cached(self, eco):
+        first = eco.interceptor_at("100.64.0.1")
+        second = eco.interceptor_at("100.64.0.1")
+        assert first is second
+
+    def test_interceptors_disabled_config(self):
+        config = ExperimentConfig.tiny(seed=303030)
+        config.interceptors_enabled = False
+        quiet = build_ecosystem(config)
+        for index in range(64):
+            assert quiet.interceptor_at(f"100.64.1.{index}") is None
+
+    def test_web_destination_sample_within_pool(self, eco):
+        pool_addresses = {destination.address for destination in eco.web_pool}
+        assert all(destination.address in pool_addresses
+                   for destination in eco.web_destinations)
+
+    def test_cn_web_destinations_upweighted_for_tls(self, eco):
+        behavior = eco.web_model.behavior
+        assert behavior.tls_rate("CN") > behavior.default_tls_rate
+        assert behavior.tls_rate("CN") > behavior.http_rate("CN")
+
+    def test_policies_have_valid_weights(self, eco):
+        for exhibitor in eco.exhibitors.values():
+            weights = exhibitor.policy.protocol_weights
+            assert sum(weights.values()) > 0
+            assert set(weights) <= {"dns", "http", "https"}
+
+    def test_build_is_deterministic(self):
+        first = build_ecosystem(ExperimentConfig.tiny(seed=11))
+        second = build_ecosystem(ExperimentConfig.tiny(seed=11))
+        assert [vp.address for vp in first.platform.vantage_points] == \
+            [vp.address for vp in second.platform.vantage_points]
+        assert [d.address for d in first.web_destinations] == \
+            [d.address for d in second.web_destinations]

@@ -1,0 +1,63 @@
+"""Smoke tests: every example must run to completion.
+
+Examples are the library's public face; these tests keep them from
+rotting as the API evolves.  Each runs in a subprocess exactly as a user
+would invoke it.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, args=(), timeout: int = 300) -> str:
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    return completed.stdout
+
+
+def test_examples_directory_has_at_least_three_examples():
+    scripts = sorted(path.name for path in EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 3
+    assert "quickstart.py" in scripts
+
+
+@pytest.mark.parametrize("name,markers", [
+    ("quickstart.py", ["Table 1", "Figure 3", "Figure 4", "Table 2", "Table 3"]),
+    ("custom_exhibitor.py", ["Unsolicited requests", "AS394735"]),
+    ("mitigations_demo.py", ["Scene 1", "Scene 2", "Scene 3",
+                             "correlation possible: False"]),
+])
+def test_fast_examples(name, markers):
+    output = run_example(name)
+    for marker in markers:
+        assert marker in output, f"{name} output missing {marker!r}"
+
+
+def test_offline_analysis_example(tmp_path):
+    output = run_example("offline_analysis.py", args=(str(tmp_path / "bundle"),))
+    assert "full paper report identical: True" in output
+    assert "scale:" in output  # the heat map rendered
+
+
+@pytest.mark.slow
+def test_dns_resolver_audit_example():
+    output = run_example("dns_resolver_audit.py")
+    assert "Case study I" in output
+    assert "Case study II" in output
+    assert "Origin reputation" in output
+
+
+@pytest.mark.slow
+def test_locate_wire_observers_example():
+    output = run_example("locate_wire_observers.py")
+    assert "Normalized observer locations" in output
+    assert "Top observer networks" in output
+    assert "Port scan" in output

@@ -1,0 +1,91 @@
+"""Tests for the geographic landscape views."""
+
+import pytest
+
+from repro.analysis.geography import (
+    HeatCell,
+    country_destination_matrix,
+    heat_glyph,
+    region_of,
+    regional_ratios,
+    render_heat_matrix,
+)
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import Experiment
+
+
+class TestRegions:
+    def test_known_countries(self):
+        assert region_of("CN") == "East Asia"
+        assert region_of("US") == "North America"
+        assert region_of("DE") == "Europe"
+        assert region_of("AD") == "Europe"
+
+    def test_unknown_country_is_other(self):
+        assert region_of("ZZ") == "Other"
+
+
+class TestHeatGlyph:
+    def test_extremes(self):
+        assert heat_glyph(0.0) == " "
+        assert heat_glyph(1.0) == "@"
+
+    def test_monotonic(self):
+        glyphs = " .:-=+*#%@"
+        rendered = [heat_glyph(ratio / 10) for ratio in range(10)]
+        assert rendered == list(glyphs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            heat_glyph(1.5)
+
+
+class TestRegionalRatios:
+    def test_weighted_by_paths(self):
+        cells = [
+            HeatCell("CN", "Yandex", ratio=1.0, paths=3),
+            HeatCell("JP", "Yandex", ratio=0.0, paths=1),
+        ]
+        ratios = regional_ratios(cells)
+        assert ratios["East Asia"] == pytest.approx(0.75)
+
+    def test_empty(self):
+        assert regional_ratios([]) == {}
+
+
+class TestMatrixOnRun:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return Experiment(ExperimentConfig.tiny(seed=20240301)).run()
+
+    def test_matrix_cells_well_formed(self, result):
+        cells = country_destination_matrix(result.ledger, result.phase1.events)
+        assert cells
+        for cell in cells:
+            assert 0.0 <= cell.ratio <= 1.0
+            assert cell.paths >= 1
+
+    def test_render_contains_countries_and_scale(self, result):
+        cells = country_destination_matrix(result.ledger, result.phase1.events)
+        text = render_heat_matrix(cells)
+        assert "scale:" in text
+        assert "CN" in text
+
+    def test_render_with_explicit_destinations(self, result):
+        cells = country_destination_matrix(result.ledger, result.phase1.events)
+        text = render_heat_matrix(cells, destinations=["Yandex", "Google"])
+        header = text.splitlines()[0]
+        assert "Yandex" in header and "Google" in header
+
+    def test_east_asia_elevated_for_114dns(self, result):
+        cells = country_destination_matrix(result.ledger, result.phase1.events)
+        cn_cells = [cell for cell in cells
+                    if cell.vp_country == "CN" and cell.destination_name == "114DNS"]
+        other_cells = [cell for cell in cells
+                       if cell.vp_country != "CN" and cell.destination_name == "114DNS"]
+        if cn_cells and other_cells:
+            cn_ratio = sum(cell.ratio * cell.paths for cell in cn_cells) / \
+                sum(cell.paths for cell in cn_cells)
+            other_ratio = sum(cell.ratio * cell.paths for cell in other_cells) / \
+                sum(cell.paths for cell in other_cells)
+            assert cn_ratio > other_ratio

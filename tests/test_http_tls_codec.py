@@ -1,0 +1,158 @@
+"""Tests for the HTTP/1.1 and TLS codecs."""
+
+import pytest
+
+from repro.protocols.http import HttpMessageError, HttpRequest, HttpResponse, make_get
+from repro.protocols.tls import ClientHello, TlsDecodeError, TlsPlaintext, wrap_handshake
+from repro.protocols.tls.record import CONTENT_TYPE_HANDSHAKE, TlsRecordError
+
+
+class TestHttpRequest:
+    def test_get_roundtrip(self):
+        request = make_get("abc123.www.experiment.domain")
+        decoded = HttpRequest.decode(request.encode())
+        assert decoded.method == "GET"
+        assert decoded.path == "/"
+        assert decoded.host == "abc123.www.experiment.domain"
+
+    def test_host_header_lookup_is_case_insensitive(self):
+        request = HttpRequest(method="GET", path="/", headers=(("HOST", "example.com"),))
+        assert request.host == "example.com"
+
+    def test_body_gets_content_length(self):
+        request = HttpRequest(method="POST", path="/submit", body=b"abc")
+        decoded = HttpRequest.decode(request.encode())
+        assert decoded.body == b"abc"
+        assert decoded.header("content-length") == "3"
+
+    def test_decode_rejects_bad_request_line(self):
+        with pytest.raises(HttpMessageError):
+            HttpRequest.decode(b"GET /\r\n\r\n")
+
+    def test_decode_rejects_missing_separator(self):
+        with pytest.raises(HttpMessageError):
+            HttpRequest.decode(b"GET / HTTP/1.1\r\nHost: x")
+
+    def test_decode_rejects_content_length_mismatch(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"
+        with pytest.raises(HttpMessageError):
+            HttpRequest.decode(raw)
+
+    def test_decode_rejects_header_without_colon(self):
+        with pytest.raises(HttpMessageError):
+            HttpRequest.decode(b"GET / HTTP/1.1\r\nbadheader\r\n\r\n")
+
+    def test_decode_rejects_non_http_version(self):
+        with pytest.raises(HttpMessageError):
+            HttpRequest.decode(b"GET / SPDY/3\r\n\r\n")
+
+    def test_encode_rejects_space_in_path(self):
+        with pytest.raises(HttpMessageError):
+            HttpRequest(method="GET", path="/a b").encode()
+
+    def test_header_returns_none_when_absent(self):
+        assert make_get("example.com").header("x-missing") is None
+
+    def test_multiple_headers_first_wins(self):
+        request = HttpRequest(method="GET", path="/",
+                              headers=(("X-Tag", "first"), ("X-Tag", "second")))
+        assert request.header("x-tag") == "first"
+
+
+class TestHttpResponse:
+    def test_roundtrip(self):
+        response = HttpResponse(status=200, reason="OK",
+                                headers=(("Server", "honeypot"),), body=b"<html></html>")
+        decoded = HttpResponse.decode(response.encode())
+        assert decoded.status == 200
+        assert decoded.reason == "OK"
+        assert decoded.header("server") == "honeypot"
+        assert decoded.body == b"<html></html>"
+
+    def test_404_roundtrip(self):
+        decoded = HttpResponse.decode(HttpResponse(status=404, reason="Not Found").encode())
+        assert decoded.status == 404
+
+    def test_decode_rejects_bad_status(self):
+        with pytest.raises(HttpMessageError):
+            HttpResponse.decode(b"HTTP/1.1 abc OK\r\n\r\n")
+
+    def test_decode_rejects_non_http(self):
+        with pytest.raises(HttpMessageError):
+            HttpResponse.decode(b"ICAP/1.0 200 OK\r\n\r\n")
+
+
+class TestTlsRecord:
+    def test_roundtrip(self):
+        record = TlsPlaintext(content_type=CONTENT_TYPE_HANDSHAKE, fragment=b"\x01\x02\x03")
+        decoded = TlsPlaintext.decode(record.encode())
+        assert decoded == record
+
+    def test_rejects_oversized_fragment(self):
+        with pytest.raises(TlsRecordError):
+            TlsPlaintext(content_type=22, fragment=b"x" * (2**14 + 1))
+
+    def test_decode_rejects_truncated_fragment(self):
+        record = TlsPlaintext(content_type=22, fragment=b"abcdef").encode()
+        with pytest.raises(TlsRecordError):
+            TlsPlaintext.decode(record[:-2])
+
+    def test_decode_rejects_short_header(self):
+        with pytest.raises(TlsRecordError):
+            TlsPlaintext.decode(b"\x16\x03")
+
+
+class TestClientHello:
+    def make_hello(self, sni="abc.www.experiment.domain"):
+        return ClientHello(server_name=sni, random=bytes(range(32)))
+
+    def test_sni_roundtrip(self):
+        hello = self.make_hello()
+        decoded = ClientHello.decode(hello.encode())
+        assert decoded.server_name == "abc.www.experiment.domain"
+
+    def test_random_and_suites_roundtrip(self):
+        hello = self.make_hello()
+        decoded = ClientHello.decode(hello.encode())
+        assert decoded.random == bytes(range(32))
+        assert decoded.cipher_suites == hello.cipher_suites
+
+    def test_no_sni(self):
+        hello = ClientHello(server_name=None, random=bytes(32))
+        assert ClientHello.decode(hello.encode()).server_name is None
+
+    def test_session_id_roundtrip(self):
+        hello = ClientHello(server_name="x.com", random=bytes(32), session_id=b"s" * 16)
+        assert ClientHello.decode(hello.encode()).session_id == b"s" * 16
+
+    def test_extra_extension_roundtrip(self):
+        hello = ClientHello(server_name="x.com", random=bytes(32),
+                            extra_extensions=((0xFF01, b"\x00"),))
+        decoded = ClientHello.decode(hello.encode())
+        assert (0xFF01, b"\x00") in decoded.extra_extensions
+
+    def test_rejects_bad_random_length(self):
+        with pytest.raises(TlsDecodeError):
+            ClientHello(server_name="x.com", random=bytes(16))
+
+    def test_rejects_empty_cipher_suites(self):
+        with pytest.raises(TlsDecodeError):
+            ClientHello(server_name="x.com", random=bytes(32), cipher_suites=())
+
+    def test_decode_rejects_wrong_handshake_type(self):
+        raw = bytearray(self.make_hello().encode())
+        raw[0] = 2  # ServerHello
+        with pytest.raises(TlsDecodeError):
+            ClientHello.decode(bytes(raw))
+
+    def test_decode_rejects_truncated_body(self):
+        raw = self.make_hello().encode()
+        with pytest.raises(TlsDecodeError):
+            ClientHello.decode(raw[:20])
+
+    def test_wrapped_in_record_layer(self):
+        hello = self.make_hello()
+        wire = wrap_handshake(hello.encode())
+        record = TlsPlaintext.decode(wire)
+        assert record.content_type == CONTENT_TYPE_HANDSHAKE
+        assert ClientHello.decode(record.fragment).server_name == hello.server_name

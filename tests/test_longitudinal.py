@@ -1,0 +1,95 @@
+"""Tests for the per-round longitudinal analysis."""
+
+import pytest
+
+from repro.analysis.longitudinal import per_round_summaries, round_stability, RoundSummary
+from repro.core.config import ExperimentConfig
+from repro.core.correlate import Correlator, DecoyLedger, DecoyRecord
+from repro.core.experiment import Experiment
+from repro.core.identifier import DecoyIdentity, IdentifierCodec
+from repro.honeypot.logstore import LoggedRequest, LogStore
+
+ZONE = "www.experiment.domain"
+CODEC = IdentifierCodec()
+
+
+def make_record(sequence, round_index, destination="Google"):
+    identity = DecoyIdentity(sent_at=100 + sequence, vp_address="100.96.0.1",
+                             dst_address="8.8.8.8", ttl=64, sequence=sequence)
+    domain = f"{CODEC.encode(identity)}.{ZONE}"
+    return DecoyRecord(
+        identity=identity, domain=domain, protocol="dns",
+        vp_id="vp-1", vp_country="DE", vp_province=None,
+        destination_address="8.8.8.8", destination_name=destination,
+        destination_kind="dns", destination_country="US",
+        instance_country="US", path_length=10, sent_at=100.0 + sequence,
+        phase=1, round_index=round_index,
+    )
+
+
+class TestPerRoundSummaries:
+    def make_world(self):
+        ledger = DecoyLedger()
+        log = LogStore()
+        time = 1000.0
+        # Two rounds; in each, one Google decoy is shadowed, one is not.
+        for round_index in range(2):
+            shadowed = make_record(round_index * 2, round_index)
+            clean = make_record(round_index * 2 + 1, round_index)
+            ledger.register(shadowed)
+            ledger.register(clean)
+            log.append(LoggedRequest(time=time, site="US", protocol="dns",
+                                     src_address="100.88.0.1",
+                                     domain=shadowed.domain))
+            log.append(LoggedRequest(time=time + 1, site="US", protocol="dns",
+                                     src_address="100.88.0.1",
+                                     domain=shadowed.domain))
+            time += 10
+        events = Correlator(ledger, ZONE).correlate(log).events
+        return ledger, events
+
+    def test_summaries_per_round(self):
+        ledger, events = self.make_world()
+        summaries = per_round_summaries(ledger, events)
+        assert [summary.round_index for summary in summaries] == [0, 1]
+        for summary in summaries:
+            assert summary.decoys == 2
+            assert summary.shadowed == 1
+            assert summary.shadowed_share == pytest.approx(0.5)
+            assert summary.destination_ratios["Google"] == pytest.approx(0.5)
+
+    def test_protocol_filter(self):
+        ledger, events = self.make_world()
+        assert per_round_summaries(ledger, events, protocol="http") == []
+
+
+class TestRoundStability:
+    def test_identical_rounds_are_stable(self):
+        summary = RoundSummary(0, 10, 5, {"Yandex": 0.9, "Google": 0.1})
+        other = RoundSummary(1, 10, 5, {"Yandex": 0.9, "Google": 0.1})
+        assert round_stability([summary, other]) == pytest.approx(0.0)
+
+    def test_divergent_rounds_detected(self):
+        first = RoundSummary(0, 10, 5, {"Yandex": 1.0})
+        second = RoundSummary(1, 10, 5, {"Google": 1.0})
+        assert round_stability([first, second]) == pytest.approx(1.0)
+
+    def test_single_round_trivially_stable(self):
+        assert round_stability([RoundSummary(0, 10, 5, {"Yandex": 1.0})]) == 0.0
+
+    def test_empty_round_counts_as_max_divergence(self):
+        first = RoundSummary(0, 10, 5, {"Yandex": 1.0})
+        second = RoundSummary(1, 10, 0, {})
+        assert round_stability([first, second]) == 1.0
+
+
+class TestEndToEndRounds:
+    def test_multi_round_experiment_tags_rounds(self):
+        config = ExperimentConfig.tiny(seed=121212)
+        config.phase1_rounds = 2
+        result = Experiment(config).run()
+        rounds = {record.round_index for record in result.ledger.records(phase=1)}
+        assert rounds == {0, 1}
+        summaries = per_round_summaries(result.ledger, result.phase1.events)
+        assert len(summaries) == 2
+        assert round_stability(summaries) < 0.5

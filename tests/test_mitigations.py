@@ -1,0 +1,163 @@
+"""Tests for the Section 6 mitigations: ECH and oblivious DNS."""
+
+import random
+
+import pytest
+
+from repro.mitigations import (
+    EchConfig,
+    ObliviousDnsProxy,
+    build_ech_client_hello,
+    decrypt_ech_sni,
+    encrypt_sni,
+    open_query,
+    outer_sni,
+    seal_query,
+)
+from repro.mitigations.ech import terminate
+from repro.mitigations.odoh import OdohError, OdohQuery
+from repro.observers.onpath import extract_domain
+from repro.net.packet import Packet
+from repro.protocols.tls import ClientHello, TlsDecodeError, wrap_handshake
+
+SECRET = b"0123456789abcdef"
+CONFIG = EchConfig(config_id=7, public_name="cdn-frontend.example", secret=SECRET)
+INNER = "g6d8jjkut5obc4-9982.www.experiment.domain"
+
+
+class TestEch:
+    def setup_method(self):
+        self.rng = random.Random(3)
+
+    def test_roundtrip(self):
+        body = encrypt_sni(INNER, CONFIG, self.rng)
+        assert decrypt_ech_sni(body, CONFIG) == INNER
+
+    def test_ciphertext_hides_inner_name(self):
+        body = encrypt_sni(INNER, CONFIG, self.rng)
+        assert INNER.encode() not in body
+
+    def test_nonce_randomizes_ciphertext(self):
+        first = encrypt_sni(INNER, CONFIG, self.rng)
+        second = encrypt_sni(INNER, CONFIG, self.rng)
+        assert first != second
+
+    def test_wrong_key_fails_or_garbles(self):
+        body = encrypt_sni(INNER, CONFIG, self.rng)
+        wrong = EchConfig(config_id=7, public_name="x", secret=b"f" * 16)
+        try:
+            recovered = decrypt_ech_sni(body, wrong)
+        except TlsDecodeError:
+            return
+        assert recovered != INNER
+
+    def test_config_id_mismatch_rejected(self):
+        body = encrypt_sni(INNER, CONFIG, self.rng)
+        other = EchConfig(config_id=9, public_name="x", secret=SECRET)
+        with pytest.raises(TlsDecodeError):
+            decrypt_ech_sni(body, other)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            EchConfig(config_id=999, public_name="x", secret=SECRET)
+        with pytest.raises(ValueError):
+            EchConfig(config_id=1, public_name="x", secret=b"short")
+
+    def test_hello_shows_only_public_name(self):
+        hello = build_ech_client_hello(INNER, CONFIG, self.rng)
+        assert outer_sni(hello) == "cdn-frontend.example"
+        decoded = ClientHello.decode(hello.encode())
+        assert decoded.server_name == "cdn-frontend.example"
+
+    def test_terminating_provider_recovers_inner(self):
+        hello = build_ech_client_hello(INNER, CONFIG, self.rng)
+        decoded = ClientHello.decode(hello.encode())
+        assert terminate(decoded, CONFIG) == INNER
+
+    def test_terminate_without_ech_raises(self):
+        hello = ClientHello(server_name="plain.example", random=bytes(32))
+        with pytest.raises(TlsDecodeError):
+            terminate(hello, CONFIG)
+
+    def test_wire_sniffer_cannot_extract_experiment_domain(self):
+        """The headline property: DPI parsing an ECH hello sees only the
+        public name, so experiment-zone extraction yields nothing."""
+        hello = build_ech_client_hello(INNER, CONFIG, self.rng)
+        packet = Packet.tcp("100.96.0.1", "198.18.0.1", 64, 40000, 443,
+                            wrap_handshake(hello.encode()))
+        extracted = extract_domain(packet)
+        assert extracted == ("tls", "cdn-frontend.example")
+
+
+class TestOdoh:
+    def setup_method(self):
+        self.rng = random.Random(4)
+
+    def test_seal_open_roundtrip(self):
+        sealed = seal_query(INNER, key_id=1, target_secret=SECRET, rng=self.rng)
+        assert open_query(sealed, key_id=1, target_secret=SECRET) == INNER
+
+    def test_sealed_bytes_hide_name(self):
+        sealed = seal_query(INNER, key_id=1, target_secret=SECRET, rng=self.rng)
+        assert INNER.encode() not in sealed.encode()
+
+    def test_wire_roundtrip(self):
+        sealed = seal_query(INNER, key_id=1, target_secret=SECRET, rng=self.rng)
+        decoded = OdohQuery.decode(sealed.encode())
+        assert decoded == sealed
+
+    def test_key_mismatch_rejected(self):
+        sealed = seal_query(INNER, key_id=1, target_secret=SECRET, rng=self.rng)
+        with pytest.raises(OdohError):
+            open_query(sealed, key_id=2, target_secret=SECRET)
+
+    def test_bad_key_id_rejected(self):
+        with pytest.raises(OdohError):
+            seal_query(INNER, key_id=300, target_secret=SECRET, rng=self.rng)
+
+    def test_decode_rejects_short_buffer(self):
+        with pytest.raises(OdohError):
+            OdohQuery.decode(b"\x01short")
+
+    def make_proxy(self):
+        answers = []
+
+        def resolve(proxy_address, name):
+            answers.append((proxy_address, name))
+            return "203.0.113.11"
+
+        proxy = ObliviousDnsProxy("100.88.200.1", key_id=1,
+                                  target_secret=SECRET, resolve=resolve)
+        return proxy, answers
+
+    def test_relay_resolves(self):
+        proxy, answers = self.make_proxy()
+        sealed = seal_query(INNER, key_id=1, target_secret=SECRET, rng=self.rng)
+        assert proxy.relay("100.96.0.1", sealed) == "203.0.113.11"
+        assert answers == [("100.88.200.1", INNER)]
+
+    def test_visibility_split(self):
+        proxy, _ = self.make_proxy()
+        for index in range(5):
+            sealed = seal_query(f"q{index}.{INNER}", key_id=1,
+                                target_secret=SECRET, rng=self.rng)
+            proxy.relay(f"100.96.0.{index + 1}", sealed)
+        # Proxy log: addresses, no clear-text names.
+        assert all(INNER.encode() not in entry.sealed_bytes
+                   for entry in proxy.proxy_log)
+        # Target log: names, only the proxy's address.
+        assert all(entry.proxy_address == "100.88.200.1"
+                   for entry in proxy.target_log)
+        assert not proxy.correlation_possible()
+
+    def test_correlation_detected_if_split_violated(self):
+        proxy, _ = self.make_proxy()
+        sealed = seal_query(INNER, key_id=1, target_secret=SECRET, rng=self.rng)
+        proxy.relay("100.96.0.1", sealed)
+        # Simulate a broken deployment that forwards clear-text.
+        from repro.mitigations.odoh import ProxyLogEntry
+        proxy.proxy_log.append(
+            ProxyLogEntry(client_address="100.96.0.2",
+                          sealed_bytes=INNER.encode())
+        )
+        assert proxy.correlation_possible()

@@ -1,0 +1,153 @@
+"""Tests for address helpers and the IPv4/UDP/TCP packet codecs."""
+
+import pytest
+
+from repro.net import (
+    InvalidAddressError,
+    IPv4Header,
+    Packet,
+    PacketDecodeError,
+    TCPSegment,
+    UDPSegment,
+    checksum16,
+    ip_from_int,
+    ip_to_int,
+    is_valid_ipv4,
+    same_slash24,
+    slash24,
+)
+
+
+class TestAddressHelpers:
+    def test_roundtrip(self):
+        for address in ("0.0.0.0", "1.2.3.4", "255.255.255.255", "114.114.114.114"):
+            assert ip_from_int(ip_to_int(address)) == address
+
+    def test_known_value(self):
+        assert ip_to_int("1.0.0.1") == (1 << 24) + 1
+
+    @pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "1.2.3.256", "a.b.c.d", "01.2.3.4", "", "1.2.3.4 "])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(InvalidAddressError):
+            ip_to_int(bad)
+        assert not is_valid_ipv4(bad)
+
+    def test_is_valid_accepts_good(self):
+        assert is_valid_ipv4("8.8.8.8")
+
+    def test_ip_from_int_rejects_out_of_range(self):
+        with pytest.raises(InvalidAddressError):
+            ip_from_int(-1)
+        with pytest.raises(InvalidAddressError):
+            ip_from_int(2**32)
+
+    def test_slash24(self):
+        assert slash24("1.1.1.1") == "1.1.1.0/24"
+
+    def test_same_slash24_true_for_pair_resolver(self):
+        # Appendix E: 1.1.1.4 is the pair resolver of 1.1.1.1.
+        assert same_slash24("1.1.1.1", "1.1.1.4")
+
+    def test_same_slash24_false_across_prefixes(self):
+        assert not same_slash24("1.1.1.1", "1.1.2.1")
+
+
+class TestChecksum:
+    def test_checksum_of_zeroes(self):
+        assert checksum16(b"\x00\x00\x00\x00") == 0xFFFF
+
+    def test_checksum_validates_to_zero(self):
+        header = IPv4Header(src="1.2.3.4", dst="5.6.7.8", ttl=64, protocol=17).encode()
+        assert checksum16(header) == 0
+
+    def test_odd_length_padding(self):
+        # Must not raise and must be stable.
+        assert checksum16(b"\x01") == checksum16(b"\x01\x00")
+
+
+class TestIPv4Header:
+    def test_roundtrip(self):
+        header = IPv4Header(src="10.0.0.1", dst="8.8.8.8", ttl=37,
+                            protocol=17, identification=777, payload_length=100)
+        assert IPv4Header.decode(header.encode()) == header
+
+    def test_rejects_bad_ttl(self):
+        with pytest.raises(ValueError):
+            IPv4Header(src="1.1.1.1", dst="2.2.2.2", ttl=256, protocol=17)
+
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            IPv4Header(src="1.1.1.1", dst="2.2.2.2", ttl=64, protocol=99)
+
+    def test_decode_detects_corruption(self):
+        raw = bytearray(IPv4Header(src="1.1.1.1", dst="2.2.2.2", ttl=64, protocol=17).encode())
+        raw[8] ^= 0xFF  # flip the TTL byte
+        with pytest.raises(PacketDecodeError):
+            IPv4Header.decode(bytes(raw))
+
+    def test_decode_rejects_short_buffer(self):
+        with pytest.raises(PacketDecodeError):
+            IPv4Header.decode(b"\x45\x00")
+
+
+class TestSegments:
+    def test_udp_roundtrip(self):
+        segment = UDPSegment(src_port=5353, dst_port=53, payload=b"hello dns")
+        assert UDPSegment.decode(segment.encode()) == segment
+
+    def test_udp_length_mismatch_detected(self):
+        raw = bytearray(UDPSegment(src_port=1, dst_port=2, payload=b"abc").encode())
+        with pytest.raises(PacketDecodeError):
+            UDPSegment.decode(bytes(raw) + b"extra")
+
+    def test_udp_rejects_bad_port(self):
+        with pytest.raises(ValueError):
+            UDPSegment(src_port=-1, dst_port=53)
+
+    def test_tcp_roundtrip(self):
+        segment = TCPSegment(src_port=44211, dst_port=443, seq=1000, ack=2000,
+                             flags=TCPSegment.FLAG_PSH | TCPSegment.FLAG_ACK,
+                             payload=b"GET / HTTP/1.1\r\n\r\n")
+        assert TCPSegment.decode(segment.encode()) == segment
+
+    def test_tcp_rejects_short_buffer(self):
+        with pytest.raises(PacketDecodeError):
+            TCPSegment.decode(b"\x00" * 10)
+
+
+class TestPacket:
+    def test_udp_packet_roundtrip(self):
+        packet = Packet.udp(src="10.0.0.1", dst="8.8.8.8", ttl=64,
+                            src_port=40000, dst_port=53, payload=b"query")
+        assert Packet.decode(packet.encode()) == packet
+
+    def test_tcp_packet_roundtrip(self):
+        packet = Packet.tcp(src="10.0.0.1", dst="93.184.216.34", ttl=64,
+                            src_port=40000, dst_port=80, payload=b"GET /")
+        assert Packet.decode(packet.encode()) == packet
+
+    def test_with_ttl_changes_only_ttl(self):
+        packet = Packet.udp(src="1.1.1.2", dst="8.8.8.8", ttl=64,
+                            src_port=1234, dst_port=53, payload=b"x")
+        retitled = packet.with_ttl(3)
+        assert retitled.ip.ttl == 3
+        assert retitled.transport == packet.transport
+        assert retitled.ip.src == packet.ip.src
+
+    def test_decrement_ttl(self):
+        packet = Packet.udp(src="1.1.1.2", dst="8.8.8.8", ttl=2,
+                            src_port=1234, dst_port=53, payload=b"x")
+        assert packet.decrement_ttl().ip.ttl == 1
+        with pytest.raises(ValueError):
+            packet.decrement_ttl().decrement_ttl().decrement_ttl()
+
+    def test_payload_property(self):
+        packet = Packet.udp(src="1.1.1.2", dst="8.8.8.8", ttl=9,
+                            src_port=1, dst_port=53, payload=b"qq")
+        assert packet.payload == b"qq"
+
+    def test_decode_rejects_length_disagreement(self):
+        packet = Packet.udp(src="1.1.1.2", dst="8.8.8.8", ttl=9,
+                            src_port=1, dst_port=53, payload=b"qq")
+        with pytest.raises(PacketDecodeError):
+            Packet.decode(packet.encode() + b"trailing-garbage")

@@ -1,0 +1,86 @@
+"""Package-level health checks: imports, exports, and empty-input edges."""
+
+import importlib
+import pathlib
+import pkgutil
+
+import pytest
+
+import repro
+
+SRC_ROOT = pathlib.Path(repro.__file__).parent
+
+
+def all_module_names():
+    names = []
+    for module in pkgutil.walk_packages([str(SRC_ROOT)], prefix="repro."):
+        if module.name.endswith("__main__"):
+            continue  # importing it would execute the CLI
+        names.append(module.name)
+    return names
+
+
+class TestImports:
+    @pytest.mark.parametrize("name", all_module_names())
+    def test_every_module_imports(self, name):
+        importlib.import_module(name)
+
+    def test_top_level_all_resolves(self):
+        for symbol in repro.__all__:
+            assert getattr(repro, symbol, None) is not None or symbol == "__version__"
+
+    def test_analysis_all_resolves(self):
+        import repro.analysis as analysis
+        for symbol in analysis.__all__:
+            assert hasattr(analysis, symbol), symbol
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestEmptyInputEdges:
+    def test_observer_location_table_empty(self):
+        from repro.analysis.landscape import observer_location_table
+        assert observer_location_table([]) == {}
+
+    def test_top_observer_ases_empty(self):
+        from repro.analysis.origins import top_observer_ases
+        assert top_observer_ases([]) == []
+
+    def test_origin_distribution_empty(self):
+        from repro.analysis.origins import origin_as_distribution
+        from repro.intel.directory import IpDirectory
+        assert origin_as_distribution([], IpDirectory()) == []
+
+    def test_decoy_breakdown_empty(self):
+        from repro.analysis.combos import decoy_breakdown
+        from repro.core.correlate import DecoyLedger
+        assert decoy_breakdown(DecoyLedger(), []) == []
+
+    def test_dns_cdfs_empty(self):
+        from repro.analysis.temporal import dns_delay_cdfs
+        cdfs = dns_delay_cdfs([])
+        assert all(len(cdf) == 0 for cdf in cdfs.values())
+
+    def test_multi_use_empty(self):
+        from repro.analysis.temporal import multi_use_stats
+        stats = multi_use_stats([])
+        assert stats.decoys_with_late_requests == 0
+        assert stats.share_more_than_3 == 0.0
+
+    def test_problematic_ratios_empty(self):
+        from repro.analysis.landscape import problematic_path_ratios
+        from repro.core.correlate import DecoyLedger
+        assert problematic_path_ratios(DecoyLedger(), []) == []
+
+    def test_observer_groups_empty(self):
+        from repro.analysis.origins import observer_as_groups
+        from repro.intel.directory import IpDirectory
+        assert observer_as_groups([], [], IpDirectory()) == []
+
+    def test_port_audit_empty(self):
+        from repro.analysis.ports import observer_port_audit
+        from repro.simkit.rng import RandomRouter
+        from repro.topology.model import TopologyModel
+        audit = observer_port_audit([], TopologyModel(RandomRouter(1)))
+        assert audit["observers_scanned"] == 0

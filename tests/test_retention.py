@@ -1,0 +1,165 @@
+"""Tests for capacity-bounded retention and its exhibitor integration."""
+
+import random
+
+import pytest
+
+from repro.honeypot.deployment import HoneypotDeployment
+from repro.observers import RetentionStore, ShadowExhibitor, UnsolicitedEmitter
+from repro.observers.policy import (
+    AddressAllocator,
+    OriginGroup,
+    OriginPool,
+    ShadowPolicy,
+)
+from repro.intel.blocklist import Blocklist
+from repro.intel.directory import IpDirectory
+from repro.simkit.distributions import Constant
+from repro.simkit.events import Simulator
+
+ZONE = "www.experiment.domain"
+
+
+class TestRetentionStore:
+    def test_unbounded_never_evicts(self):
+        store = RetentionStore(capacity=None)
+        for index in range(100):
+            store.admit(f"d{index}", now=float(index))
+        assert len(store) == 100
+        assert store.evictions == 0
+
+    def test_fifo_eviction(self):
+        store = RetentionStore(capacity=2)
+        store.admit("first", now=0.0)
+        store.admit("second", now=1.0)
+        store.admit("third", now=2.0)
+        assert len(store) == 2
+        assert "first" not in store
+        assert "second" in store and "third" in store
+        assert store.evictions == 1
+
+    def test_readmission_is_idempotent(self):
+        store = RetentionStore(capacity=2)
+        first = store.admit("a", now=0.0)
+        again = store.admit("a", now=5.0)
+        assert first is again
+        assert len(store) == 1
+
+    def test_eviction_cancels_pending_events(self):
+        sim = Simulator()
+        store = RetentionStore(capacity=1)
+        fired = []
+        store.admit("a", now=0.0)
+        event = sim.schedule_in(10.0, lambda: fired.append("a"))
+        store.attach("a", event)
+        store.admit("b", now=1.0)  # evicts "a"
+        sim.run()
+        assert fired == []
+        assert store.cancelled_requests == 1
+
+    def test_attach_after_eviction_cancels_immediately(self):
+        sim = Simulator()
+        store = RetentionStore(capacity=1)
+        store.admit("a", now=0.0)
+        store.admit("b", now=1.0)
+        fired = []
+        event = sim.schedule_in(10.0, lambda: fired.append("a"))
+        store.attach("a", event)  # "a" already gone
+        sim.run()
+        assert fired == []
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            RetentionStore(capacity=0)
+
+    def test_items_in_fifo_order(self):
+        store = RetentionStore(capacity=3)
+        for name in ("x", "y", "z"):
+            store.admit(name, now=0.0)
+        assert [item.domain for item in store.items()] == ["x", "y", "z"]
+
+
+class TestExhibitorWithRetention:
+    def make(self, capacity):
+        sim = Simulator()
+        deployment = HoneypotDeployment(zone=ZONE)
+        pool = OriginPool(
+            "p", [OriginGroup(1, "US", 1.0, 0.0)],
+            AddressAllocator(), IpDirectory(), Blocklist(), random.Random(1),
+        )
+        policy = ShadowPolicy(
+            name="boxed", delay=Constant(1000.0), uses=Constant(1),
+            protocol_weights={"dns": 1.0}, origin_pool=pool,
+        )
+        store = RetentionStore(capacity=capacity)
+        exhibitor = ShadowExhibitor(
+            policy, sim, UnsolicitedEmitter(deployment, sim, random.Random(2)),
+            random.Random(3), retention=store,
+        )
+        return exhibitor, sim, deployment, store
+
+    def test_within_capacity_all_requests_fire(self):
+        exhibitor, sim, deployment, store = self.make(capacity=10)
+        for index in range(5):
+            exhibitor.observe(f"d{index}-0001.{ZONE}", "10.0.0.1")
+        sim.run()
+        assert len(deployment.log) == 5
+        assert store.evictions == 0
+
+    def test_over_capacity_old_requests_cancelled(self):
+        exhibitor, sim, deployment, store = self.make(capacity=2)
+        for index in range(10):
+            exhibitor.observe(f"d{index}-0001.{ZONE}", "10.0.0.1")
+        sim.run()
+        # Only the last two observations survived the buffer.
+        assert len(deployment.log) == 2
+        assert store.evictions == 8
+        domains = {entry.domain for entry in deployment.log}
+        assert domains == {f"d8-0001.{ZONE}", f"d9-0001.{ZONE}"}
+
+    def test_retention_shortens_effective_delays(self):
+        """The Section 5.2 hypothesis: under continuous observation
+        pressure, only recently-observed data survives to be leveraged,
+        so long-delay requests disappear disproportionately."""
+        import statistics
+        sim = Simulator()
+        deployment = HoneypotDeployment(zone=ZONE)
+        pool = OriginPool(
+            "p", [OriginGroup(1, "US", 1.0, 0.0)],
+            AddressAllocator(), IpDirectory(), Blocklist(), random.Random(1),
+        )
+        from repro.simkit.distributions import Uniform
+        policy = ShadowPolicy(
+            name="boxed", delay=Uniform(10, 100_000), uses=Constant(1),
+            protocol_weights={"dns": 1.0}, origin_pool=pool,
+        )
+        store = RetentionStore(capacity=5)
+        exhibitor = ShadowExhibitor(
+            policy, sim, UnsolicitedEmitter(deployment, sim, random.Random(2)),
+            random.Random(3), retention=store,
+        )
+        # Observations arrive every 100 s; the 5-slot buffer holds ~500 s
+        # of data, so scheduled requests beyond that window get evicted.
+        for index in range(100):
+            sim.schedule_at(
+                index * 100.0,
+                lambda index=index: exhibitor.observe(
+                    f"d{index:03d}-0001.{ZONE}", "10.0.0.1"
+                ),
+            )
+        sim.run()
+        observed_at = {f"d{index:03d}-0001.{ZONE}": index * 100.0
+                       for index in range(100)}
+        # For observations that faced eviction pressure (everything but
+        # the final five, which outlive the experiment), a request only
+        # fires if it was scheduled within the buffer's ~500 s lifetime.
+        pressured = [entry.time - observed_at[entry.domain]
+                     for entry in deployment.log
+                     if observed_at[entry.domain] < 95 * 100.0]
+        scheduled_mean = (10 + 100_000) / 2
+        assert all(delay <= 600.0 for delay in pressured)
+        assert store.evictions == 95
+        # Long-delay requests were disproportionately cancelled.
+        survivors = [entry.time - observed_at[entry.domain]
+                     for entry in deployment.log]
+        assert statistics.mean(survivors) < scheduled_mean

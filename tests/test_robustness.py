@@ -1,0 +1,121 @@
+"""Failure-injection and fuzz tests: honeypots and parsers facing garbage.
+
+Honeypots on the open Internet receive arbitrary bytes; the paper's
+infrastructure must not let malformed traffic corrupt the log.  These
+tests drive the parsers and services with garbage and assert controlled
+failure: a typed exception or a clean rejection, never a wrong log entry.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.honeypot.deployment import HoneypotDeployment
+from repro.honeypot.logstore import LogStore
+from repro.net.errors import PacketDecodeError
+from repro.net.packet import Packet
+from repro.protocols.dns import DnsMessage, make_query
+from repro.protocols.dns.names import DnsNameError
+from repro.protocols.http import HttpMessageError, HttpRequest
+from repro.protocols.tls import TlsDecodeError
+from repro.protocols.tls.clienthello import ClientHello
+from repro.protocols.tls.record import TlsPlaintext, TlsRecordError
+
+ZONE = "www.experiment.domain"
+
+
+class TestParserFuzz:
+    @given(st.binary(max_size=200))
+    @settings(max_examples=200)
+    def test_dns_decoder_never_crashes_uncontrolled(self, blob):
+        try:
+            DnsMessage.decode(blob)
+        except (PacketDecodeError, DnsNameError, ValueError):
+            pass
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=200)
+    def test_http_decoder_never_crashes_uncontrolled(self, blob):
+        try:
+            HttpRequest.decode(blob)
+        except HttpMessageError:
+            pass
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=200)
+    def test_tls_decoder_never_crashes_uncontrolled(self, blob):
+        try:
+            record = TlsPlaintext.decode(blob)
+            ClientHello.decode(record.fragment)
+        except (TlsRecordError, TlsDecodeError, ValueError):
+            pass
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=200)
+    def test_packet_decoder_never_crashes_uncontrolled(self, blob):
+        try:
+            Packet.decode(blob)
+        except (PacketDecodeError, ValueError):
+            pass
+
+
+class TestHoneypotUnderGarbage:
+    def test_authdns_rejects_garbage_without_logging(self):
+        deployment = HoneypotDeployment(zone=ZONE)
+        server = deployment.sites["US"].authdns
+        with pytest.raises((PacketDecodeError, ValueError)):
+            server.handle_query(b"\x00\x01not-dns", "198.51.100.9", 1.0)
+        assert len(deployment.log) == 0
+
+    def test_web_rejects_garbage_without_logging(self):
+        deployment = HoneypotDeployment(zone=ZONE)
+        server = deployment.sites["US"].web
+        with pytest.raises(HttpMessageError):
+            server.handle_request(b"\x16\x03\x01 not-http", "198.51.100.9", 1.0)
+        assert len(deployment.log) == 0
+
+    def test_tls_rejects_garbage_without_logging(self):
+        deployment = HoneypotDeployment(zone=ZONE)
+        server = deployment.sites["US"].tls
+        with pytest.raises((TlsRecordError, TlsDecodeError)):
+            server.handle_connection(b"GET / HTTP/1.1\r\n\r\n", None,
+                                     "198.51.100.9", 1.0)
+        assert len(deployment.log) == 0
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-.",
+                   min_size=1, max_size=40))
+    @settings(max_examples=100)
+    def test_out_of_zone_names_never_pollute_the_log(self, label):
+        deployment = HoneypotDeployment(zone=ZONE)
+        server = deployment.sites["US"].authdns
+        try:
+            query = make_query(f"{label}.somewhere.else", txid=1)
+            wire = query.encode()
+        except Exception:
+            return  # not a well-formed name; nothing to send
+        server.handle_query(wire, "198.51.100.9", 1.0)
+        assert len(deployment.log) == 0
+
+    def test_log_time_regression_is_fatal_not_silent(self):
+        from repro.honeypot.logstore import LoggedRequest
+        log = LogStore()
+        log.append(LoggedRequest(time=10.0, site="US", protocol="dns",
+                                 src_address="1.2.3.4", domain="a"))
+        with pytest.raises(ValueError):
+            log.append(LoggedRequest(time=9.0, site="US", protocol="dns",
+                                     src_address="1.2.3.4", domain="b"))
+
+
+class TestCorrelatorUnderNoise:
+    def test_foreign_but_in_zone_domains_counted_as_noise(self):
+        """A third party inventing names under the experiment zone must
+        not produce shadowing events."""
+        from repro.core.correlate import Correlator, DecoyLedger
+        from repro.honeypot.logstore import LoggedRequest
+        ledger = DecoyLedger()
+        log = LogStore()
+        log.append(LoggedRequest(time=1.0, site="US", protocol="http",
+                                 src_address="198.51.100.7",
+                                 domain=f"made-up-label-0001.{ZONE}"))
+        result = Correlator(ledger, ZONE).correlate(log)
+        assert result.events == []
+        assert result.unknown_domains == [f"made-up-label-0001.{ZONE}"]

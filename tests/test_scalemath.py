@@ -1,0 +1,75 @@
+"""Tests for campaign volume arithmetic."""
+
+import pytest
+
+from repro.core.config import ExperimentConfig
+from repro.core.scalemath import (
+    PAPER_DNS_DECOYS,
+    PAPER_DNS_PATHS,
+    PAPER_HTTP_DECOYS,
+    PAPER_WEB_PATHS,
+    config_volume,
+    paper_implied_rounds,
+    volume_for,
+)
+from repro.datasets.providers import PAPER_TOTAL_VP_COUNT
+from repro.simkit.units import DAY
+
+
+class TestVolumeFor:
+    def test_basic_counts(self):
+        volume = volume_for(vps=10, dns_destinations=36, web_destinations=5,
+                            rounds=2, duration=DAY)
+        assert volume.dns_decoys == 720
+        assert volume.http_decoys == 100
+        assert volume.tls_decoys == 100
+        assert volume.total_decoys == 920
+
+    def test_paths(self):
+        volume = volume_for(vps=10, dns_destinations=36, web_destinations=5,
+                            rounds=1, duration=DAY)
+        assert volume.dns_paths == 360
+        assert volume.web_paths == 50
+
+    def test_rate(self):
+        volume = volume_for(vps=1, dns_destinations=1, web_destinations=0,
+                            rounds=86400, duration=DAY)
+        assert volume.decoys_per_second == pytest.approx(1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            volume_for(vps=-1, dns_destinations=1, web_destinations=1,
+                       rounds=1, duration=DAY)
+
+
+class TestPaperReconstruction:
+    def test_implied_rounds_reconstruct_paper_totals(self):
+        implied = paper_implied_rounds()
+        dns = PAPER_TOTAL_VP_COUNT * 36 * implied["dns_rounds"]
+        web = PAPER_TOTAL_VP_COUNT * 2325 * implied["web_rounds"]
+        assert round(dns) == PAPER_DNS_DECOYS
+        assert round(web) == PAPER_HTTP_DECOYS
+
+    def test_path_populations_match_in_text(self):
+        assert abs(PAPER_TOTAL_VP_COUNT * 36 - PAPER_DNS_PATHS) < 2000
+        assert abs(PAPER_TOTAL_VP_COUNT * 2325 - PAPER_WEB_PATHS) < 100_000
+
+    def test_cadence_is_daily_scale(self):
+        implied = paper_implied_rounds()
+        assert 1 < implied["dns_rounds_per_day"] < 20
+        assert 1 < implied["web_rounds_per_day"] < 20
+
+
+class TestConfigVolume:
+    def test_scaled_config(self):
+        config = ExperimentConfig(vp_scale=0.02, web_destination_count=48)
+        volume = config_volume(config)
+        assert volume.vps == round(PAPER_TOTAL_VP_COUNT * 0.02)
+        assert volume.dns_decoys == volume.vps * 36
+        assert volume.http_decoys == volume.vps * 48
+
+    def test_rounds_multiply(self):
+        config = ExperimentConfig(vp_scale=0.02, web_destination_count=48)
+        config.phase1_rounds = 3
+        assert config_volume(config).dns_decoys == \
+            3 * config_volume(ExperimentConfig(vp_scale=0.02)).dns_decoys

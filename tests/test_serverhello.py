@@ -1,0 +1,98 @@
+"""Tests for the ServerHello codec and honeypot handshake answering."""
+
+import pytest
+
+from repro.honeypot.logstore import LogStore
+from repro.honeypot.tlsserver import HoneyTlsServer
+from repro.honeypot.webserver import HoneyWebServer
+from repro.protocols.tls import ClientHello, TlsDecodeError, TlsPlaintext, wrap_handshake
+from repro.protocols.tls.record import CONTENT_TYPE_HANDSHAKE
+from repro.protocols.tls.serverhello import (
+    HANDSHAKE_SERVER_HELLO,
+    PREFERRED_SUITES,
+    ServerHello,
+    negotiate,
+)
+
+DOMAIN = "abc-0001.www.experiment.domain"
+
+
+def make_client_hello(suites=None, session_id=b"sess-id-bytes"):
+    kwargs = dict(server_name=DOMAIN, random=bytes(range(32)),
+                  session_id=session_id)
+    if suites is not None:
+        kwargs["cipher_suites"] = suites
+    return ClientHello(**kwargs)
+
+
+class TestServerHelloCodec:
+    def test_roundtrip(self):
+        hello = ServerHello(random=bytes(32), session_id=b"abcd",
+                            cipher_suite=0x1301)
+        decoded = ServerHello.decode(hello.encode())
+        assert decoded == hello
+        assert decoded.selected_version == 0x0304
+
+    def test_rejects_bad_random(self):
+        with pytest.raises(TlsDecodeError):
+            ServerHello(random=bytes(16), session_id=b"", cipher_suite=0x1301)
+
+    def test_decode_rejects_wrong_type(self):
+        client = make_client_hello()
+        with pytest.raises(TlsDecodeError):
+            ServerHello.decode(client.encode())
+
+    def test_handshake_type_byte(self):
+        hello = ServerHello(random=bytes(32), session_id=b"", cipher_suite=0x1301)
+        assert hello.encode()[0] == HANDSHAKE_SERVER_HELLO
+
+
+class TestNegotiation:
+    def test_prefers_tls13_suites(self):
+        client = make_client_hello(suites=(0xC02F, 0x1301))
+        server = negotiate(client, bytes(32))
+        assert server.cipher_suite == 0x1301
+
+    def test_falls_back_to_client_choice(self):
+        client = make_client_hello(suites=(0x00FF,))
+        server = negotiate(client, bytes(32))
+        assert server.cipher_suite == 0x00FF
+
+    def test_echoes_session_id(self):
+        client = make_client_hello(session_id=b"echo-me")
+        server = negotiate(client, bytes(32))
+        assert server.session_id == b"echo-me"
+
+    def test_preferred_suites_are_modern(self):
+        assert 0x1301 in PREFERRED_SUITES
+
+
+class TestHoneypotAnswers:
+    def make_server(self):
+        log = LogStore()
+        web = HoneyWebServer("203.0.113.11", log, site="US")
+        return HoneyTlsServer(web)
+
+    def test_answer_hello_returns_server_hello_record(self):
+        server = self.make_server()
+        record_bytes = wrap_handshake(make_client_hello().encode())
+        answer = server.answer_hello(record_bytes)
+        assert answer is not None
+        record = TlsPlaintext.decode(answer)
+        assert record.content_type == CONTENT_TYPE_HANDSHAKE
+        server_hello = ServerHello.decode(record.fragment)
+        assert server_hello.cipher_suite in make_client_hello().cipher_suites
+
+    def test_non_handshake_record_gets_no_answer(self):
+        server = self.make_server()
+        record = TlsPlaintext(content_type=23, fragment=b"appdata").encode()
+        assert server.answer_hello(record) is None
+
+    def test_deterministic_randoms_with_seeded_rng(self):
+        import random as random_module
+        log = LogStore()
+        web = HoneyWebServer("203.0.113.11", log, site="US")
+        first = HoneyTlsServer(web, rng=random_module.Random(1))
+        second = HoneyTlsServer(web, rng=random_module.Random(1))
+        record_bytes = wrap_handshake(make_client_hello().encode())
+        assert first.answer_hello(record_bytes) == second.answer_hello(record_bytes)

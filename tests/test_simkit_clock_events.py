@@ -1,0 +1,158 @@
+"""Unit tests for the virtual clock and the event loop."""
+
+import pytest
+
+from repro.simkit import Simulator, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_by_default(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_starts_at_given_time(self):
+        assert VirtualClock(5.0).now() == 5.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            VirtualClock(-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = VirtualClock()
+        clock.advance_to(10.0)
+        assert clock.now() == 10.0
+
+    def test_advance_to_same_instant_is_allowed(self):
+        clock = VirtualClock(3.0)
+        clock.advance_to(3.0)
+        assert clock.now() == 3.0
+
+    def test_advance_backwards_raises(self):
+        clock = VirtualClock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(5.0)
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(5.0, lambda: fired.append("late"))
+        sim.schedule_at(1.0, lambda: fired.append("early"))
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_simultaneous_events_fire_in_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        for tag in ("a", "b", "c"):
+            sim.schedule_at(2.0, lambda tag=tag: fired.append(tag))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_tracks_event_times(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(4.0, lambda: seen.append(sim.now()))
+        sim.run()
+        assert seen == [4.0]
+
+    def test_schedule_in_is_relative(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(10.0, lambda: sim.schedule_in(5.0, lambda: seen.append(sim.now())))
+        sim.run()
+        assert seen == [15.0]
+
+    def test_scheduling_in_the_past_raises(self):
+        sim = Simulator()
+        sim.schedule_at(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule_in(-1.0, lambda: None)
+
+    def test_run_until_leaves_later_events_pending(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.schedule_at(10.0, lambda: fired.append(10))
+        executed = sim.run(until=5.0)
+        assert executed == 1
+        assert fired == [1]
+        assert sim.pending == 1
+        assert sim.now() == 5.0
+
+    def test_run_until_fires_events_exactly_at_boundary(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(5.0, lambda: fired.append(5))
+        sim.run(until=5.0)
+        assert fired == [5]
+
+    def test_cancelled_events_do_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule_at(1.0, lambda: fired.append("no"))
+        event.cancel()
+        sim.run()
+        assert fired == []
+        assert sim.pending == 0
+
+    def test_max_events_bounds_execution(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule_in(1.0, reschedule)
+
+        sim.schedule_at(0.0, reschedule)
+        executed = sim.run(max_events=10)
+        assert executed == 10
+
+    def test_processed_counter_accumulates(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        sim.run()
+        assert sim.processed == 2
+
+    def test_events_scheduled_during_run_are_executed(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: sim.schedule_at(2.0, lambda: fired.append("child")))
+        sim.run()
+        assert fired == ["child"]
+
+
+class TestLabelCounts:
+    def test_labels_tallied_on_execution(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None, label="send:dns")
+        sim.schedule_at(2.0, lambda: None, label="send:dns")
+        sim.schedule_at(3.0, lambda: None, label="retry")
+        sim.run()
+        assert sim.label_counts == {"send:dns": 2, "retry": 1}
+
+    def test_unlabelled_events_not_tallied(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.run()
+        assert sim.label_counts == {}
+
+    def test_cancelled_events_not_tallied(self):
+        sim = Simulator()
+        event = sim.schedule_at(1.0, lambda: None, label="x")
+        event.cancel()
+        sim.run()
+        assert sim.label_counts == {}
+
+    def test_experiment_exposes_event_mix(self):
+        from repro.core.config import ExperimentConfig
+        from repro.core.experiment import Experiment
+        result = Experiment(ExperimentConfig.tiny(seed=616)).run()
+        counts = result.eco.sim.label_counts
+        assert counts.get("send:dns", 0) > 0
+        assert any(label.startswith("recursion:") for label in counts)
+        assert any(label.startswith("unsolicited:") for label in counts)

@@ -1,0 +1,144 @@
+"""Tests for seeded RNG routing and delay distributions."""
+
+import random
+
+import pytest
+
+from repro.simkit import (
+    Constant,
+    DAY,
+    Empirical,
+    Exponential,
+    LogNormal,
+    Mixture,
+    RandomRouter,
+    Uniform,
+    format_duration,
+)
+
+
+class TestRandomRouter:
+    def test_same_seed_same_stream_values(self):
+        first = RandomRouter(7).stream("topology")
+        second = RandomRouter(7).stream("topology")
+        assert [first.random() for _ in range(5)] == [second.random() for _ in range(5)]
+
+    def test_different_names_give_independent_streams(self):
+        router = RandomRouter(7)
+        a = [router.stream("a").random() for _ in range(5)]
+        b = [router.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_stream_is_insensitive_to_creation_order(self):
+        forward = RandomRouter(3)
+        forward.stream("x")
+        x_after_y = RandomRouter(3)
+        x_after_y.stream("y")
+        assert forward.stream("x").random() == x_after_y.stream("x").random()
+
+    def test_stream_is_cached(self):
+        router = RandomRouter(1)
+        assert router.stream("same") is router.stream("same")
+
+    def test_fork_gives_independent_namespace(self):
+        router = RandomRouter(5)
+        child = router.fork("observer")
+        assert child.stream("x").random() != router.stream("x").random()
+
+    def test_fork_is_deterministic(self):
+        a = RandomRouter(5).fork("observer").stream("x").random()
+        b = RandomRouter(5).fork("observer").stream("x").random()
+        assert a == b
+
+
+class TestDistributions:
+    def setup_method(self):
+        self.rng = random.Random(42)
+
+    def test_constant_always_returns_value(self):
+        dist = Constant(3.5)
+        assert dist.sample_many(self.rng, 10) == [3.5] * 10
+
+    def test_constant_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Constant(-1)
+
+    def test_uniform_stays_in_bounds(self):
+        dist = Uniform(10, 20)
+        for value in dist.sample_many(self.rng, 200):
+            assert 10 <= value <= 20
+
+    def test_uniform_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            Uniform(5, 1)
+
+    def test_exponential_mean_roughly_matches(self):
+        dist = Exponential(mean=100.0)
+        samples = dist.sample_many(self.rng, 5000)
+        mean = sum(samples) / len(samples)
+        assert 85 < mean < 115
+
+    def test_exponential_rejects_nonpositive_mean(self):
+        with pytest.raises(ValueError):
+            Exponential(0)
+
+    def test_lognormal_median_roughly_matches(self):
+        dist = LogNormal(median=2 * DAY, sigma=0.5)
+        samples = sorted(dist.sample_many(self.rng, 2001))
+        median = samples[1000]
+        assert 1.5 * DAY < median < 2.7 * DAY
+
+    def test_lognormal_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            LogNormal(median=0, sigma=1)
+        with pytest.raises(ValueError):
+            LogNormal(median=10, sigma=0)
+
+    def test_mixture_uses_all_components(self):
+        dist = Mixture([(0.5, Constant(1.0)), (0.5, Constant(100.0))])
+        values = set(dist.sample_many(self.rng, 200))
+        assert values == {1.0, 100.0}
+
+    def test_mixture_respects_heavy_weighting(self):
+        dist = Mixture([(0.95, Constant(1.0)), (0.05, Constant(100.0))])
+        samples = dist.sample_many(self.rng, 2000)
+        share_low = sum(1 for value in samples if value == 1.0) / len(samples)
+        assert share_low > 0.9
+
+    def test_mixture_rejects_empty_and_zero_weights(self):
+        with pytest.raises(ValueError):
+            Mixture([])
+        with pytest.raises(ValueError):
+            Mixture([(0.0, Constant(1.0))])
+
+    def test_empirical_draws_within_buckets(self):
+        dist = Empirical([(0, 60, 0.5), (3600, 7200, 0.5)])
+        for value in dist.sample_many(self.rng, 500):
+            assert (0 <= value <= 60) or (3600 <= value <= 7200)
+
+    def test_empirical_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Empirical([])
+        with pytest.raises(ValueError):
+            Empirical([(10, 5, 1.0)])
+
+    def test_sample_many_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            Constant(1.0).sample_many(self.rng, -1)
+
+
+class TestFormatDuration:
+    def test_seconds(self):
+        assert format_duration(5) == "5.0s"
+
+    def test_minutes(self):
+        assert format_duration(90) == "1.5m"
+
+    def test_hours(self):
+        assert format_duration(7200) == "2.0h"
+
+    def test_days(self):
+        assert format_duration(10 * DAY) == "10.0d"
+
+    def test_negative_duration(self):
+        assert format_duration(-90) == "-1.5m"

@@ -1,0 +1,133 @@
+"""Tests for the statistics utilities and ground-truth validation."""
+
+import random
+
+import pytest
+
+from repro.analysis.stats import (
+    bootstrap_mean_ci,
+    ks_distance,
+    ks_significant,
+    proportion_ci,
+    total_variation,
+)
+from repro.analysis.temporal import Cdf
+from repro.analysis.validation import validate
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import Experiment
+
+
+class TestKs:
+    def test_identical_distributions_distance_zero(self):
+        cdf = Cdf.from_values([1, 2, 3, 4, 5])
+        assert ks_distance(cdf, cdf) == 0.0
+
+    def test_disjoint_distributions_distance_one(self):
+        low = Cdf.from_values([1, 2, 3])
+        high = Cdf.from_values([100, 200, 300])
+        assert ks_distance(low, high) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_distance(Cdf.from_values([]), Cdf.from_values([1]))
+
+    def test_significance(self):
+        rng = random.Random(4)
+        same_a = Cdf.from_values([rng.gauss(0, 1) for _ in range(300)])
+        same_b = Cdf.from_values([rng.gauss(0, 1) for _ in range(300)])
+        shifted = Cdf.from_values([rng.gauss(3, 1) for _ in range(300)])
+        assert not ks_significant(same_a, same_b)
+        assert ks_significant(same_a, shifted)
+
+    def test_significance_alpha_validated(self):
+        cdf = Cdf.from_values([1, 2])
+        with pytest.raises(ValueError):
+            ks_significant(cdf, cdf, alpha=2.0)
+
+
+class TestTotalVariation:
+    def test_identical_zero(self):
+        dist = {"a": 0.6, "b": 0.4}
+        assert total_variation(dist, dist) == pytest.approx(0.0)
+
+    def test_disjoint_one(self):
+        assert total_variation({"a": 1.0}, {"b": 1.0}) == pytest.approx(1.0)
+
+    def test_auto_normalization(self):
+        assert total_variation({"a": 2, "b": 2}, {"a": 1, "b": 1}) == pytest.approx(0.0)
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(ValueError):
+            total_variation({"a": 0.0}, {"a": 1.0})
+
+
+class TestProportionCi:
+    def test_contains_point_estimate(self):
+        low, high = proportion_ci(30, 100)
+        assert low < 0.3 < high
+
+    def test_narrows_with_more_trials(self):
+        narrow = proportion_ci(300, 1000)
+        wide = proportion_ci(3, 10)
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_bounds_clamped(self):
+        low, high = proportion_ci(0, 10)
+        assert low == 0.0
+        low, high = proportion_ci(10, 10)
+        assert high == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            proportion_ci(1, 0)
+        with pytest.raises(ValueError):
+            proportion_ci(5, 3)
+        with pytest.raises(ValueError):
+            proportion_ci(1, 10, confidence=0.5)
+
+
+class TestBootstrap:
+    def test_ci_contains_true_mean(self):
+        rng = random.Random(2)
+        samples = [rng.gauss(10, 2) for _ in range(200)]
+        low, high = bootstrap_mean_ci(samples, random.Random(3), rounds=500)
+        assert low < 10.2 and high > 9.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([], random.Random(1))
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], random.Random(1), rounds=5)
+
+
+class TestGroundTruthValidation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return Experiment(ExperimentConfig.tiny(seed=20240301)).run()
+
+    def test_pipeline_recovers_most_planted_shadowing(self, result):
+        report = validate(
+            result.eco.ground_truth, result.phase1, result.phase2,
+            result.ledger, result.config.observation_window,
+        )
+        assert report.planted_domains > 50
+        # Some exhibitors schedule requests beyond the listening window,
+        # so recall is high but not perfect.
+        assert report.recall > 0.6
+
+    def test_no_unexplained_flags(self, result):
+        report = validate(
+            result.eco.ground_truth, result.phase1, result.phase2,
+            result.ledger, result.config.observation_window,
+        )
+        assert report.false_domains == 0
+        assert report.exhibitor_precision == 1.0
+
+    def test_benign_only_domains_are_dns(self, result):
+        report = validate(
+            result.eco.ground_truth, result.phase1, result.phase2,
+            result.ledger, result.config.observation_window,
+        )
+        # Retry-only resolvers do produce flagged domains with no
+        # exhibitor behind them — genuine unsolicited traffic, benign cause.
+        assert report.benign_only_domains > 0

@@ -1,0 +1,98 @@
+"""Tests for TCP connection establishment over simulated paths."""
+
+import random
+
+import pytest
+
+from repro.net.packet import TCPSegment
+from repro.net.path import Hop, Path
+from repro.net.tcpconn import HandshakeResult, TcpClient, TcpState
+
+
+def make_path(n_hops: int = 5) -> Path:
+    hops = [
+        Hop(address=f"10.0.0.{index}", asn=100 + index, country="US")
+        for index in range(1, n_hops)
+    ]
+    hops.append(Hop(address="93.184.216.34", asn=15133, country="US",
+                    is_destination=True))
+    return Path(hops)
+
+
+def make_client(path=None, ttl=64) -> TcpClient:
+    return TcpClient(
+        path=path if path is not None else make_path(),
+        src="100.96.0.1", src_port=40000, dst_port=80,
+        rng=random.Random(1), ttl=ttl,
+    )
+
+
+class TestHandshake:
+    def test_successful_handshake(self):
+        client = make_client()
+        result = client.connect()
+        assert result.established
+        assert client.state is TcpState.ESTABLISHED
+        assert result.syn_delivered
+        assert result.server_isn is not None
+
+    def test_syn_expiry_fails_handshake(self):
+        client = make_client(ttl=2)
+        result = client.connect()
+        assert not result.established
+        assert client.state is TcpState.FAILED
+        assert result.server_isn is None
+
+    def test_connect_twice_raises(self):
+        client = make_client()
+        client.connect()
+        with pytest.raises(RuntimeError):
+            client.connect()
+
+    def test_syn_packet_transits_taps(self):
+        path = make_path()
+        seen = []
+        path.add_tap(2, lambda position, hop, packet: seen.append(packet))
+        client = make_client(path=path)
+        client.connect()
+        # SYN and the final ACK both crossed hop 2.
+        assert len(seen) == 2
+        assert seen[0].transport.flags & TCPSegment.FLAG_SYN
+        assert seen[0].payload == b""
+
+
+class TestSend:
+    def test_send_requires_established(self):
+        client = make_client()
+        with pytest.raises(RuntimeError):
+            client.send(b"GET / HTTP/1.1\r\n\r\n")
+
+    def test_send_delivers_payload(self):
+        path = make_path()
+        captured = []
+        path.add_tap(3, lambda position, hop, packet: captured.append(packet.payload))
+        client = make_client(path=path)
+        client.connect()
+        result = client.send(b"hello")
+        assert result.delivered
+        assert b"hello" in captured
+
+    def test_sequence_numbers_advance(self):
+        client = make_client()
+        client.connect()
+        first_seq = client._next_seq
+        client.send(b"12345")
+        assert client._next_seq == (first_seq + 5) & 0xFFFFFFFF
+
+    def test_close_prevents_further_sends(self):
+        client = make_client()
+        client.connect()
+        client.close()
+        with pytest.raises(RuntimeError):
+            client.send(b"x")
+
+    def test_send_after_failed_handshake_raises(self):
+        client = make_client(ttl=1)
+        client.connect()
+        with pytest.raises(RuntimeError):
+            client.send(b"x")
