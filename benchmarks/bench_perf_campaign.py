@@ -1,0 +1,87 @@
+"""Performance — sharded campaign executor throughput.
+
+Runs the same medium-scale campaign at 1, 2, and 4 workers, verifies the
+results are byte-identical (the executor's core guarantee), and records
+decoys/second to ``benchmarks/out/BENCH_campaign.json`` so the perf
+trajectory is tracked across PRs.
+
+Honesty note: parallel speedup is hardware-bound.  The artifact records
+``cpu_count`` next to the throughput rows — on a single-core runner the
+sharded configurations *cannot* beat serial (they pay process startup and
+merge cost for no extra compute), and the numbers will say so.  See
+docs/PERFORMANCE.md for how to read the artifact.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``): one worker on the tiny config, for
+CI runs that only need to prove the bench still executes end to end.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import Experiment
+from repro.core.shard import result_digest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+ARTIFACT = OUT_DIR / "BENCH_campaign.json"
+
+BENCH_SEED = 20240301
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+
+def _config(workers: int) -> ExperimentConfig:
+    if SMOKE:
+        config = ExperimentConfig.tiny(seed=BENCH_SEED)
+        config.workers = workers
+        return config
+    return ExperimentConfig.medium(seed=BENCH_SEED, workers=workers)
+
+
+def test_perf_campaign_worker_scaling():
+    worker_counts = [1] if SMOKE else [1, 2, 4]
+    rows = []
+    digests = []
+    for workers in worker_counts:
+        started = time.perf_counter()
+        result = Experiment(_config(workers)).run()
+        elapsed = time.perf_counter() - started
+        decoys = len(result.ledger)
+        rows.append({
+            "workers": workers,
+            "seconds": round(elapsed, 3),
+            "decoys": decoys,
+            "decoys_per_sec": round(decoys / elapsed, 1),
+        })
+        digests.append(result_digest(result))
+
+    # The throughput numbers are only meaningful if every worker count
+    # computed the same campaign.
+    assert len(set(digests)) == 1, "sharded results diverged from serial"
+
+    baseline = rows[0]["decoys_per_sec"]
+    artifact = {
+        "bench": "campaign_worker_scaling",
+        "mode": "smoke" if SMOKE else "medium",
+        "seed": BENCH_SEED,
+        "cpu_count": os.cpu_count(),
+        "result_digest": digests[0],
+        "rows": rows,
+        "speedup_vs_serial": {
+            str(row["workers"]): round(row["decoys_per_sec"] / baseline, 2)
+            for row in rows
+        },
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    ARTIFACT.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+
+    lines = [
+        f"{row['workers']} worker(s): {row['decoys_per_sec']:>8.1f} decoys/sec"
+        f"  ({row['seconds']:.2f}s, {row['decoys']} decoys)"
+        for row in rows
+    ]
+    print("\n=== BENCH_campaign ===\n" + "\n".join(lines)
+          + f"\ncpu_count={os.cpu_count()}  artifact={ARTIFACT}")
+
+    assert rows[0]["decoys"] > 1000 if not SMOKE else rows[0]["decoys"] > 100

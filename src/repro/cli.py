@@ -39,6 +39,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="HTTP/TLS decoy targets sampled from the pool")
     run.add_argument("--tiny", action="store_true",
                      help="use the fast test-sized configuration")
+    run.add_argument("--workers", type=int, default=1, metavar="N",
+                     help="shard the campaign across N worker processes; "
+                          "results are deterministically merged and equal "
+                          "to the serial run (default 1)")
     run.add_argument("--export", metavar="DIR",
                      help="also export the result bundle to DIR")
     run.add_argument("--output", metavar="FILE",
@@ -65,13 +69,18 @@ def _emit(text: str, output: Optional[str]) -> None:
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
     if args.tiny:
         config = ExperimentConfig.tiny(seed=args.seed)
+        config.workers = args.workers
     else:
         config = ExperimentConfig(
             seed=args.seed,
             vp_scale=args.vp_scale,
             web_destination_count=args.web_destinations,
+            workers=args.workers,
         )
     result = Experiment(config).run()
     if args.export:

@@ -7,6 +7,7 @@ round-robin over virtual time and lets the simulator run through the
 observation window.
 """
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -22,6 +23,22 @@ from repro.net.tcpconn import TcpClient
 from repro.topology.model import Endpoint
 from repro.vpn.vantage import VantagePoint
 from repro.vpn.vetting import VettingReport, full_vetting, vet_providers
+
+
+def pair_shard(vp_address: str, destination_address: str, shard_count: int) -> int:
+    """Deterministic shard assignment of one (VP, destination) pair.
+
+    A stable content hash (not Python's salted ``hash``) keeps the
+    partition identical across processes and runs, so every send — Phase I
+    decoys and Phase II probes alike — for a given pair lands in the same
+    shard regardless of worker count or scheduling order.
+    """
+    if shard_count <= 1:
+        return 0
+    digest = hashlib.sha256(
+        f"{vp_address}|{destination_address}".encode()
+    ).digest()
+    return int.from_bytes(digest[:4], "big") % shard_count
 
 
 @dataclass
@@ -44,25 +61,51 @@ class SendOutcome:
 
 
 class Campaign:
-    """Phase I executor bound to one ecosystem."""
+    """Phase I executor bound to one ecosystem.
 
-    def __init__(self, eco: Ecosystem):
+    ``shard_index``/``shard_count`` partition the (VP, destination) pair
+    space: a sharded campaign replays the *full* deterministic Phase I
+    plan (so rate-limiter state and send times match the serial schedule
+    exactly) but materializes paths and enqueues simulator events only
+    for pairs it owns.  The default (0, 1) owns everything — the serial
+    campaign is just the one-shard special case.
+    """
+
+    def __init__(self, eco: Ecosystem, shard_index: int = 0, shard_count: int = 1):
+        if shard_count < 1:
+            raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+        if not 0 <= shard_index < shard_count:
+            raise ValueError(
+                f"shard_index must be in [0, {shard_count}), got {shard_index}"
+            )
         self.eco = eco
         self.config = eco.config
+        self.shard_index = shard_index
+        self.shard_count = shard_count
         self.ledger = DecoyLedger()
         self.factory = DecoyFactory(
             zone=eco.config.zone, rng=eco.router.stream("decoy.factory")
         )
         self._paths: Dict[Tuple[str, str], PathInfo] = {}
         self._sequences: Dict[Tuple[str, str], int] = {}
+        self._ledger_keys: Dict[str, Tuple[float, int, int, int]] = {}
+        """Merge-order key per registered domain: (sent_at, phase,
+        plan major, plan minor).  Sorting any union of shard ledgers by
+        this key reproduces the serial registration order."""
         self.vetting: Optional[VettingReport] = None
+        self.sends_planned = 0
         self.sends_scheduled = 0
         self.last_send_time = 0.0
         self._pcap = None
         self._pcap_stream = None
         if eco.config.capture_pcap:
             from repro.net.pcap import PcapWriter
-            self._pcap_stream = open(eco.config.capture_pcap, "wb")
+            pcap_path = eco.config.capture_pcap
+            if shard_count > 1:
+                # Each worker writes its own capture next to the requested
+                # one; merging pcaps across shards is an offline concern.
+                pcap_path = f"{pcap_path}.shard{shard_index:02d}"
+            self._pcap_stream = open(pcap_path, "wb")
             self._pcap = PcapWriter(self._pcap_stream)
 
     def close_capture(self) -> None:
@@ -71,6 +114,23 @@ class Campaign:
             self._pcap_stream.close()
             self._pcap_stream = None
             self._pcap = None
+
+    def __enter__(self) -> "Campaign":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close_capture()
+        return False
+
+    def owns_pair(self, vp_address: str, destination_address: str) -> bool:
+        """Does this shard simulate sends for the given pair?"""
+        return pair_shard(
+            vp_address, destination_address, self.shard_count
+        ) == self.shard_index
+
+    def ledger_key(self, domain: str) -> Tuple[float, int, int, int]:
+        """The deterministic merge-order key of one registered decoy."""
+        return self._ledger_keys[domain]
 
     # -- path management -------------------------------------------------
 
@@ -157,11 +217,15 @@ class Campaign:
 
     def send_decoy(self, info: PathInfo, protocol: str, ttl: int,
                    phase: int, destination: object,
-                   round_index: int = 0) -> SendOutcome:
+                   round_index: int = 0,
+                   plan_key: Tuple[int, int] = (-1, -1)) -> SendOutcome:
         """Build, record, and transit one decoy right now (virtual time).
 
         ``destination`` is either a :class:`DnsDestination` or a
         :class:`WebDestination`; delivery semantics dispatch on it.
+        ``plan_key`` is the (major, minor) position of this send in the
+        deterministic campaign plan — Phase I uses (plan index, 0), Phase
+        II traceroutes (plan entry, ttl) — and orders cross-shard merges.
         """
         vp = info.vp
         now = self.eco.sim.now()
@@ -203,6 +267,7 @@ class Campaign:
             round_index=round_index,
         )
         self.ledger.register(record)
+        self._ledger_keys[record.domain] = (now, phase, plan_key[0], plan_key[1])
         if self._pcap is not None:
             self._pcap.write(packet, now)
         transit = self._transmit(info, protocol, packet, phase)
@@ -282,26 +347,36 @@ class Campaign:
         if not vps:
             raise RuntimeError("no vantage points left after vetting")
         limiter = RoundRobinScheduler(vps, per_target_interval=0.5)
+        planned = 0
         scheduled = 0
         last_time = sim.now()
 
         def schedule(send_time: float, vp: VantagePoint, destination,
                      protocol: str, address: str, asn: int, country: str,
                      service: str, round_index: int) -> float:
-            nonlocal scheduled, last_time
-            info = self.path_info(vp, address, asn, country, service_name=service)
+            nonlocal planned, scheduled, last_time
+            # Every shard replays the full plan — including rate-limiter
+            # state — so `actual` matches the serial schedule; only owned
+            # pairs materialize a path and enqueue the send.
             actual = limiter.earliest_send_time(address, send_time)
-            sim.schedule_at(
-                actual,
-                lambda info=info, protocol=protocol, destination=destination,
-                       round_index=round_index:
-                    self.send_decoy(info, protocol, ttl=64, phase=1,
-                                    destination=destination,
-                                    round_index=round_index),
-                label=f"send:{protocol}",
-            )
-            scheduled += 1
+            plan_index = planned
+            planned += 1
             last_time = max(last_time, actual)
+            if self.owns_pair(vp.address, address):
+                info = self.path_info(vp, address, asn, country,
+                                      service_name=service)
+                sim.schedule_at(
+                    actual,
+                    lambda info=info, protocol=protocol,
+                           destination=destination, round_index=round_index,
+                           plan_index=plan_index:
+                        self.send_decoy(info, protocol, ttl=64, phase=1,
+                                        destination=destination,
+                                        round_index=round_index,
+                                        plan_key=(plan_index, 0)),
+                    label=f"send:{protocol}",
+                )
+                scheduled += 1
             return send_time + config.send_spacing
 
         dns_vps = vps
@@ -332,6 +407,7 @@ class Campaign:
                             destination.country, destination.site, round_index,
                         )
 
+        self.sends_planned += planned
         self.sends_scheduled += scheduled
         self.last_send_time = last_time
         return scheduled

@@ -66,10 +66,19 @@ class ExperimentConfig:
     """Fraction of access-AS routers hosting interceptors, in countries
     where interception is deployed."""
 
+    # -- execution ----------------------------------------------------------
+    workers: int = 1
+    """Worker processes for the sharded campaign executor.  1 runs the
+    classic single-process simulation; N > 1 partitions the (VP,
+    destination) pair space into N shards simulated in parallel and
+    deterministically merged — the result is identical to the serial run
+    (see docs/PERFORMANCE.md)."""
+
     # -- diagnostics --------------------------------------------------------
     capture_pcap: Optional[str] = None
     """Write every decoy packet put on the wire to this pcap file
-    (LINKTYPE_RAW; opens in Wireshark).  None disables capture."""
+    (LINKTYPE_RAW; opens in Wireshark).  None disables capture.  With
+    workers > 1 each shard writes its own ``<path>.shardNN`` file."""
 
     # -- wildcard zone ------------------------------------------------------
     wildcard_record_ttl: int = 3600
@@ -88,6 +97,8 @@ class ExperimentConfig:
             raise ValueError("observation_window must be positive")
         if not 1 <= self.phase2_max_ttl <= 255:
             raise ValueError(f"phase2_max_ttl out of range: {self.phase2_max_ttl}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
 
     @classmethod
     def tiny(cls, seed: int = 20240301) -> "ExperimentConfig":
@@ -101,6 +112,21 @@ class ExperimentConfig:
             phase2_paths_per_destination=4,
             observation_window=15 * DAY,
             phase2_observation_window=6 * DAY,
+        )
+
+    @classmethod
+    def medium(cls, seed: int = 20240301, workers: int = 1) -> "ExperimentConfig":
+        """Between tiny and default scale — the campaign-benchmark config."""
+        return cls(
+            seed=seed,
+            vp_scale=0.01,
+            web_site_count=60,
+            web_destination_count=24,
+            web_vps_per_destination=8,
+            phase2_paths_per_destination=8,
+            observation_window=20 * DAY,
+            phase2_observation_window=8 * DAY,
+            workers=workers,
         )
 
     @classmethod

@@ -95,8 +95,11 @@ class Ecosystem:
         if hop_address in self.interceptors:
             return self.interceptors[hop_address]
         interceptor: Optional[DnsInterceptor] = None
-        rng = self.router.stream("interceptor.deploy")
-        if rng.random() < self.interceptor_router_fraction:
+        # Keyed by the router address (not first-sight order) so the same
+        # routers intercept regardless of which path — or which shard of a
+        # partitioned campaign — materializes them first.
+        draw = self.router.substreams("interceptor.deploy").derive(hop_address)
+        if draw.random() < self.interceptor_router_fraction:
             alt_address = self.allocator.allocate(f"altdns:{hop_address}")
             self.directory.register(alt_address, AS_ALT_DNS, "??", role="alt-resolver")
             interceptor = DnsInterceptor(
@@ -105,6 +108,7 @@ class Ecosystem:
                 sim=self.sim,
                 deployment=self.deployment,
                 rng=self.router.stream(f"interceptor:{hop_address}"),
+                streams=self.router.substreams("interceptor.behavior"),
             )
         self.interceptors[hop_address] = interceptor
         return interceptor
@@ -131,6 +135,9 @@ def build_ecosystem(config: ExperimentConfig) -> Ecosystem:
             rng=router.stream(f"pool:{name}"),
         )
 
+    # Behavioural draws are keyed substreams (pure functions of seed and
+    # decision key) so outcomes survive any partitioning of the campaign;
+    # the sequential streams below keep feeding unobservable wire fields.
     policies = _build_policies(pool)
     exhibitors = {
         name: ShadowExhibitor(
@@ -139,6 +146,7 @@ def build_ecosystem(config: ExperimentConfig) -> Ecosystem:
             emitter=emitter,
             rng=router.stream(f"exhibitor:{name}"),
             ground_truth=ground_truth,
+            streams=router.substreams("exhibitor.behavior"),
         )
         for name, policy in policies.items()
     }
@@ -165,6 +173,7 @@ def build_ecosystem(config: ExperimentConfig) -> Ecosystem:
             exhibitor=exhibitor,
             egress_address=egress,
             rng=router.stream(f"resolver:{profile.destination.name}"),
+            streams=router.substreams("resolver.behavior"),
         )
 
     # Synthetic Tranco pool and the sampled decoy targets.
@@ -192,6 +201,7 @@ def build_ecosystem(config: ExperimentConfig) -> Ecosystem:
         },
         default_exhibitor=exhibitors["dest.web.global"],
         rng=router.stream("webdest"),
+        streams=router.substreams("webdest.decisions"),
     )
 
     observer_deployment = ObserverDeployment(
@@ -199,6 +209,7 @@ def build_ecosystem(config: ExperimentConfig) -> Ecosystem:
         exhibitors=exhibitors,
         zone=config.zone,
         rng=router.stream("sniffer.deploy"),
+        streams=router.substreams("sniffer.placement"),
     )
 
     return Ecosystem(

@@ -8,12 +8,17 @@
 4. sample problematic paths and run Phase II tracerouting,
 5. locate observers from minimal trigger TTLs and ICMP reporters.
 
+With ``config.workers > 1`` the run is dispatched to the sharded
+executor (:mod:`repro.core.shard`), which partitions the campaign across
+worker processes and deterministically merges their outputs into the
+same result the serial path produces.
+
 The returned :class:`ExperimentResult` is the single input every analysis
 and benchmark consumes.
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.campaign import Campaign, PathInfo
 from repro.core.config import ExperimentConfig
@@ -35,7 +40,7 @@ class ExperimentResult:
     phase2: CorrelationResult
     locations: List[ObserverLocation]
     vetting: VettingReport
-    timings: Dict[str, float] = None
+    timings: Dict[str, float] = field(default_factory=dict)
     """Wall-clock seconds per stage ("phase1", "phase2", "correlate") and
     the virtual campaign span ("virtual_span")."""
 
@@ -61,6 +66,94 @@ class ExperimentResult:
         return ordered
 
 
+@dataclass(frozen=True)
+class Phase2PlanEntry:
+    """One problematic path selected for Phase II tracerouting.
+
+    Selection runs once over the merged Phase I correlation (quotas are
+    global, so no shard could compute them alone); entries are then
+    dispatched to whichever shard owns the (VP, destination) pair.
+    """
+
+    index: int
+    vp_id: str
+    vp_address: str
+    destination_address: str
+    destination_country: str
+    destination_name: str
+    protocol: str
+
+
+def plan_phase2(eco: Ecosystem, phase1: CorrelationResult,
+                config: ExperimentConfig) -> List[Phase2PlanEntry]:
+    """Sample problematic paths per destination, in correlation order.
+
+    Pure selection — no paths are materialized and no events queued — so
+    the serial runner and the sharded executor share one plan and their
+    Phase II probe sets match entry for entry.
+    """
+    known_destinations = {d.address for d in eco.dns_destinations}
+    known_destinations.update(d.address for d in eco.web_destinations)
+    known_vps = {vp.vp_id for vp in eco.platform.vantage_points}
+
+    entries: List[Phase2PlanEntry] = []
+    per_destination: Dict[Tuple[str, str], int] = {}
+    selected = set()
+    for event in phase1.events:
+        decoy = event.decoy
+        key = (decoy.vp_id, decoy.destination_address, decoy.protocol)
+        if key in selected:
+            continue
+        quota_key = (decoy.destination_address, decoy.protocol)
+        count = per_destination.get(quota_key, 0)
+        if count >= config.phase2_paths_per_destination:
+            continue
+        if decoy.destination_address not in known_destinations:
+            continue
+        if decoy.vp_id not in known_vps:
+            continue
+        entries.append(Phase2PlanEntry(
+            index=len(entries),
+            vp_id=decoy.vp_id,
+            vp_address=decoy.identity.vp_address,
+            destination_address=decoy.destination_address,
+            destination_country=decoy.destination_country,
+            destination_name=decoy.destination_name,
+            protocol=decoy.protocol,
+        ))
+        selected.add(key)
+        per_destination[quota_key] = count + 1
+    return entries
+
+
+def schedule_phase2_entries(campaign: Campaign, tracer: HopByHopTracer,
+                            entries: Iterable[Phase2PlanEntry]) -> int:
+    """Queue traceroutes for the given plan entries; returns the count."""
+    eco = campaign.eco
+    destinations_by_address: Dict[str, object] = {
+        destination.address: destination
+        for destination in eco.dns_destinations
+    }
+    for destination in eco.web_destinations:
+        destinations_by_address[destination.address] = destination
+    vps_by_id = {vp.vp_id: vp for vp in eco.platform.vantage_points}
+
+    scheduled = 0
+    for entry in entries:
+        destination = destinations_by_address[entry.destination_address]
+        vp = vps_by_id[entry.vp_id]
+        info = campaign.path_info(
+            vp, entry.destination_address,
+            destination_asn=eco.directory.asn_of(entry.destination_address) or 0,
+            destination_country=entry.destination_country,
+            service_name=entry.destination_name,
+        )
+        tracer.schedule_traceroute(info, entry.protocol, destination,
+                                   plan_index=entry.index)
+        scheduled += 1
+    return scheduled
+
+
 class Experiment:
     """Orchestrates one full run."""
 
@@ -68,6 +161,12 @@ class Experiment:
         self.config = config if config is not None else ExperimentConfig()
 
     def run(self) -> ExperimentResult:
+        if self.config.workers > 1:
+            from repro.core.shard import run_sharded
+            return run_sharded(self.config)
+        return self._run_serial()
+
+    def _run_serial(self) -> ExperimentResult:
         import time as _time
 
         timings: Dict[str, float] = {}
@@ -75,32 +174,33 @@ class Experiment:
         eco = build_ecosystem(self.config)
         timings["build"] = _time.perf_counter() - started
 
-        stage = _time.perf_counter()
         campaign = Campaign(eco)
-        campaign.run_phase1()
-        timings["phase1"] = _time.perf_counter() - stage
+        with campaign:
+            stage = _time.perf_counter()
+            campaign.run_phase1()
+            timings["phase1"] = _time.perf_counter() - stage
 
-        correlator = Correlator(campaign.ledger, zone=self.config.zone)
-        phase1 = correlator.correlate(eco.deployment.log, phase=1)
+            correlator = Correlator(campaign.ledger, zone=self.config.zone)
+            phase1 = correlator.correlate(eco.deployment.log, phase=1)
 
-        stage = _time.perf_counter()
-        tracer = HopByHopTracer(campaign)
-        self._schedule_phase2(campaign, phase1, tracer)
-        eco.sim.run(until=eco.sim.now() + self.config.phase2_observation_window)
-        timings["phase2"] = _time.perf_counter() - stage
+            stage = _time.perf_counter()
+            tracer = HopByHopTracer(campaign)
+            entries = plan_phase2(eco, phase1, self.config)
+            schedule_phase2_entries(campaign, tracer, entries)
+            eco.sim.run(until=eco.sim.now() + self.config.phase2_observation_window)
+            timings["phase2"] = _time.perf_counter() - stage
 
-        # Exhibitors schedule unsolicited requests days out, so Phase I
-        # decoys keep drawing traffic during the Phase II window; the final
-        # correlation pass covers the complete log, as the paper's offline
-        # analysis does.
-        stage = _time.perf_counter()
-        phase1 = correlator.correlate(eco.deployment.log, phase=1)
-        phase2 = correlator.correlate(eco.deployment.log, phase=2)
-        locations = tracer.locate(phase2)
-        timings["correlate"] = _time.perf_counter() - stage
-        timings["total"] = _time.perf_counter() - started
-        timings["virtual_span"] = eco.sim.now()
-        campaign.close_capture()
+            # Exhibitors schedule unsolicited requests days out, so Phase I
+            # decoys keep drawing traffic during the Phase II window; the
+            # final correlation pass covers the complete log, as the
+            # paper's offline analysis does.
+            stage = _time.perf_counter()
+            phase1 = correlator.correlate(eco.deployment.log, phase=1)
+            phase2 = correlator.correlate(eco.deployment.log, phase=2)
+            locations = tracer.locate(phase2)
+            timings["correlate"] = _time.perf_counter() - stage
+            timings["total"] = _time.perf_counter() - started
+            timings["virtual_span"] = eco.sim.now()
         return ExperimentResult(
             config=self.config,
             eco=eco,
@@ -111,44 +211,3 @@ class Experiment:
             vetting=campaign.vetting,
             timings=timings,
         )
-
-    def _schedule_phase2(self, campaign: Campaign, phase1: CorrelationResult,
-                         tracer: HopByHopTracer) -> None:
-        """Sample problematic paths per destination and queue traceroutes."""
-        eco = campaign.eco
-        destinations_by_address: Dict[str, object] = {
-            destination.address: destination
-            for destination in eco.dns_destinations
-        }
-        for destination in eco.web_destinations:
-            destinations_by_address[destination.address] = destination
-
-        per_destination: Dict[Tuple[str, str], int] = {}
-        scheduled = set()
-        for event in phase1.events:
-            decoy = event.decoy
-            key = (decoy.vp_id, decoy.destination_address, decoy.protocol)
-            if key in scheduled:
-                continue
-            quota_key = (decoy.destination_address, decoy.protocol)
-            count = per_destination.get(quota_key, 0)
-            if count >= self.config.phase2_paths_per_destination:
-                continue
-            destination = destinations_by_address.get(decoy.destination_address)
-            if destination is None:
-                continue
-            vp = next(
-                (vp for vp in eco.platform.vantage_points if vp.vp_id == decoy.vp_id),
-                None,
-            )
-            if vp is None:
-                continue
-            info = campaign.path_info(
-                vp, decoy.destination_address,
-                destination_asn=eco.directory.asn_of(decoy.destination_address) or 0,
-                destination_country=decoy.destination_country,
-                service_name=decoy.destination_name,
-            )
-            tracer.schedule_traceroute(info, decoy.protocol, destination)
-            scheduled.add(key)
-            per_destination[quota_key] = count + 1

@@ -25,6 +25,9 @@ class TracerouteProbeSet:
     info: PathInfo
     protocol: str
     destination: object
+    plan_index: int = -1
+    """Position of this traceroute in the deterministic Phase II plan —
+    orders cross-shard merges of probe records and locations."""
     domains_by_ttl: Dict[int, str] = field(default_factory=dict)
     icmp_reporters: Dict[int, str] = field(default_factory=dict)
     """TTL -> address that returned Time-Exceeded for that probe."""
@@ -73,7 +76,8 @@ class HopByHopTracer:
         self.probe_sets: List[TracerouteProbeSet] = []
 
     def schedule_traceroute(self, info: PathInfo, protocol: str,
-                            destination: object) -> TracerouteProbeSet:
+                            destination: object,
+                            plan_index: int = -1) -> TracerouteProbeSet:
         """Queue probes with TTL 1..path-length for one path.
 
         Initial TTLs beyond the path length behave identically to
@@ -83,7 +87,8 @@ class HopByHopTracer:
         """
         sim = self.eco.sim
         probe_set = TracerouteProbeSet(info=info, protocol=protocol,
-                                       destination=destination)
+                                       destination=destination,
+                                       plan_index=plan_index)
         max_ttl = min(info.path.length, self.campaign.config.phase2_max_ttl)
         send_time = sim.now()
         for ttl in range(1, max_ttl + 1):
@@ -100,6 +105,7 @@ class HopByHopTracer:
         outcome = self.campaign.send_decoy(
             probe_set.info, probe_set.protocol, ttl=ttl, phase=2,
             destination=probe_set.destination,
+            plan_key=(probe_set.plan_index, ttl),
         )
         probe_set.domains_by_ttl[ttl] = outcome.record.domain
         if outcome.transit.icmp is not None:

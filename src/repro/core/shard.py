@@ -1,0 +1,477 @@
+"""Sharded parallel campaign execution with deterministic merge.
+
+The serial pipeline simulates every (vantage point, destination) pair in
+one process; paper-scale campaigns (46.6M DNS + 3.4B HTTP/TLS decoys) are
+then bounded by a single Python core.  This module partitions the pair
+space into N shards by stable content hash (:func:`~repro.core.campaign.
+pair_shard`), runs each shard's Phase I and Phase II simulation in its own
+worker process with an independent ``Simulator``/``VirtualClock``, and
+deterministically merges the shard outputs into a single
+:class:`~repro.core.experiment.ExperimentResult` equal to the serial run.
+
+Why the merge can be exact:
+
+* **Keyed randomness.**  Every observable random decision (shadow/leverage
+  choices, emission delays, origin picks, sniffer/interceptor placement)
+  draws from ``SubstreamFactory`` substreams keyed by stable identifiers
+  (domain, hop address, destination) — pure functions of the experiment
+  seed, independent of arrival order and therefore of the shard layout.
+* **Full-plan replay.**  Each shard replays the complete Phase I schedule
+  (rate-limiter state included) but only enqueues sends for pairs it
+  owns, so per-send virtual times match the serial schedule exactly.
+* **Order keys.**  Every ledger record carries a (sent_at, phase, plan
+  major, plan minor) key and log entries merge by (time, shard, local
+  index), reproducing the serial registration/arrival order.
+
+Workers stay alive across a two-round protocol: Phase I results flow to
+the parent, which merges the interim ledgers/logs, computes the global
+Phase II plan (per-destination quotas need the *merged* Phase I
+correlation), and dispatches each shard its slice; workers then run Phase
+II over their still-live simulators and return the remainder.
+"""
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.campaign import Campaign, pair_shard
+from repro.core.config import ExperimentConfig
+from repro.core.correlate import Correlator, DecoyRecord
+from repro.core.ecosystem import build_ecosystem
+from repro.core.experiment import (
+    ExperimentResult,
+    Phase2PlanEntry,
+    plan_phase2,
+    schedule_phase2_entries,
+)
+from repro.core.phase2 import HopByHopTracer, ObserverLocation
+from repro.honeypot.logstore import LoggedRequest, LogStore
+from repro.observers.exhibitor import ObservationRecord
+
+LedgerKey = Tuple[float, int, int, int]
+
+
+@dataclass
+class ShardPhase1Payload:
+    """Everything one shard produced during Phase I."""
+
+    shard_index: int
+    records: List[Tuple[LedgerKey, DecoyRecord]]
+    log_entries: List[LoggedRequest]
+    sends_planned: int
+    sends_scheduled: int
+    last_send_time: float
+    virtual_now: float
+    vetting_kept: int
+    vetting_removed_ttl: int
+    vetting_removed_intercepted: int
+    wall_seconds: float
+
+
+@dataclass
+class ShardFinalPayload:
+    """Phase II deltas plus final counters from one shard."""
+
+    shard_index: int
+    records: List[Tuple[LedgerKey, DecoyRecord]]
+    log_entries: List[LoggedRequest]
+    """Entries appended after the Phase I snapshot."""
+    locations: List[Tuple[int, ObserverLocation]]
+    """(plan index, location) for traceroutes this shard ran."""
+    ground_truth: List[Tuple[float, ObservationRecord]]
+    label_counts: Dict[str, int]
+    processed: int
+    exhibitor_counts: Dict[str, Tuple[int, int]]
+    """Exhibitor name -> (observed_count, leveraged_count)."""
+    resolver_received: Dict[str, int]
+    """Destination address -> decoys_received."""
+    emitter_emitted: int
+    virtual_now: float
+    wall_seconds: float
+
+
+def _ledger_snapshot(campaign: Campaign, skip: int) -> List[Tuple[LedgerKey, DecoyRecord]]:
+    return [
+        (campaign.ledger_key(record.domain), record)
+        for record in campaign.ledger.records()[skip:]
+    ]
+
+
+def _shard_worker(conn, config: ExperimentConfig, shard_index: int,
+                  shard_count: int) -> None:
+    """Worker process body: Phase I, then (on request) Phase II."""
+    try:
+        started = time.perf_counter()
+        eco = build_ecosystem(config)
+        campaign = Campaign(eco, shard_index=shard_index, shard_count=shard_count)
+        with campaign:
+            campaign.run_phase1()
+            phase1_records = len(campaign.ledger)
+            phase1_log_len = len(eco.deployment.log)
+            vetting = campaign.vetting
+            conn.send(("phase1", ShardPhase1Payload(
+                shard_index=shard_index,
+                records=_ledger_snapshot(campaign, 0),
+                log_entries=list(eco.deployment.log),
+                sends_planned=campaign.sends_planned,
+                sends_scheduled=campaign.sends_scheduled,
+                last_send_time=campaign.last_send_time,
+                virtual_now=eco.sim.now(),
+                vetting_kept=len(vetting.kept),
+                vetting_removed_ttl=len(vetting.removed_ttl_reset),
+                vetting_removed_intercepted=len(vetting.removed_intercepted),
+                wall_seconds=time.perf_counter() - started,
+            )))
+
+            command, entries = conn.recv()
+            if command != "phase2":
+                return
+            stage = time.perf_counter()
+            tracer = HopByHopTracer(campaign)
+            schedule_phase2_entries(campaign, tracer, entries)
+            eco.sim.run(until=eco.sim.now() + config.phase2_observation_window)
+            correlator = Correlator(campaign.ledger, zone=config.zone)
+            phase2 = correlator.correlate(eco.deployment.log, phase=2)
+            locations = tracer.locate(phase2)
+            conn.send(("final", ShardFinalPayload(
+                shard_index=shard_index,
+                records=_ledger_snapshot(campaign, phase1_records),
+                log_entries=list(eco.deployment.log)[phase1_log_len:],
+                locations=[
+                    (probe_set.plan_index, location)
+                    for probe_set, location in zip(tracer.probe_sets, locations)
+                ],
+                ground_truth=[
+                    (obs.observed_at, obs)
+                    for obs in eco.ground_truth.observations
+                ],
+                label_counts=dict(eco.sim.label_counts),
+                processed=eco.sim.processed,
+                exhibitor_counts={
+                    name: (exhibitor.observed_count, exhibitor.leveraged_count)
+                    for name, exhibitor in eco.exhibitors.items()
+                },
+                resolver_received={
+                    address: model.decoys_received
+                    for address, model in eco.resolver_models.items()
+                },
+                emitter_emitted=eco.emitter.emitted,
+                virtual_now=eco.sim.now(),
+                wall_seconds=time.perf_counter() - stage,
+            )))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+def _recv(conn, process, shard_index: int, expected: str):
+    """Receive one tagged message, failing fast on a dead worker."""
+    while not conn.poll(1.0):
+        if not process.is_alive() and not conn.poll(0):
+            raise RuntimeError(
+                f"shard {shard_index} worker died with exit code "
+                f"{process.exitcode} before sending {expected!r}"
+            )
+    tag, payload = conn.recv()
+    if tag == "error":
+        raise RuntimeError(f"shard {shard_index} worker failed:\n{payload}")
+    if tag != expected:
+        raise RuntimeError(
+            f"shard {shard_index} protocol error: expected {expected!r}, "
+            f"got {tag!r}"
+        )
+    return payload
+
+
+def _check_consistent(payloads: Sequence[ShardPhase1Payload],
+                      parent_campaign: Campaign) -> None:
+    """Every shard replays the same plan; any divergence is a bug."""
+    reference = payloads[0]
+    for payload in payloads[1:]:
+        for attribute in ("sends_planned", "last_send_time", "virtual_now",
+                          "vetting_kept", "vetting_removed_ttl",
+                          "vetting_removed_intercepted"):
+            if getattr(payload, attribute) != getattr(reference, attribute):
+                raise RuntimeError(
+                    f"shard {payload.shard_index} disagrees with shard "
+                    f"{reference.shard_index} on {attribute}: "
+                    f"{getattr(payload, attribute)!r} != "
+                    f"{getattr(reference, attribute)!r}"
+                )
+    vetting = parent_campaign.vetting
+    if vetting is not None and len(vetting.kept) != reference.vetting_kept:
+        raise RuntimeError(
+            f"parent vetting kept {len(vetting.kept)} VPs but shards kept "
+            f"{reference.vetting_kept}"
+        )
+    total_scheduled = sum(payload.sends_scheduled for payload in payloads)
+    if total_scheduled != reference.sends_planned:
+        raise RuntimeError(
+            f"shards scheduled {total_scheduled} sends but the plan has "
+            f"{reference.sends_planned}"
+        )
+
+
+def run_sharded(config: ExperimentConfig) -> ExperimentResult:
+    """Run one experiment across ``config.workers`` shard processes.
+
+    The returned result is deterministically equal to the serial run of
+    the same config and seed (see module docstring and
+    :func:`result_digest`).
+    """
+    if config.workers < 2:
+        raise ValueError(
+            f"run_sharded needs workers >= 2, got {config.workers}"
+        )
+    shard_count = config.workers
+    timings: Dict[str, float] = {}
+    started = time.perf_counter()
+
+    # The parent builds the same deterministic world and re-runs vetting
+    # itself: analyses need real VantagePoint objects in the report, and
+    # vetting is a pure function of the seed, so this costs one cheap
+    # pass instead of shipping objects from a worker.
+    eco = build_ecosystem(config)
+    campaign = Campaign(eco)
+    campaign.vet_platform()
+    timings["build"] = time.perf_counter() - started
+
+    mp = multiprocessing.get_context()
+    workers = []
+    try:
+        stage = time.perf_counter()
+        for shard_index in range(shard_count):
+            parent_conn, child_conn = mp.Pipe()
+            process = mp.Process(
+                target=_shard_worker,
+                args=(child_conn, config, shard_index, shard_count),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            workers.append((shard_index, process, parent_conn))
+
+        phase1_payloads = [
+            _recv(conn, process, shard_index, "phase1")
+            for shard_index, process, conn in workers
+        ]
+        _check_consistent(phase1_payloads, campaign)
+        timings["phase1"] = time.perf_counter() - stage
+
+        # Interim merge: the Phase II plan needs per-destination quotas
+        # applied to the *globally merged* Phase I correlation.
+        stage = time.perf_counter()
+        interim_records = sorted(
+            (pair for payload in phase1_payloads for pair in payload.records),
+            key=lambda pair: pair[0],
+        )
+        for key, record in interim_records:
+            campaign.ledger.register(record)
+            campaign._ledger_keys[record.domain] = key
+        interim_log = LogStore.merged(
+            [payload.log_entries for payload in phase1_payloads]
+        )
+        correlator = Correlator(campaign.ledger, zone=config.zone)
+        phase1_interim = correlator.correlate(interim_log, phase=1)
+        entries = plan_phase2(eco, phase1_interim, config)
+        timings["merge_interim"] = time.perf_counter() - stage
+
+        stage = time.perf_counter()
+        slices: List[List[Phase2PlanEntry]] = [[] for _ in range(shard_count)]
+        for entry in entries:
+            owner = pair_shard(entry.vp_address, entry.destination_address,
+                               shard_count)
+            slices[owner].append(entry)
+        for shard_index, process, conn in workers:
+            conn.send(("phase2", slices[shard_index]))
+        final_payloads = [
+            _recv(conn, process, shard_index, "final")
+            for shard_index, process, conn in workers
+        ]
+        timings["phase2"] = time.perf_counter() - stage
+    finally:
+        for _, process, conn in workers:
+            conn.close()
+            process.join(timeout=10.0)
+            if process.is_alive():
+                process.terminate()
+                process.join()
+
+    # -- final deterministic merge ----------------------------------------
+    stage = time.perf_counter()
+    reference = final_payloads[0]
+    for payload in final_payloads[1:]:
+        if payload.virtual_now != reference.virtual_now:
+            raise RuntimeError(
+                f"shard {payload.shard_index} ended at virtual time "
+                f"{payload.virtual_now}, expected {reference.virtual_now}"
+            )
+
+    for key, record in sorted(
+        (pair for payload in final_payloads for pair in payload.records),
+        key=lambda pair: pair[0],
+    ):
+        campaign.ledger.register(record)
+        campaign._ledger_keys[record.domain] = key
+
+    merged_log = LogStore.merged([
+        phase1.log_entries + final.log_entries
+        for phase1, final in zip(phase1_payloads, final_payloads)
+    ])
+    eco.deployment.log = merged_log
+
+    # Ground-truth observations fire at send-event times, which sit on the
+    # scheduling grid — cross-shard ties are common.  Serial order breaks
+    # those ties by plan order (heap sequence), which the observed decoy's
+    # ledger key reproduces; the within-shard index keeps same-send
+    # observations (e.g. several sniffers on one path) in transit order.
+    far_future = (float("inf"), 0, -1, -1)
+    merged_truth = sorted(
+        ((stamp, campaign._ledger_keys.get(obs.domain, far_future),
+          payload.shard_index, index), obs)
+        for payload in final_payloads
+        for index, (stamp, obs) in enumerate(payload.ground_truth)
+    )
+    eco.ground_truth.observations = [obs for _, obs in merged_truth]
+
+    label_counts: Dict[str, int] = {}
+    processed = 0
+    for payload in final_payloads:
+        processed += payload.processed
+        for label, count in payload.label_counts.items():
+            label_counts[label] = label_counts.get(label, 0) + count
+        for name, (observed, leveraged) in payload.exhibitor_counts.items():
+            exhibitor = eco.exhibitors[name]
+            exhibitor.observed_count += observed
+            exhibitor.leveraged_count += leveraged
+        for address, received in payload.resolver_received.items():
+            eco.resolver_models[address].decoys_received += received
+        eco.emitter.emitted += payload.emitter_emitted
+    eco.sim.label_counts = label_counts
+    eco.sim._processed = processed
+    eco.sim.clock.advance_to(reference.virtual_now)
+
+    shard_phase1 = phase1_payloads[0]
+    campaign.sends_planned = shard_phase1.sends_planned
+    campaign.sends_scheduled = sum(
+        payload.sends_scheduled for payload in phase1_payloads
+    )
+    campaign.last_send_time = shard_phase1.last_send_time
+
+    locations = [
+        location for _, location in sorted(
+            (pair for payload in final_payloads for pair in payload.locations),
+            key=lambda pair: pair[0],
+        )
+    ]
+
+    phase1 = correlator.correlate(merged_log, phase=1)
+    phase2 = correlator.correlate(merged_log, phase=2)
+    timings["correlate"] = time.perf_counter() - stage
+    timings["total"] = time.perf_counter() - started
+    timings["virtual_span"] = eco.sim.now()
+    timings["workers"] = float(shard_count)
+    timings["shard_phase1_wall_max"] = max(
+        payload.wall_seconds for payload in phase1_payloads
+    )
+    timings["shard_phase2_wall_max"] = max(
+        payload.wall_seconds for payload in final_payloads
+    )
+
+    return ExperimentResult(
+        config=config,
+        eco=eco,
+        campaign=campaign,
+        phase1=phase1,
+        phase2=phase2,
+        locations=locations,
+        vetting=campaign.vetting,
+        timings=timings,
+    )
+
+
+# -- digests ---------------------------------------------------------------
+#
+# Content-canonical digests of the quantities the acceptance criterion
+# compares: serial and sharded runs of the same config and seed must hash
+# identically.  Sorting by content (not list position) keeps the digests
+# robust to representation-level tie ordering.
+
+
+def ledger_digest(ledger) -> str:
+    import hashlib
+
+    hasher = hashlib.sha256()
+    for record in sorted(
+        ledger.records(),
+        key=lambda r: (r.sent_at, r.phase, r.domain),
+    ):
+        hasher.update(repr((
+            record.domain, record.protocol, record.vp_id,
+            record.destination_address, record.identity.ttl,
+            record.identity.sequence, record.sent_at, record.phase,
+            record.round_index, record.path_length, record.instance_country,
+        )).encode())
+    return hasher.hexdigest()
+
+
+def log_digest(log) -> str:
+    import hashlib
+
+    hasher = hashlib.sha256()
+    for entry in sorted(
+        log,
+        key=lambda e: (e.time, e.protocol, e.site, e.src_address, e.domain,
+                       e.path or "", e.qtype or -1, e.user_agent or ""),
+    ):
+        hasher.update(repr((
+            entry.time, entry.site, entry.protocol, entry.src_address,
+            entry.domain, entry.path, entry.qtype, entry.user_agent,
+        )).encode())
+    return hasher.hexdigest()
+
+
+def events_digest(events) -> str:
+    import hashlib
+
+    hasher = hashlib.sha256()
+    for event in sorted(
+        events,
+        key=lambda e: (e.request.time, e.decoy.domain, e.request.protocol,
+                       e.request.src_address),
+    ):
+        hasher.update(repr((
+            event.decoy.domain, event.request.time, event.request.protocol,
+            event.request.src_address, event.combo, event.origin_address,
+            event.decoy.phase,
+        )).encode())
+    return hasher.hexdigest()
+
+
+def result_digest(result: ExperimentResult) -> str:
+    """One digest covering ledger, log, events, labels, and locations."""
+    import hashlib
+
+    hasher = hashlib.sha256()
+    hasher.update(ledger_digest(result.ledger).encode())
+    hasher.update(log_digest(result.log).encode())
+    hasher.update(events_digest(result.phase1.events).encode())
+    hasher.update(events_digest(result.phase2.events).encode())
+    hasher.update(repr(sorted(result.eco.sim.label_counts.items())).encode())
+    for location in sorted(
+        result.locations,
+        key=lambda l: (l.vp_id, l.destination_address, l.protocol),
+    ):
+        hasher.update(repr((
+            location.vp_id, location.destination_address, location.protocol,
+            location.trigger_ttl, location.observer_address,
+            location.observer_asn, location.observer_country,
+            location.path_length,
+        )).encode())
+    return hasher.hexdigest()

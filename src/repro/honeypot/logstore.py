@@ -1,8 +1,9 @@
 """Unified, append-only request log shared by all honeypot services."""
 
 import bisect
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 PROTOCOL_DNS = "dns"
 PROTOCOL_HTTP = "http"
@@ -44,6 +45,29 @@ class LogStore:
     def __init__(self):
         self._entries: List[LoggedRequest] = []
         self._by_domain: Dict[str, List[int]] = {}
+
+    @classmethod
+    def merged(cls, shard_entries: Sequence[Sequence[LoggedRequest]]) -> "LogStore":
+        """Deterministically interleave per-shard logs into one store.
+
+        Entries order by (time, shard position, within-shard position):
+        each shard's simulator already guarantees monotonic time, and the
+        shard position breaks cross-shard ties stably — so the merged
+        order depends only on the inputs, never on worker completion
+        order.
+        """
+
+        def keyed(position: int, entries: Sequence[LoggedRequest]):
+            for index, entry in enumerate(entries):
+                yield (entry.time, position, index), entry
+
+        store = cls()
+        for _, entry in heapq.merge(
+            *(keyed(position, entries)
+              for position, entries in enumerate(shard_entries))
+        ):
+            store.append(entry)
+        return store
 
     def append(self, entry: LoggedRequest) -> None:
         if self._entries and entry.time < self._entries[-1].time:

@@ -2,7 +2,9 @@
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
+
+from repro.simkit.rng import SubstreamFactory
 
 from repro.honeypot.deployment import HoneypotDeployment
 from repro.intel.exploitdb import ENUMERATION_PATHS
@@ -112,11 +114,19 @@ class ShadowExhibitor:
         rng: random.Random,
         ground_truth: Optional[GroundTruth] = None,
         retention=None,
+        streams: Optional[SubstreamFactory] = None,
     ):
         self.policy = policy
         self._sim = sim
         self._emitter = emitter
         self._rng = rng
+        self._streams = streams
+        """When set, each observation's draws (leverage decision, uses,
+        delays, protocols, origins, paths) come from a substream keyed by
+        (domain, observed_from, arrival) — pure function of the keys, so
+        identical whether observations arrive interleaved in one simulator
+        or split across shards."""
+        self._arrivals: Dict[Tuple[str, str], int] = {}
         self._ground_truth = ground_truth
         self.retention = retention
         """Optional :class:`~repro.observers.retention.RetentionStore`;
@@ -133,7 +143,13 @@ class ShadowExhibitor:
     def observe(self, domain: str, observed_from: str) -> None:
         """Feed one captured domain into the exhibitor."""
         self.observed_count += 1
-        rng = self._rng
+        if self._streams is not None:
+            key = (domain, observed_from)
+            arrival = self._arrivals.get(key, 0)
+            self._arrivals[key] = arrival + 1
+            rng = self._streams.derive(self.name, domain, observed_from, arrival)
+        else:
+            rng = self._rng
         leveraged = rng.random() < self.policy.observe_probability
         scheduled = 0
         if leveraged:

@@ -18,11 +18,12 @@ The model supports both sides of that story:
 
 import random
 from dataclasses import dataclass
-from typing import Optional, Set
+from typing import Dict, Optional, Set
 
 from repro.honeypot.deployment import HoneypotDeployment
 from repro.protocols.dns import make_query
 from repro.simkit.events import Simulator
+from repro.simkit.rng import SubstreamFactory
 
 
 class DnsInterceptor:
@@ -37,12 +38,19 @@ class DnsInterceptor:
         rng: random.Random,
         retry_count: int = 2,
         retry_window: float = 45.0,
+        streams: Optional[SubstreamFactory] = None,
     ):
         self.hop_address = hop_address
         self.alt_resolver_address = alt_resolver_address
         self._sim = sim
         self._deployment = deployment
         self._rng = rng
+        self._streams = streams
+        """When set, recursion/retry delays for a query are keyed by the
+        intercepted domain rather than drawn in arrival order — a shared
+        first-hop interceptor then behaves identically whether the VPs
+        behind it run in one simulator or across shards."""
+        self._arrivals: Dict[str, int] = {}
         self.retry_count = retry_count
         self.retry_window = retry_window
         self.intercepted = 0
@@ -60,14 +68,20 @@ class DnsInterceptor:
         implementations.
         """
         self.intercepted += 1
+        if self._streams is not None:
+            arrival = self._arrivals.get(domain, 0)
+            self._arrivals[domain] = arrival + 1
+            rng = self._streams.derive(self.hop_address, domain, arrival)
+        else:
+            rng = self._rng
         self._sim.schedule_in(
-            self._rng.uniform(0.02, 0.3),
+            rng.uniform(0.02, 0.3),
             lambda domain=domain: self._query_authoritative(domain),
             label="interceptor:recursion",
         )
         for _ in range(self.retry_count):
             self._sim.schedule_in(
-                self._rng.uniform(1.0, self.retry_window),
+                rng.uniform(1.0, self.retry_window),
                 lambda domain=domain: self._query_authoritative(domain),
                 label="interceptor:retry",
             )

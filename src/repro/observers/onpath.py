@@ -19,6 +19,7 @@ from repro.protocols.http import HttpRequest
 from repro.protocols.tls import TlsPlaintext
 from repro.protocols.tls.clienthello import ClientHello
 from repro.protocols.tls.record import CONTENT_TYPE_HANDSHAKE
+from repro.simkit.rng import SubstreamFactory
 
 
 def extract_domain(packet: Packet) -> Optional[Tuple[str, str]]:
@@ -106,7 +107,8 @@ class ObserverDeployment:
 
     def __init__(self, specs: Sequence[SnifferSpec],
                  exhibitors: Dict[str, ShadowExhibitor],
-                 zone: str, rng: random.Random):
+                 zone: str, rng: random.Random,
+                 streams: Optional[SubstreamFactory] = None):
         self._specs_by_asn: Dict[int, List[SnifferSpec]] = {}
         for spec in specs:
             if spec.policy_name not in exhibitors:
@@ -115,15 +117,22 @@ class ObserverDeployment:
         self._exhibitors = exhibitors
         self._zone = zone
         self._rng = rng
+        self._streams = streams
+        """When set, the per-router deployment decision is keyed by the hop
+        address instead of first-sight order on the shared ``rng`` — so a
+        router carries the same DPI regardless of which path (or shard)
+        materializes it first."""
         self._decisions: Dict[str, Optional[WireSniffer]] = {}
 
     def sniffer_for(self, hop: Hop) -> Optional[WireSniffer]:
         """The sniffer at this router, if deployment placed one there."""
         if hop.address in self._decisions:
             return self._decisions[hop.address]
+        rng = (self._streams.derive(hop.address)
+               if self._streams is not None else self._rng)
         sniffer: Optional[WireSniffer] = None
         for spec in self._specs_by_asn.get(hop.asn, []):
-            if self._rng.random() < spec.router_fraction:
+            if rng.random() < spec.router_fraction:
                 sniffer = WireSniffer(
                     hop=hop,
                     protocols=spec.protocols,

@@ -17,13 +17,14 @@ resolver modelling carries most of the DNS findings:
 
 import random
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.datasets.resolvers import DnsDestination
 from repro.honeypot.deployment import HoneypotDeployment
 from repro.observers.exhibitor import ShadowExhibitor
 from repro.protocols.dns import make_query
 from repro.simkit.events import Simulator
+from repro.simkit.rng import SubstreamFactory
 
 
 @dataclass(frozen=True)
@@ -70,6 +71,7 @@ class ResolverModel:
         exhibitor: Optional[ShadowExhibitor],
         egress_address: str,
         rng: random.Random,
+        streams: Optional[SubstreamFactory] = None,
     ):
         if profile.shadow_exhibitor is not None and exhibitor is None:
             raise ValueError(
@@ -81,6 +83,12 @@ class ResolverModel:
         self._exhibitor = exhibitor
         self.egress_address = egress_address
         self._rng = rng
+        self._streams = streams
+        """When set, per-decoy behaviour draws come from a substream keyed
+        by the decoy domain instead of the shared sequential ``rng`` —
+        making the outcome independent of arrival order across shards
+        (``rng`` then only feeds unobservable wire fields like txids)."""
+        self._arrivals: Dict[str, int] = {}
         self.decoys_received = 0
 
     @property
@@ -90,7 +98,12 @@ class ResolverModel:
     def receive_decoy(self, domain: str, instance_country: str) -> None:
         """Handle one delivered decoy query for ``domain``."""
         self.decoys_received += 1
-        rng = self._rng
+        if self._streams is not None:
+            arrival = self._arrivals.get(domain, 0)
+            self._arrivals[domain] = arrival + 1
+            rng = self._streams.derive(self.name, domain, arrival)
+        else:
+            rng = self._rng
         if self.profile.recursive:
             # Recursive lookup toward the honeypot authoritative server —
             # the decoy's first (solicited) appearance in the logs.

@@ -13,6 +13,7 @@ from typing import Dict, Optional
 
 from repro.datasets.tranco import WebDestination
 from repro.observers.exhibitor import ShadowExhibitor
+from repro.simkit.rng import SubstreamFactory
 
 
 @dataclass(frozen=True)
@@ -40,11 +41,17 @@ class WebDestinationModel:
         exhibitors_by_country: Dict[str, ShadowExhibitor],
         default_exhibitor: Optional[ShadowExhibitor],
         rng: random.Random,
+        streams: Optional[SubstreamFactory] = None,
     ):
         self.behavior = behavior
         self._exhibitors = exhibitors_by_country
         self._default = default_exhibitor
         self._rng = rng
+        self._streams = streams
+        """When set, the per-(address, protocol) shadow decision comes from
+        a substream keyed by that pair rather than first-sight order on the
+        shared ``rng`` — so the decision is identical no matter which shard
+        (or arrival) asks first."""
         self._decisions: Dict[tuple, bool] = {}
 
     def _shadows(self, destination: WebDestination, protocol: str) -> bool:
@@ -55,7 +62,11 @@ class WebDestinationModel:
                 if protocol == "tls"
                 else self.behavior.http_rate(destination.country)
             )
-            self._decisions[key] = self._rng.random() < rate
+            if self._streams is not None:
+                draw = self._streams.derive(destination.address, protocol).random()
+            else:
+                draw = self._rng.random()
+            self._decisions[key] = draw < rate
         return self._decisions[key]
 
     def receive_decoy(self, destination: WebDestination, protocol: str,

@@ -19,7 +19,7 @@ from repro.simkit.distributions import (
     Uniform,
 )
 from repro.simkit.events import Event, Simulator
-from repro.simkit.rng import RandomRouter
+from repro.simkit.rng import RandomRouter, SubstreamFactory
 from repro.simkit.units import DAY, HOUR, MINUTE, SECOND, WEEK, format_duration
 
 __all__ = [
@@ -27,6 +27,7 @@ __all__ = [
     "Simulator",
     "Event",
     "RandomRouter",
+    "SubstreamFactory",
     "Distribution",
     "Constant",
     "Uniform",

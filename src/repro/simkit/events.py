@@ -8,13 +8,14 @@ from typing import Callable, Optional
 from repro.simkit.clock import VirtualClock
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback.
 
     Ordering is (time, sequence) so that events scheduled for the same
     instant fire in scheduling order — a deterministic tiebreak that keeps
-    campaigns reproducible.
+    campaigns reproducible.  ``slots=True`` keeps the per-event footprint
+    small; paper-scale campaigns queue millions of these.
     """
 
     time: float
@@ -22,10 +23,20 @@ class Event:
     action: Callable[[], None] = field(compare=False)
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    on_cancel: Optional[Callable[[], None]] = field(
+        compare=False, default=None, repr=False
+    )
+    """Owner notification hook — the simulator uses it to keep its pending
+    counter live without scanning the heap."""
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        callback, self.on_cancel = self.on_cancel, None
+        if callback is not None:
+            callback()
 
 
 class Simulator:
@@ -41,6 +52,7 @@ class Simulator:
         self._queue: list = []
         self._counter = itertools.count()
         self._processed = 0
+        self._pending = 0
         self.label_counts: dict = {}
         """Executed-event tally per label — free introspection into what a
         campaign actually did (sends, retries, recursions, unsolicited
@@ -51,13 +63,16 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-fired, not-cancelled events."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of not-yet-fired, not-cancelled events (O(1))."""
+        return self._pending
 
     @property
     def processed(self) -> int:
         """Number of events executed so far."""
         return self._processed
+
+    def _note_cancel(self) -> None:
+        self._pending -= 1
 
     def schedule_at(self, time: float, action: Callable[[], None], label: str = "") -> Event:
         """Schedule ``action`` at absolute virtual time ``time``."""
@@ -65,8 +80,15 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule event at {time} before current time {self.clock.now()}"
             )
-        event = Event(time=float(time), sequence=next(self._counter), action=action, label=label)
+        event = Event(
+            time=float(time),
+            sequence=next(self._counter),
+            action=action,
+            label=label,
+            on_cancel=self._note_cancel,
+        )
         heapq.heappush(self._queue, event)
+        self._pending += 1
         return event
 
     def schedule_in(self, delay: float, action: Callable[[], None], label: str = "") -> Event:
@@ -92,6 +114,10 @@ class Simulator:
             heapq.heappop(self._queue)
             if event.cancelled:
                 continue
+            # Detach the hook first: a late cancel() on an already-fired
+            # event must not decrement the counter a second time.
+            event.on_cancel = None
+            self._pending -= 1
             self.clock.advance_to(event.time)
             event.action()
             executed += 1

@@ -44,5 +44,82 @@ class RandomRouter:
         digest = hashlib.sha256(f"{self._seed}/fork:{name}".encode()).digest()
         return RandomRouter(int.from_bytes(digest[:8], "big"))
 
+    def substreams(self, namespace: str) -> "SubstreamFactory":
+        """Return a keyed substream factory rooted at this router's seed.
+
+        See :class:`SubstreamFactory` — where :meth:`stream` hands out one
+        long-lived generator whose draws depend on consumption order,
+        ``substreams(ns).derive(key...)`` makes every keyed decision a pure
+        function of (seed, namespace, key).
+        """
+        return SubstreamFactory(self._seed, namespace)
+
     def __repr__(self) -> str:
         return f"RandomRouter(seed={self._seed}, streams={sorted(self._streams)})"
+
+
+class SubstreamFactory:
+    """Derives order-independent random streams keyed by arbitrary values.
+
+    A :meth:`RandomRouter.stream` is a single sequential generator: two
+    consumers sharing it observe draws in arrival order, so any change in
+    *which* consumer asks first changes what everyone gets.  That is fine
+    inside one simulator, but breaks when a campaign is partitioned across
+    shards that each see only a subset of arrivals.
+
+    ``derive(*keys)`` instead returns a fresh generator seeded from
+    ``(seed, namespace, keys)`` alone.  A decision keyed by, say, a domain
+    or a hop address comes out identical no matter how many shards run or
+    in what order requests arrive — the foundation of the sharded
+    executor's determinism guarantee.  Factories are small value objects
+    and pickle cleanly into worker processes.
+    """
+
+    __slots__ = ("_seed", "_namespace")
+
+    # \x1f (unit separator) cannot appear in stream names or keys coming
+    # from addresses/domains, so derived material never collides with the
+    # "seed:name" format used by RandomRouter.stream.
+    _SEP = "\x1f"
+
+    def __init__(self, seed: int, namespace: str):
+        self._seed = int(seed)
+        self._namespace = str(namespace)
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    @property
+    def namespace(self) -> str:
+        return self._namespace
+
+    def derive(self, *keys: object) -> random.Random:
+        """Return a fresh generator that is a pure function of the keys."""
+        material = self._SEP.join(
+            [str(self._seed), "sub", self._namespace, *(str(key) for key in keys)]
+        )
+        digest = hashlib.sha256(material.encode()).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
+
+    def scoped(self, *keys: object) -> "SubstreamFactory":
+        """Narrow the namespace; ``scoped(a).derive(b) == derive(a, b)``."""
+        suffix = self._SEP.join(str(key) for key in keys)
+        return SubstreamFactory(self._seed, f"{self._namespace}{self._SEP}{suffix}")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SubstreamFactory):
+            return NotImplemented
+        return (self._seed, self._namespace) == (other._seed, other._namespace)
+
+    def __hash__(self) -> int:
+        return hash((SubstreamFactory, self._seed, self._namespace))
+
+    def __getstate__(self):
+        return (self._seed, self._namespace)
+
+    def __setstate__(self, state):
+        self._seed, self._namespace = state
+
+    def __repr__(self) -> str:
+        return f"SubstreamFactory(seed={self._seed}, namespace={self._namespace!r})"
