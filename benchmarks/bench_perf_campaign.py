@@ -11,6 +11,12 @@ sharded configurations *cannot* beat serial (they pay process startup and
 merge cost for no extra compute), and the numbers will say so.  See
 docs/PERFORMANCE.md for how to read the artifact.
 
+The artifact also carries a ``telemetry`` section comparing the default
+run (telemetry disabled — the no-op registry path every normal run takes)
+against the same campaign with ``config.telemetry = True``, plus the
+digest check proving instrumentation never changes the computed result.
+See docs/OBSERVABILITY.md for the overhead discussion.
+
 Smoke mode (``REPRO_BENCH_SMOKE=1``): one worker on the tiny config, for
 CI runs that only need to prove the bench still executes end to end.
 """
@@ -60,6 +66,26 @@ def test_perf_campaign_worker_scaling():
     # computed the same campaign.
     assert len(set(digests)) == 1, "sharded results diverged from serial"
 
+    # Telemetry cost: same serial campaign, registry off vs on.  The
+    # workers=1 scaling row is also a telemetry-off run, but it executed
+    # first in this process and paid dataset/import warm-up; time a fresh
+    # off run here so both sides of the comparison are equally warm.
+    def _timed(telemetry: bool):
+        config = _config(1)
+        config.telemetry = telemetry
+        started = time.perf_counter()
+        result = Experiment(config).run()
+        return result, time.perf_counter() - started
+
+    _, off_seconds = _timed(False)
+    telemetry_result, telemetry_seconds = _timed(True)
+    overhead_pct = round(
+        (telemetry_seconds - off_seconds) / off_seconds * 100.0, 1)
+    assert result_digest(telemetry_result) == digests[0], \
+        "telemetry instrumentation changed the computed result"
+    counters = telemetry_result.telemetry.metrics.counter_values()
+    assert counters.get("campaign.sends_planned", 0) > 0
+
     baseline = rows[0]["decoys_per_sec"]
     artifact = {
         "bench": "campaign_worker_scaling",
@@ -72,6 +98,13 @@ def test_perf_campaign_worker_scaling():
             str(row["workers"]): round(row["decoys_per_sec"] / baseline, 2)
             for row in rows
         },
+        "telemetry": {
+            "off_seconds": round(off_seconds, 3),
+            "on_seconds": round(telemetry_seconds, 3),
+            "overhead_pct": overhead_pct,
+            "digest_matches": True,
+            "counter_count": len(counters),
+        },
     }
     OUT_DIR.mkdir(exist_ok=True)
     ARTIFACT.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
@@ -82,6 +115,13 @@ def test_perf_campaign_worker_scaling():
         for row in rows
     ]
     print("\n=== BENCH_campaign ===\n" + "\n".join(lines)
+          + f"\ntelemetry on: {telemetry_seconds:.2f}s"
+          f" (off: {off_seconds:.2f}s, overhead {overhead_pct:+.1f}%)"
           + f"\ncpu_count={os.cpu_count()}  artifact={ARTIFACT}")
 
     assert rows[0]["decoys"] > 1000 if not SMOKE else rows[0]["decoys"] > 100
+    # Single-run wall clocks on shared CI runners are noisy; this bound
+    # catches a pathological regression (e.g. accidental work on the hot
+    # path) without flaking on scheduler jitter.
+    assert telemetry_seconds < off_seconds * 1.5, \
+        f"telemetry overhead {overhead_pct:+.1f}% is out of bounds"

@@ -7,6 +7,8 @@ Commands:
 * ``report``  — regenerate the report from a previously exported bundle.
 * ``platform`` — build and summarize the VPN platform (Table 1) without
   running a campaign.
+* ``telemetry`` — render a telemetry capture written by ``run --telemetry``
+  as human-readable tables (see docs/OBSERVABILITY.md).
 """
 
 import argparse
@@ -20,6 +22,7 @@ from repro.core.config import ExperimentConfig
 from repro.core.experiment import Experiment
 from repro.core.persist import export_result, load_bundle
 from repro.simkit.rng import RandomRouter
+from repro.telemetry import load_telemetry, render_telemetry, write_telemetry
 from repro.vpn.platform import VpnPlatform
 
 
@@ -45,6 +48,10 @@ def _build_parser() -> argparse.ArgumentParser:
                           "to the serial run (default 1)")
     run.add_argument("--export", metavar="DIR",
                      help="also export the result bundle to DIR")
+    run.add_argument("--telemetry", metavar="DIR",
+                     help="collect run telemetry and write telemetry.json "
+                          "+ spans.jsonl to DIR (render later with "
+                          "'repro telemetry DIR')")
     run.add_argument("--output", metavar="FILE",
                      help="write the report to FILE instead of stdout")
 
@@ -57,6 +64,13 @@ def _build_parser() -> argparse.ArgumentParser:
                                    help="summarize the VPN platform (Table 1)")
     platform.add_argument("--seed", type=int, default=20240301)
     platform.add_argument("--vp-scale", type=float, default=1.0)
+
+    telemetry = commands.add_parser(
+        "telemetry", help="render a telemetry capture as tables")
+    telemetry.add_argument(
+        "capture",
+        help="directory (or telemetry.json file) written by 'run --telemetry'")
+    telemetry.add_argument("--output", metavar="FILE")
     return parser
 
 
@@ -82,10 +96,14 @@ def _command_run(args: argparse.Namespace) -> int:
             web_destination_count=args.web_destinations,
             workers=args.workers,
         )
+    config.telemetry = bool(args.telemetry)
     result = Experiment(config).run()
     if args.export:
         bundle = export_result(result, args.export)
         print(f"bundle exported to {bundle}", file=sys.stderr)
+    if args.telemetry:
+        capture = write_telemetry(result.telemetry, args.telemetry)
+        print(f"telemetry written to {capture}", file=sys.stderr)
     _emit(full_report(result, include_validation=True), args.output)
     return 0
 
@@ -108,12 +126,24 @@ def _command_platform(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_telemetry(args: argparse.Namespace) -> int:
+    try:
+        telemetry = load_telemetry(args.capture)
+    except FileNotFoundError as error:
+        print(f"no telemetry capture at {args.capture}: {error}",
+              file=sys.stderr)
+        return 2
+    _emit(render_telemetry(telemetry), args.output)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "run": _command_run,
         "report": _command_report,
         "platform": _command_platform,
+        "telemetry": _command_telemetry,
     }
     return handlers[args.command](args)
 

@@ -20,6 +20,7 @@ from repro.datasets.resolvers import DnsDestination, PUBLIC_RESOLVERS
 from repro.datasets.tranco import WebDestination
 from repro.net.path import Path, TransitOutcome, TransitResult
 from repro.net.tcpconn import TcpClient
+from repro.telemetry.registry import MERGE_SAME, NULL_REGISTRY, labeled
 from repro.topology.model import Endpoint
 from repro.vpn.vantage import VantagePoint
 from repro.vpn.vetting import VettingReport, full_vetting, vet_providers
@@ -96,6 +97,18 @@ class Campaign:
         self.sends_planned = 0
         self.sends_scheduled = 0
         self.last_send_time = 0.0
+        metrics = eco.telemetry if eco.telemetry is not None else NULL_REGISTRY
+        self._metrics = metrics
+        # Per-(protocol, phase) send counters, resolved once so the
+        # per-send cost is a dict lookup plus one (possibly no-op) inc.
+        self._m_sent = {
+            (protocol, phase): metrics.counter(
+                labeled("campaign.decoys_sent", protocol=protocol, phase=phase))
+            for protocol in ("dns", "http", "tls")
+            for phase in (1, 2)
+        }
+        self._m_path_length = metrics.histogram(
+            "campaign.path_length", (4, 6, 8, 10, 12))
         self._pcap = None
         self._pcap_stream = None
         if eco.config.capture_pcap:
@@ -185,6 +198,7 @@ class Campaign:
             report = vet_providers(vps)
         else:
             report = VettingReport(kept=list(vps))
+        report.record(self._metrics)
         self.eco.platform.replace_vps(report.kept)
         self.vetting = report
         return report
@@ -268,6 +282,8 @@ class Campaign:
         )
         self.ledger.register(record)
         self._ledger_keys[record.domain] = (now, phase, plan_key[0], plan_key[1])
+        self._m_sent[(protocol, phase)].inc()
+        self._m_path_length.observe(info.path.length)
         if self._pcap is not None:
             self._pcap.write(packet, now)
         transit = self._transmit(info, protocol, packet, phase)
@@ -410,6 +426,11 @@ class Campaign:
         self.sends_planned += planned
         self.sends_scheduled += scheduled
         self.last_send_time = last_time
+        # Every shard replays the identical plan (merge="same"); the
+        # scheduled subset is partitioned work and sums back to the plan.
+        self._metrics.counter(
+            "campaign.sends_planned", merge=MERGE_SAME).inc(planned)
+        self._metrics.counter("campaign.sends_scheduled").inc(scheduled)
         return scheduled
 
     def run_phase1(self) -> None:

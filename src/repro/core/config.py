@@ -75,6 +75,13 @@ class ExperimentConfig:
     (see docs/PERFORMANCE.md)."""
 
     # -- diagnostics --------------------------------------------------------
+    telemetry: bool = False
+    """Collect run telemetry (repro.telemetry): counters, gauges, and
+    histograms across the whole pipeline plus per-stage spans.  Purely
+    observational — no random draws, no event-schedule changes — so an
+    instrumented run is byte-identical to an uninstrumented one, and a
+    sharded run merges to the same counters as serial.  Off by default;
+    the disabled path costs one no-op call per recording site."""
     capture_pcap: Optional[str] = None
     """Write every decoy packet put on the wire to this pcap file
     (LINKTYPE_RAW; opens in Wireshark).  None disables capture.  With

@@ -32,6 +32,7 @@ from repro.observers.webdest import WebDestinationBehavior, WebDestinationModel
 from repro.simkit.distributions import Empirical, LogNormal, Mixture, Uniform
 from repro.simkit.events import Simulator
 from repro.simkit.rng import RandomRouter
+from repro.telemetry.registry import registry_for
 from repro.simkit.units import DAY, HOUR, MINUTE
 from repro.topology.model import AnycastPresence, TopologyConfig, TopologyModel
 from repro.vpn.platform import VpnPlatform
@@ -84,6 +85,11 @@ class Ecosystem:
     interceptors: Dict[str, Optional[DnsInterceptor]]
     """Per-router interception decision cache, keyed by router address."""
     interceptor_router_fraction: float
+    telemetry: object = None
+    """The run's :class:`~repro.telemetry.MetricsRegistry` (or the no-op
+    backend when ``config.telemetry`` is off).  Every instrumented
+    component records into this one registry; sharded runs merge the
+    per-worker registries deterministically (see docs/OBSERVABILITY.md)."""
 
     def interceptor_at(self, hop_address: str) -> Optional[DnsInterceptor]:
         """The interceptor at this router, deciding on first sight.
@@ -109,6 +115,7 @@ class Ecosystem:
                 deployment=self.deployment,
                 rng=self.router.stream(f"interceptor:{hop_address}"),
                 streams=self.router.substreams("interceptor.behavior"),
+                metrics=self.telemetry,
             )
         self.interceptors[hop_address] = interceptor
         return interceptor
@@ -117,13 +124,15 @@ class Ecosystem:
 def build_ecosystem(config: ExperimentConfig) -> Ecosystem:
     """Construct the full simulated world for one experiment."""
     router = RandomRouter(config.seed)
-    sim = Simulator()
+    telemetry = registry_for(config.telemetry)
+    sim = Simulator(metrics=telemetry)
     directory = IpDirectory()
     blocklist = Blocklist()
     allocator = AddressAllocator()
-    deployment = HoneypotDeployment(zone=config.zone)
+    deployment = HoneypotDeployment(zone=config.zone, metrics=telemetry)
     ground_truth = GroundTruth()
-    emitter = UnsolicitedEmitter(deployment, sim, router.stream("emitter"))
+    emitter = UnsolicitedEmitter(deployment, sim, router.stream("emitter"),
+                                 metrics=telemetry)
 
     def pool(name: str, groups: List[OriginGroup]) -> OriginPool:
         return OriginPool(
@@ -147,6 +156,7 @@ def build_ecosystem(config: ExperimentConfig) -> Ecosystem:
             rng=router.stream(f"exhibitor:{name}"),
             ground_truth=ground_truth,
             streams=router.substreams("exhibitor.behavior"),
+            metrics=telemetry,
         )
         for name, policy in policies.items()
     }
@@ -174,6 +184,7 @@ def build_ecosystem(config: ExperimentConfig) -> Ecosystem:
             egress_address=egress,
             rng=router.stream(f"resolver:{profile.destination.name}"),
             streams=router.substreams("resolver.behavior"),
+            metrics=telemetry,
         )
 
     # Synthetic Tranco pool and the sampled decoy targets.
@@ -202,6 +213,7 @@ def build_ecosystem(config: ExperimentConfig) -> Ecosystem:
         default_exhibitor=exhibitors["dest.web.global"],
         rng=router.stream("webdest"),
         streams=router.substreams("webdest.decisions"),
+        metrics=telemetry,
     )
 
     observer_deployment = ObserverDeployment(
@@ -210,6 +222,7 @@ def build_ecosystem(config: ExperimentConfig) -> Ecosystem:
         zone=config.zone,
         rng=router.stream("sniffer.deploy"),
         streams=router.substreams("sniffer.placement"),
+        metrics=telemetry,
     )
 
     return Ecosystem(
@@ -235,6 +248,7 @@ def build_ecosystem(config: ExperimentConfig) -> Ecosystem:
         interceptor_router_fraction=(
             config.interceptor_asn_fraction if config.interceptors_enabled else 0.0
         ),
+        telemetry=telemetry,
     )
 
 

@@ -26,6 +26,8 @@ from repro.core.correlate import CorrelationResult, Correlator, DecoyLedger
 from repro.core.ecosystem import Ecosystem, build_ecosystem
 from repro.core.phase2 import HopByHopTracer, ObserverLocation
 from repro.honeypot.logstore import LogStore
+from repro.telemetry.export import RunTelemetry
+from repro.telemetry.spans import SpanTracer, timings_from_spans
 from repro.vpn.vetting import VettingReport
 
 
@@ -42,7 +44,12 @@ class ExperimentResult:
     vetting: VettingReport
     timings: Dict[str, float] = field(default_factory=dict)
     """Wall-clock seconds per stage ("phase1", "phase2", "correlate") and
-    the virtual campaign span ("virtual_span")."""
+    the virtual campaign span ("virtual_span").  Derived from
+    ``telemetry.spans`` — kept as a plain dict so analysis and bench
+    consumers predating the telemetry subsystem keep working."""
+    telemetry: Optional[RunTelemetry] = None
+    """Stage spans always; merged counters/gauges/histograms when
+    ``config.telemetry`` is on (see docs/OBSERVABILITY.md)."""
 
     @property
     def ledger(self) -> DecoyLedger:
@@ -169,38 +176,39 @@ class Experiment:
     def _run_serial(self) -> ExperimentResult:
         import time as _time
 
-        timings: Dict[str, float] = {}
         started = _time.perf_counter()
-        eco = build_ecosystem(self.config)
-        timings["build"] = _time.perf_counter() - started
+        spans = SpanTracer()
+        with spans.span("build"):
+            eco = build_ecosystem(self.config)
+        spans.virtual_now = eco.sim.now
 
         campaign = Campaign(eco)
         with campaign:
-            stage = _time.perf_counter()
-            campaign.run_phase1()
-            timings["phase1"] = _time.perf_counter() - stage
+            with spans.span("phase1"):
+                campaign.run_phase1()
 
             correlator = Correlator(campaign.ledger, zone=self.config.zone)
             phase1 = correlator.correlate(eco.deployment.log, phase=1)
 
-            stage = _time.perf_counter()
-            tracer = HopByHopTracer(campaign)
-            entries = plan_phase2(eco, phase1, self.config)
-            schedule_phase2_entries(campaign, tracer, entries)
-            eco.sim.run(until=eco.sim.now() + self.config.phase2_observation_window)
-            timings["phase2"] = _time.perf_counter() - stage
+            with spans.span("phase2"):
+                tracer = HopByHopTracer(campaign)
+                entries = plan_phase2(eco, phase1, self.config)
+                schedule_phase2_entries(campaign, tracer, entries)
+                eco.sim.run(
+                    until=eco.sim.now() + self.config.phase2_observation_window)
 
             # Exhibitors schedule unsolicited requests days out, so Phase I
             # decoys keep drawing traffic during the Phase II window; the
             # final correlation pass covers the complete log, as the
             # paper's offline analysis does.
-            stage = _time.perf_counter()
-            phase1 = correlator.correlate(eco.deployment.log, phase=1)
-            phase2 = correlator.correlate(eco.deployment.log, phase=2)
-            locations = tracer.locate(phase2)
-            timings["correlate"] = _time.perf_counter() - stage
-            timings["total"] = _time.perf_counter() - started
-            timings["virtual_span"] = eco.sim.now()
+            with spans.span("correlate"):
+                phase1 = correlator.correlate(eco.deployment.log, phase=1)
+                phase2 = correlator.correlate(eco.deployment.log, phase=2)
+                locations = tracer.locate(phase2)
+
+        timings = timings_from_spans(spans.spans)
+        timings["total"] = _time.perf_counter() - started
+        timings["virtual_span"] = eco.sim.now()
         return ExperimentResult(
             config=self.config,
             eco=eco,
@@ -210,4 +218,11 @@ class Experiment:
             locations=locations,
             vetting=campaign.vetting,
             timings=timings,
+            telemetry=RunTelemetry(
+                metrics=eco.telemetry,
+                spans=spans.spans,
+                enabled=self.config.telemetry,
+                meta={"seed": self.config.seed, "workers": 1,
+                      "virtual_span": eco.sim.now()},
+            ),
         )

@@ -49,6 +49,9 @@ from repro.core.experiment import (
 from repro.core.phase2 import HopByHopTracer, ObserverLocation
 from repro.honeypot.logstore import LoggedRequest, LogStore
 from repro.observers.exhibitor import ObservationRecord
+from repro.telemetry.export import RunTelemetry
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.spans import Span, SpanTracer, merge_spans, timings_from_spans
 
 LedgerKey = Tuple[float, int, int, int]
 
@@ -90,6 +93,11 @@ class ShardFinalPayload:
     emitter_emitted: int
     virtual_now: float
     wall_seconds: float
+    telemetry: Dict[str, dict] = field(default_factory=dict)
+    """This shard's full :meth:`MetricsRegistry.snapshot` (both phases —
+    the worker's simulator lives across the two-round protocol)."""
+    spans: List[Span] = field(default_factory=list)
+    """Per-shard stage spans, tagged with the shard index."""
 
 
 def _ledger_snapshot(campaign: Campaign, skip: int) -> List[Tuple[LedgerKey, DecoyRecord]]:
@@ -104,10 +112,14 @@ def _shard_worker(conn, config: ExperimentConfig, shard_index: int,
     """Worker process body: Phase I, then (on request) Phase II."""
     try:
         started = time.perf_counter()
-        eco = build_ecosystem(config)
+        tracer_spans = SpanTracer(shard=shard_index)
+        with tracer_spans.span("build"):
+            eco = build_ecosystem(config)
+        tracer_spans.virtual_now = eco.sim.now
         campaign = Campaign(eco, shard_index=shard_index, shard_count=shard_count)
         with campaign:
-            campaign.run_phase1()
+            with tracer_spans.span("phase1"):
+                campaign.run_phase1()
             phase1_records = len(campaign.ledger)
             phase1_log_len = len(eco.deployment.log)
             vetting = campaign.vetting
@@ -130,8 +142,9 @@ def _shard_worker(conn, config: ExperimentConfig, shard_index: int,
                 return
             stage = time.perf_counter()
             tracer = HopByHopTracer(campaign)
-            schedule_phase2_entries(campaign, tracer, entries)
-            eco.sim.run(until=eco.sim.now() + config.phase2_observation_window)
+            with tracer_spans.span("phase2"):
+                schedule_phase2_entries(campaign, tracer, entries)
+                eco.sim.run(until=eco.sim.now() + config.phase2_observation_window)
             correlator = Correlator(campaign.ledger, zone=config.zone)
             phase2 = correlator.correlate(eco.deployment.log, phase=2)
             locations = tracer.locate(phase2)
@@ -160,6 +173,8 @@ def _shard_worker(conn, config: ExperimentConfig, shard_index: int,
                 emitter_emitted=eco.emitter.emitted,
                 virtual_now=eco.sim.now(),
                 wall_seconds=time.perf_counter() - stage,
+                telemetry=eco.telemetry.snapshot(),
+                spans=list(tracer_spans.spans),
             )))
     except BaseException:
         try:
@@ -230,71 +245,69 @@ def run_sharded(config: ExperimentConfig) -> ExperimentResult:
             f"run_sharded needs workers >= 2, got {config.workers}"
         )
     shard_count = config.workers
-    timings: Dict[str, float] = {}
     started = time.perf_counter()
+    spans = SpanTracer()
 
     # The parent builds the same deterministic world and re-runs vetting
     # itself: analyses need real VantagePoint objects in the report, and
     # vetting is a pure function of the seed, so this costs one cheap
     # pass instead of shipping objects from a worker.
-    eco = build_ecosystem(config)
-    campaign = Campaign(eco)
-    campaign.vet_platform()
-    timings["build"] = time.perf_counter() - started
+    with spans.span("build"):
+        eco = build_ecosystem(config)
+        campaign = Campaign(eco)
+        campaign.vet_platform()
+    spans.virtual_now = eco.sim.now
 
     mp = multiprocessing.get_context()
     workers = []
     try:
-        stage = time.perf_counter()
-        for shard_index in range(shard_count):
-            parent_conn, child_conn = mp.Pipe()
-            process = mp.Process(
-                target=_shard_worker,
-                args=(child_conn, config, shard_index, shard_count),
-                daemon=True,
-            )
-            process.start()
-            child_conn.close()
-            workers.append((shard_index, process, parent_conn))
+        with spans.span("phase1"):
+            for shard_index in range(shard_count):
+                parent_conn, child_conn = mp.Pipe()
+                process = mp.Process(
+                    target=_shard_worker,
+                    args=(child_conn, config, shard_index, shard_count),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                workers.append((shard_index, process, parent_conn))
 
-        phase1_payloads = [
-            _recv(conn, process, shard_index, "phase1")
-            for shard_index, process, conn in workers
-        ]
-        _check_consistent(phase1_payloads, campaign)
-        timings["phase1"] = time.perf_counter() - stage
+            phase1_payloads = [
+                _recv(conn, process, shard_index, "phase1")
+                for shard_index, process, conn in workers
+            ]
+            _check_consistent(phase1_payloads, campaign)
 
         # Interim merge: the Phase II plan needs per-destination quotas
         # applied to the *globally merged* Phase I correlation.
-        stage = time.perf_counter()
-        interim_records = sorted(
-            (pair for payload in phase1_payloads for pair in payload.records),
-            key=lambda pair: pair[0],
-        )
-        for key, record in interim_records:
-            campaign.ledger.register(record)
-            campaign._ledger_keys[record.domain] = key
-        interim_log = LogStore.merged(
-            [payload.log_entries for payload in phase1_payloads]
-        )
-        correlator = Correlator(campaign.ledger, zone=config.zone)
-        phase1_interim = correlator.correlate(interim_log, phase=1)
-        entries = plan_phase2(eco, phase1_interim, config)
-        timings["merge_interim"] = time.perf_counter() - stage
+        with spans.span("merge_interim"):
+            interim_records = sorted(
+                (pair for payload in phase1_payloads for pair in payload.records),
+                key=lambda pair: pair[0],
+            )
+            for key, record in interim_records:
+                campaign.ledger.register(record)
+                campaign._ledger_keys[record.domain] = key
+            interim_log = LogStore.merged(
+                [payload.log_entries for payload in phase1_payloads]
+            )
+            correlator = Correlator(campaign.ledger, zone=config.zone)
+            phase1_interim = correlator.correlate(interim_log, phase=1)
+            entries = plan_phase2(eco, phase1_interim, config)
 
-        stage = time.perf_counter()
-        slices: List[List[Phase2PlanEntry]] = [[] for _ in range(shard_count)]
-        for entry in entries:
-            owner = pair_shard(entry.vp_address, entry.destination_address,
-                               shard_count)
-            slices[owner].append(entry)
-        for shard_index, process, conn in workers:
-            conn.send(("phase2", slices[shard_index]))
-        final_payloads = [
-            _recv(conn, process, shard_index, "final")
-            for shard_index, process, conn in workers
-        ]
-        timings["phase2"] = time.perf_counter() - stage
+        with spans.span("phase2"):
+            slices: List[List[Phase2PlanEntry]] = [[] for _ in range(shard_count)]
+            for entry in entries:
+                owner = pair_shard(entry.vp_address, entry.destination_address,
+                                   shard_count)
+                slices[owner].append(entry)
+            for shard_index, process, conn in workers:
+                conn.send(("phase2", slices[shard_index]))
+            final_payloads = [
+                _recv(conn, process, shard_index, "final")
+                for shard_index, process, conn in workers
+            ]
     finally:
         for _, process, conn in workers:
             conn.close()
@@ -304,76 +317,95 @@ def run_sharded(config: ExperimentConfig) -> ExperimentResult:
                 process.join()
 
     # -- final deterministic merge ----------------------------------------
-    stage = time.perf_counter()
-    reference = final_payloads[0]
-    for payload in final_payloads[1:]:
-        if payload.virtual_now != reference.virtual_now:
-            raise RuntimeError(
-                f"shard {payload.shard_index} ended at virtual time "
-                f"{payload.virtual_now}, expected {reference.virtual_now}"
-            )
+    with spans.span("merge_final"):
+        reference = final_payloads[0]
+        for payload in final_payloads[1:]:
+            if payload.virtual_now != reference.virtual_now:
+                raise RuntimeError(
+                    f"shard {payload.shard_index} ended at virtual time "
+                    f"{payload.virtual_now}, expected {reference.virtual_now}"
+                )
 
-    for key, record in sorted(
-        (pair for payload in final_payloads for pair in payload.records),
-        key=lambda pair: pair[0],
-    ):
-        campaign.ledger.register(record)
-        campaign._ledger_keys[record.domain] = key
-
-    merged_log = LogStore.merged([
-        phase1.log_entries + final.log_entries
-        for phase1, final in zip(phase1_payloads, final_payloads)
-    ])
-    eco.deployment.log = merged_log
-
-    # Ground-truth observations fire at send-event times, which sit on the
-    # scheduling grid — cross-shard ties are common.  Serial order breaks
-    # those ties by plan order (heap sequence), which the observed decoy's
-    # ledger key reproduces; the within-shard index keeps same-send
-    # observations (e.g. several sniffers on one path) in transit order.
-    far_future = (float("inf"), 0, -1, -1)
-    merged_truth = sorted(
-        ((stamp, campaign._ledger_keys.get(obs.domain, far_future),
-          payload.shard_index, index), obs)
-        for payload in final_payloads
-        for index, (stamp, obs) in enumerate(payload.ground_truth)
-    )
-    eco.ground_truth.observations = [obs for _, obs in merged_truth]
-
-    label_counts: Dict[str, int] = {}
-    processed = 0
-    for payload in final_payloads:
-        processed += payload.processed
-        for label, count in payload.label_counts.items():
-            label_counts[label] = label_counts.get(label, 0) + count
-        for name, (observed, leveraged) in payload.exhibitor_counts.items():
-            exhibitor = eco.exhibitors[name]
-            exhibitor.observed_count += observed
-            exhibitor.leveraged_count += leveraged
-        for address, received in payload.resolver_received.items():
-            eco.resolver_models[address].decoys_received += received
-        eco.emitter.emitted += payload.emitter_emitted
-    eco.sim.label_counts = label_counts
-    eco.sim._processed = processed
-    eco.sim.clock.advance_to(reference.virtual_now)
-
-    shard_phase1 = phase1_payloads[0]
-    campaign.sends_planned = shard_phase1.sends_planned
-    campaign.sends_scheduled = sum(
-        payload.sends_scheduled for payload in phase1_payloads
-    )
-    campaign.last_send_time = shard_phase1.last_send_time
-
-    locations = [
-        location for _, location in sorted(
-            (pair for payload in final_payloads for pair in payload.locations),
+        for key, record in sorted(
+            (pair for payload in final_payloads for pair in payload.records),
             key=lambda pair: pair[0],
-        )
-    ]
+        ):
+            campaign.ledger.register(record)
+            campaign._ledger_keys[record.domain] = key
 
-    phase1 = correlator.correlate(merged_log, phase=1)
-    phase2 = correlator.correlate(merged_log, phase=2)
-    timings["correlate"] = time.perf_counter() - stage
+        merged_log = LogStore.merged([
+            phase1.log_entries + final.log_entries
+            for phase1, final in zip(phase1_payloads, final_payloads)
+        ])
+        eco.deployment.log = merged_log
+
+        # Ground-truth observations fire at send-event times, which sit on
+        # the scheduling grid — cross-shard ties are common.  Serial order
+        # breaks those ties by plan order (heap sequence), which the
+        # observed decoy's ledger key reproduces; the within-shard index
+        # keeps same-send observations (e.g. several sniffers on one path)
+        # in transit order.
+        far_future = (float("inf"), 0, -1, -1)
+        merged_truth = sorted(
+            ((stamp, campaign._ledger_keys.get(obs.domain, far_future),
+              payload.shard_index, index), obs)
+            for payload in final_payloads
+            for index, (stamp, obs) in enumerate(payload.ground_truth)
+        )
+        eco.ground_truth.observations = [obs for _, obs in merged_truth]
+
+        label_counts: Dict[str, int] = {}
+        processed = 0
+        for payload in final_payloads:
+            processed += payload.processed
+            for label, count in payload.label_counts.items():
+                label_counts[label] = label_counts.get(label, 0) + count
+            for name, (observed, leveraged) in payload.exhibitor_counts.items():
+                exhibitor = eco.exhibitors[name]
+                exhibitor.observed_count += observed
+                exhibitor.leveraged_count += leveraged
+            for address, received in payload.resolver_received.items():
+                eco.resolver_models[address].decoys_received += received
+            eco.emitter.emitted += payload.emitter_emitted
+        eco.sim.label_counts = label_counts
+        eco.sim._processed = processed
+        eco.sim.clock.advance_to(reference.virtual_now)
+
+        shard_phase1 = phase1_payloads[0]
+        campaign.sends_planned = shard_phase1.sends_planned
+        campaign.sends_scheduled = sum(
+            payload.sends_scheduled for payload in phase1_payloads
+        )
+        campaign.last_send_time = shard_phase1.last_send_time
+
+        locations = [
+            location for _, location in sorted(
+                (pair for payload in final_payloads
+                 for pair in payload.locations),
+                key=lambda pair: pair[0],
+            )
+        ]
+
+        # Telemetry merge: the parent registry holds the replayed
+        # ("same"-policy) vetting counters plus zeros on everything the
+        # workers executed; each worker snapshot holds its shard's slice
+        # of the partitioned work.  Counter sums and bucket-wise histogram
+        # adds therefore reproduce the serial totals exactly.
+        if config.telemetry:
+            merged_metrics = MetricsRegistry()
+            merged_metrics.merge_from(eco.telemetry)
+            for payload in final_payloads:
+                merged_metrics.merge_from(
+                    MetricsRegistry.from_snapshot(payload.telemetry))
+            eco.telemetry = merged_metrics
+
+    with spans.span("correlate"):
+        phase1 = correlator.correlate(merged_log, phase=1)
+        phase2 = correlator.correlate(merged_log, phase=2)
+
+    merged_spans = merge_spans(
+        [spans.spans] + [payload.spans for payload in final_payloads])
+    timings = timings_from_spans(spans.spans)
     timings["total"] = time.perf_counter() - started
     timings["virtual_span"] = eco.sim.now()
     timings["workers"] = float(shard_count)
@@ -393,6 +425,13 @@ def run_sharded(config: ExperimentConfig) -> ExperimentResult:
         locations=locations,
         vetting=campaign.vetting,
         timings=timings,
+        telemetry=RunTelemetry(
+            metrics=eco.telemetry,
+            spans=merged_spans,
+            enabled=config.telemetry,
+            meta={"seed": config.seed, "workers": shard_count,
+                  "virtual_span": eco.sim.now()},
+        ),
     )
 
 

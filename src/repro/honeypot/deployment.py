@@ -36,9 +36,9 @@ class HoneypotDeployment:
     """All honeypot sites sharing one log store and one experiment zone."""
 
     def __init__(self, zone: str = DEFAULT_EXPERIMENT_ZONE,
-                 log: Optional[LogStore] = None):
+                 log: Optional[LogStore] = None, metrics=None):
         self.zone = zone
-        self.log = log if log is not None else LogStore()
+        self.log = log if log is not None else LogStore(metrics=metrics)
         self.sites: Dict[str, HoneypotSite] = {}
         web_addresses = [web for _, _, web in _SITE_PLAN]
         for site_name, dns_address, web_address in _SITE_PLAN:

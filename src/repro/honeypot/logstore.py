@@ -5,6 +5,8 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.telemetry.registry import NULL_REGISTRY, labeled
+
 PROTOCOL_DNS = "dns"
 PROTOCOL_HTTP = "http"
 PROTOCOL_HTTPS = "https"
@@ -42,9 +44,16 @@ class LogStore:
     monotonic time), so time-windowed queries can bisect.
     """
 
-    def __init__(self):
+    def __init__(self, metrics=None):
         self._entries: List[LoggedRequest] = []
         self._by_domain: Dict[str, List[int]] = {}
+        metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._m_requests = {
+            protocol: metrics.counter(
+                labeled("honeypot.requests", protocol=protocol)
+            )
+            for protocol in KNOWN_PROTOCOLS
+        }
 
     @classmethod
     def merged(cls, shard_entries: Sequence[Sequence[LoggedRequest]]) -> "LogStore":
@@ -55,6 +64,10 @@ class LogStore:
         shard position breaks cross-shard ties stably — so the merged
         order depends only on the inputs, never on worker completion
         order.
+
+        The merged store is deliberately un-instrumented: each entry was
+        already counted by the live (per-shard) store it arrived at, and
+        counting replays here would double telemetry totals.
         """
 
         def keyed(position: int, entries: Sequence[LoggedRequest]):
@@ -77,6 +90,7 @@ class LogStore:
             )
         self._by_domain.setdefault(entry.domain, []).append(len(self._entries))
         self._entries.append(entry)
+        self._m_requests[entry.protocol].inc()
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -13,6 +13,12 @@ from repro.protocols.dns import make_query
 from repro.protocols.http import make_get
 from repro.protocols.tls import ClientHello, wrap_handshake
 from repro.simkit.events import Simulator
+from repro.simkit.units import DAY, HOUR, MINUTE
+from repro.telemetry.registry import NULL_REGISTRY, labeled
+
+# Virtual-second buckets for observation→use delays: sub-minute (benign
+# retry territory), sub-hour, sub-day, then the paper's ">10 days" tail.
+DELAY_BUCKETS = (MINUTE, HOUR, DAY, 10 * DAY)
 
 
 @dataclass(frozen=True)
@@ -59,11 +65,18 @@ class UnsolicitedEmitter:
     """
 
     def __init__(self, deployment: HoneypotDeployment, sim: Simulator,
-                 rng: random.Random):
+                 rng: random.Random, metrics=None):
         self._deployment = deployment
         self._sim = sim
         self._rng = rng
         self.emitted = 0
+        metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._m_emitted = {
+            protocol: metrics.counter(
+                labeled("emitter.emitted", protocol=protocol)
+            )
+            for protocol in ("dns", "http", "https")
+        }
 
     def emit(self, protocol: str, domain: str, origin_address: str,
              path: str = "/") -> None:
@@ -95,6 +108,7 @@ class UnsolicitedEmitter:
         else:
             raise ValueError(f"unknown unsolicited protocol {protocol!r}")
         self.emitted += 1
+        self._m_emitted[protocol].inc()
 
 
 class ShadowExhibitor:
@@ -115,6 +129,7 @@ class ShadowExhibitor:
         ground_truth: Optional[GroundTruth] = None,
         retention=None,
         streams: Optional[SubstreamFactory] = None,
+        metrics=None,
     ):
         self.policy = policy
         self._sim = sim
@@ -135,6 +150,17 @@ class ShadowExhibitor:
         of Section 5.2)."""
         self.observed_count = 0
         self.leveraged_count = 0
+        metrics = metrics if metrics is not None else NULL_REGISTRY
+        name = policy.name
+        self._m_observed = metrics.counter(
+            labeled("observer.observed", exhibitor=name))
+        self._m_leveraged = metrics.counter(
+            labeled("observer.leveraged", exhibitor=name))
+        self._m_scheduled = metrics.counter(
+            labeled("observer.unsolicited_scheduled", exhibitor=name))
+        self._m_delay = metrics.histogram(
+            labeled("observer.use_delay_virtual", exhibitor=name),
+            DELAY_BUCKETS)
 
     @property
     def name(self) -> str:
@@ -143,6 +169,7 @@ class ShadowExhibitor:
     def observe(self, domain: str, observed_from: str) -> None:
         """Feed one captured domain into the exhibitor."""
         self.observed_count += 1
+        self._m_observed.inc()
         if self._streams is not None:
             key = (domain, observed_from)
             arrival = self._arrivals.get(key, 0)
@@ -154,11 +181,13 @@ class ShadowExhibitor:
         scheduled = 0
         if leveraged:
             self.leveraged_count += 1
+            self._m_leveraged.inc()
             if self.retention is not None:
                 self.retention.admit(domain, self._sim.now())
             uses = max(1, round(self.policy.uses.sample(rng)))
             for _ in range(uses):
                 delay = max(0.0, self.policy.delay.sample(rng))
+                self._m_delay.observe(delay)
                 protocol = self.policy.pick_protocol(rng)
                 origin = self.policy.origin_pool.pick(rng, protocol)
                 path = self._pick_path(protocol, rng)
@@ -171,6 +200,7 @@ class ShadowExhibitor:
                 if self.retention is not None:
                     self.retention.attach(domain, event)
                 scheduled += 1
+                self._m_scheduled.inc()
         if self._ground_truth is not None:
             self._ground_truth.record(
                 ObservationRecord(

@@ -24,6 +24,7 @@ from repro.honeypot.deployment import HoneypotDeployment
 from repro.protocols.dns import make_query
 from repro.simkit.events import Simulator
 from repro.simkit.rng import SubstreamFactory
+from repro.telemetry.registry import NULL_REGISTRY
 
 
 class DnsInterceptor:
@@ -39,6 +40,7 @@ class DnsInterceptor:
         retry_count: int = 2,
         retry_window: float = 45.0,
         streams: Optional[SubstreamFactory] = None,
+        metrics=None,
     ):
         self.hop_address = hop_address
         self.alt_resolver_address = alt_resolver_address
@@ -54,6 +56,11 @@ class DnsInterceptor:
         self.retry_count = retry_count
         self.retry_window = retry_window
         self.intercepted = 0
+        # One shared counter across every interceptor instance: the name
+        # carries no hop label, so the handle is the same Counter object
+        # registry-wide and per-campaign totals come for free.
+        metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._m_intercepted = metrics.counter("interceptor.queries_intercepted")
 
     def answers_pair_probe(self) -> bool:
         """Interceptors answer DNS queries regardless of destination."""
@@ -68,6 +75,7 @@ class DnsInterceptor:
         implementations.
         """
         self.intercepted += 1
+        self._m_intercepted.inc()
         if self._streams is not None:
             arrival = self._arrivals.get(domain, 0)
             self._arrivals[domain] = arrival + 1

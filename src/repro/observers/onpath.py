@@ -20,6 +20,7 @@ from repro.protocols.tls import TlsPlaintext
 from repro.protocols.tls.clienthello import ClientHello
 from repro.protocols.tls.record import CONTENT_TYPE_HANDSHAKE
 from repro.simkit.rng import SubstreamFactory
+from repro.telemetry.registry import NULL_REGISTRY, labeled
 
 
 def extract_domain(packet: Packet) -> Optional[Tuple[str, str]]:
@@ -57,17 +58,25 @@ class WireSniffer:
     """DPI at one router, bound to a shadow exhibitor."""
 
     def __init__(self, hop: Hop, protocols: Sequence[str],
-                 exhibitor: ShadowExhibitor, zone: str):
+                 exhibitor: ShadowExhibitor, zone: str, metrics=None):
         self.hop = hop
         self.protocols = tuple(protocols)
         self.exhibitor = exhibitor
         self.zone = zone
         self.packets_seen = 0
         self.domains_captured = 0
+        metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._m_packets = metrics.counter("onpath.packets_inspected")
+        self._m_captured = {
+            protocol: metrics.counter(
+                labeled("onpath.domains_captured", protocol=protocol))
+            for protocol in ("dns", "http", "tls")
+        }
 
     def tap(self, position: int, hop: Hop, packet: Packet) -> None:
         """Path-tap callback: inspect one transiting packet."""
         self.packets_seen += 1
+        self._m_packets.inc()
         extracted = extract_domain(packet)
         if extracted is None:
             return
@@ -77,6 +86,7 @@ class WireSniffer:
         if not is_subdomain_of(domain, self.zone):
             return
         self.domains_captured += 1
+        self._m_captured[protocol].inc()
         self.exhibitor.observe(domain, observed_from=self.hop.address)
 
 
@@ -108,7 +118,8 @@ class ObserverDeployment:
     def __init__(self, specs: Sequence[SnifferSpec],
                  exhibitors: Dict[str, ShadowExhibitor],
                  zone: str, rng: random.Random,
-                 streams: Optional[SubstreamFactory] = None):
+                 streams: Optional[SubstreamFactory] = None,
+                 metrics=None):
         self._specs_by_asn: Dict[int, List[SnifferSpec]] = {}
         for spec in specs:
             if spec.policy_name not in exhibitors:
@@ -122,6 +133,7 @@ class ObserverDeployment:
         address instead of first-sight order on the shared ``rng`` — so a
         router carries the same DPI regardless of which path (or shard)
         materializes it first."""
+        self._metrics = metrics
         self._decisions: Dict[str, Optional[WireSniffer]] = {}
 
     def sniffer_for(self, hop: Hop) -> Optional[WireSniffer]:
@@ -138,6 +150,7 @@ class ObserverDeployment:
                     protocols=spec.protocols,
                     exhibitor=self._exhibitors[spec.policy_name],
                     zone=self._zone,
+                    metrics=self._metrics,
                 )
                 break
         self._decisions[hop.address] = sniffer

@@ -25,6 +25,7 @@ from repro.observers.exhibitor import ShadowExhibitor
 from repro.protocols.dns import make_query
 from repro.simkit.events import Simulator
 from repro.simkit.rng import SubstreamFactory
+from repro.telemetry.registry import NULL_REGISTRY, labeled
 
 
 @dataclass(frozen=True)
@@ -72,6 +73,7 @@ class ResolverModel:
         egress_address: str,
         rng: random.Random,
         streams: Optional[SubstreamFactory] = None,
+        metrics=None,
     ):
         if profile.shadow_exhibitor is not None and exhibitor is None:
             raise ValueError(
@@ -90,6 +92,12 @@ class ResolverModel:
         (``rng`` then only feeds unobservable wire fields like txids)."""
         self._arrivals: Dict[str, int] = {}
         self.decoys_received = 0
+        metrics = metrics if metrics is not None else NULL_REGISTRY
+        name = profile.destination.name
+        self._m_received = metrics.counter(
+            labeled("resolver.decoys_received", destination=name))
+        self._m_shadowed = metrics.counter(
+            labeled("resolver.shadow_observations", destination=name))
 
     @property
     def name(self) -> str:
@@ -98,6 +106,7 @@ class ResolverModel:
     def receive_decoy(self, domain: str, instance_country: str) -> None:
         """Handle one delivered decoy query for ``domain``."""
         self.decoys_received += 1
+        self._m_received.inc()
         if self._streams is not None:
             arrival = self._arrivals.get(domain, 0)
             self._arrivals[domain] = arrival + 1
@@ -130,6 +139,7 @@ class ResolverModel:
                         label=f"cache-refresh:{self.name}",
                     )
         if self.profile.shadows_at(instance_country) and self._exhibitor is not None:
+            self._m_shadowed.inc()
             self._exhibitor.observe(
                 domain, observed_from=self.profile.destination.address
             )

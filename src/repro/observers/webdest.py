@@ -14,6 +14,7 @@ from typing import Dict, Optional
 from repro.datasets.tranco import WebDestination
 from repro.observers.exhibitor import ShadowExhibitor
 from repro.simkit.rng import SubstreamFactory
+from repro.telemetry.registry import NULL_REGISTRY, labeled
 
 
 @dataclass(frozen=True)
@@ -42,6 +43,7 @@ class WebDestinationModel:
         default_exhibitor: Optional[ShadowExhibitor],
         rng: random.Random,
         streams: Optional[SubstreamFactory] = None,
+        metrics=None,
     ):
         self.behavior = behavior
         self._exhibitors = exhibitors_by_country
@@ -53,6 +55,20 @@ class WebDestinationModel:
         shared ``rng`` — so the decision is identical no matter which shard
         (or arrival) asks first."""
         self._decisions: Dict[tuple, bool] = {}
+        # Per-decoy tallies only: the cached per-destination *decision*
+        # is made by whichever shard asks first, so counting decisions
+        # would diverge from serial — counting decoys partitions cleanly.
+        metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._m_decoys = {
+            protocol: metrics.counter(
+                labeled("webdest.decoys_received", protocol=protocol))
+            for protocol in ("http", "tls")
+        }
+        self._m_shadowed = {
+            protocol: metrics.counter(
+                labeled("webdest.shadow_observations", protocol=protocol))
+            for protocol in ("http", "tls")
+        }
 
     def _shadows(self, destination: WebDestination, protocol: str) -> bool:
         key = (destination.address, protocol)
@@ -78,10 +94,12 @@ class WebDestinationModel:
         """
         if protocol not in ("http", "tls"):
             raise ValueError(f"web destinations only take http/tls decoys, got {protocol!r}")
+        self._m_decoys[protocol].inc()
         if not self._shadows(destination, protocol):
             return False
         exhibitor = self._exhibitors.get(destination.country, self._default)
         if exhibitor is None:
             return False
+        self._m_shadowed[protocol].inc()
         exhibitor.observe(domain, observed_from=destination.address)
         return True

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.simkit.clock import VirtualClock
+from repro.telemetry.registry import NULL_REGISTRY
 
 
 @dataclass(order=True, slots=True)
@@ -47,7 +48,7 @@ class Simulator:
     :class:`VirtualClock` as it goes.
     """
 
-    def __init__(self, clock: Optional[VirtualClock] = None):
+    def __init__(self, clock: Optional[VirtualClock] = None, metrics=None):
         self.clock = clock if clock is not None else VirtualClock()
         self._queue: list = []
         self._counter = itertools.count()
@@ -57,6 +58,14 @@ class Simulator:
         """Executed-event tally per label — free introspection into what a
         campaign actually did (sends, retries, recursions, unsolicited
         emissions, cache refreshes...)."""
+        # Handles are fetched once; with telemetry disabled they are
+        # shared no-op singletons, keeping the event loop overhead to one
+        # no-op call per operation.
+        metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._m_scheduled = metrics.counter("sim.events.scheduled")
+        self._m_fired = metrics.counter("sim.events.fired")
+        self._m_cancelled = metrics.counter("sim.events.cancelled")
+        self._m_heap_depth = metrics.gauge("sim.heap.max_depth")
 
     def now(self) -> float:
         return self.clock.now()
@@ -73,6 +82,7 @@ class Simulator:
 
     def _note_cancel(self) -> None:
         self._pending -= 1
+        self._m_cancelled.inc()
 
     def schedule_at(self, time: float, action: Callable[[], None], label: str = "") -> Event:
         """Schedule ``action`` at absolute virtual time ``time``."""
@@ -89,6 +99,8 @@ class Simulator:
         )
         heapq.heappush(self._queue, event)
         self._pending += 1
+        self._m_scheduled.inc()
+        self._m_heap_depth.record(len(self._queue))
         return event
 
     def schedule_in(self, delay: float, action: Callable[[], None], label: str = "") -> Event:
@@ -122,6 +134,7 @@ class Simulator:
             event.action()
             executed += 1
             self._processed += 1
+            self._m_fired.inc()
             if event.label:
                 self.label_counts[event.label] = \
                     self.label_counts.get(event.label, 0) + 1

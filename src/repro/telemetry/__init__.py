@@ -1,0 +1,65 @@
+"""repro.telemetry — metrics, spans, and shard-mergeable run instrumentation.
+
+The observability layer of the pipeline (see docs/OBSERVABILITY.md):
+
+* :mod:`repro.telemetry.registry` — counters / gauges / fixed-bucket
+  histograms with deterministic snapshots and per-metric merge policies,
+  plus the no-op backend that makes disabled telemetry near-free;
+* :mod:`repro.telemetry.spans` — wall- and virtual-clock stage spans;
+* :mod:`repro.telemetry.export` — :class:`RunTelemetry` and the
+  ``telemetry.json`` / ``spans.jsonl`` on-disk format;
+* :mod:`repro.telemetry.render` — the tables behind ``repro telemetry``.
+
+The invariant everything here is built around: recording telemetry never
+draws randomness and never touches the event schedule, so a campaign
+with telemetry on is byte-identical to one without — and a 4-worker run
+merges to the same counters and histograms as the serial run.
+"""
+
+from repro.telemetry.export import (
+    RunTelemetry,
+    load_telemetry,
+    write_telemetry,
+)
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MERGE_SAME,
+    MERGE_SUM,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    labeled,
+    registry_for,
+)
+from repro.telemetry.render import render_telemetry
+from repro.telemetry.spans import (
+    PARENT_SHARD,
+    Span,
+    SpanTracer,
+    merge_spans,
+    timings_from_spans,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MERGE_SAME",
+    "MERGE_SUM",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "PARENT_SHARD",
+    "RunTelemetry",
+    "Span",
+    "SpanTracer",
+    "labeled",
+    "load_telemetry",
+    "merge_spans",
+    "registry_for",
+    "render_telemetry",
+    "timings_from_spans",
+    "write_telemetry",
+]

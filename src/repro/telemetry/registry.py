@@ -1,0 +1,308 @@
+"""Metrics: counters, gauges, and fixed-bucket histograms.
+
+The registry is the passive half of the observability layer (spans are
+the active half, :mod:`repro.telemetry.spans`).  Its design constraints
+come straight from the sharded executor:
+
+* **Determinism.**  Recording a metric never draws randomness, never
+  touches the event schedule, and never varies with wall-clock time —
+  a campaign with telemetry enabled is byte-identical to one without.
+* **Shard-mergeable.**  Each worker process carries its own registry;
+  the parent merges snapshots with per-metric policies: counters sum
+  (partitioned work), ``merge="same"`` counters assert equality (work
+  every shard replays, e.g. vetting), histograms add bucket-wise, and
+  gauges take the max.  Summed and bucket-wise metrics therefore merge
+  to exactly the serial run's values; gauges (heap depth, etc.) are
+  per-process observations and carry no cross-shard guarantee.
+* **Near-zero when disabled.**  Components fetch metric handles once at
+  construction time; a disabled registry (:data:`NULL_REGISTRY`) hands
+  out shared no-op singletons, so the hot-path cost of instrumentation
+  is one no-op method call.
+"""
+
+import bisect
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+MERGE_SUM = "sum"
+MERGE_SAME = "same"
+_COUNTER_MERGES = (MERGE_SUM, MERGE_SAME)
+
+
+class Counter:
+    """A monotonically increasing integer metric.
+
+    ``merge="sum"`` (default) for partitioned work — shard values add up
+    to the serial total.  ``merge="same"`` for work every shard replays
+    identically (vetting outcomes, plan sizes): merging asserts all
+    sources agree and keeps the common value.
+    """
+
+    __slots__ = ("name", "merge", "value")
+
+    def __init__(self, name: str, merge: str = MERGE_SUM):
+        if merge not in _COUNTER_MERGES:
+            raise ValueError(f"unknown counter merge policy {merge!r}")
+        self.name = name
+        self.merge = merge
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A high-water-mark observation (merge policy: max).
+
+    Gauges describe one process's local state (e.g. peak event-heap
+    depth), so a merged gauge is the max over shards — deliberately
+    *not* required to equal the serial run, where one heap holds every
+    shard's events at once.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def record(self, value: float) -> None:
+        if value > self.value:
+            self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram: ``len(bounds) + 1`` counts.
+
+    ``counts[i]`` tallies observations ``<= bounds[i]``; the final
+    bucket is the overflow.  Fixed bounds make the merge trivial and
+    deterministic: bucket-wise addition, with a hard error on bound
+    mismatch.
+    """
+
+    __slots__ = ("name", "bounds", "counts")
+
+    def __init__(self, name: str, bounds: Sequence[float]):
+        ordered = tuple(float(bound) for bound in bounds)
+        if not ordered or list(ordered) != sorted(set(ordered)):
+            raise ValueError(
+                f"histogram bounds must be non-empty and strictly increasing, "
+                f"got {bounds!r}"
+            )
+        self.name = name
+        self.bounds = ordered
+        self.counts = [0] * (len(ordered) + 1)
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+
+class _NullCounter:
+    __slots__ = ()
+    name = ""
+    merge = MERGE_SUM
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = ""
+    value = 0.0
+
+    def record(self, value: float) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = ""
+    bounds: Tuple[float, ...] = ()
+    counts: List[int] = []
+    total = 0
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics with deterministic snapshots."""
+
+    enabled = True
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- handles ---------------------------------------------------------
+
+    def counter(self, name: str, merge: str = MERGE_SUM) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name, merge=merge)
+        elif counter.merge != merge:
+            raise ValueError(
+                f"counter {name!r} already registered with merge="
+                f"{counter.merge!r}, requested {merge!r}"
+            )
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(self, name: str, bounds: Sequence[float]) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name, bounds)
+        elif histogram.bounds != tuple(float(bound) for bound in bounds):
+            raise ValueError(
+                f"histogram {name!r} already registered with bounds "
+                f"{histogram.bounds!r}, requested {tuple(bounds)!r}"
+            )
+        return histogram
+
+    # -- views -----------------------------------------------------------
+
+    def counter_values(self) -> Dict[str, int]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def gauge_values(self) -> Dict[str, float]:
+        return {name: g.value for name, g in sorted(self._gauges.items())}
+
+    def histogram_values(self) -> Dict[str, List[int]]:
+        return {name: list(h.counts)
+                for name, h in sorted(self._histograms.items())}
+
+    # -- snapshots and merge ---------------------------------------------
+
+    def snapshot(self) -> Dict[str, dict]:
+        """A plain-dict, key-sorted image — picklable, JSON-ready."""
+        return {
+            "counters": {
+                name: {"value": counter.value, "merge": counter.merge}
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.value
+                for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {"bounds": list(histogram.bounds),
+                       "counts": list(histogram.counts)}
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: Dict[str, dict]) -> "MetricsRegistry":
+        registry = cls()
+        for name, entry in data.get("counters", {}).items():
+            registry.counter(name, merge=entry.get("merge", MERGE_SUM)).inc(
+                entry["value"]
+            )
+        for name, value in data.get("gauges", {}).items():
+            registry.gauge(name).set(value)
+        for name, entry in data.get("histograms", {}).items():
+            histogram = registry.histogram(name, entry["bounds"])
+            histogram.counts = [
+                a + b for a, b in zip(histogram.counts, entry["counts"])
+            ]
+        return registry
+
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in under the per-metric merge policies."""
+        for name, theirs in other._counters.items():
+            ours = self.counter(name, merge=theirs.merge)
+            if ours.merge == MERGE_SAME:
+                if ours.value and theirs.value and ours.value != theirs.value:
+                    raise ValueError(
+                        f"merge='same' counter {name!r} disagrees across "
+                        f"sources: {ours.value} != {theirs.value}"
+                    )
+                ours.value = max(ours.value, theirs.value)
+            else:
+                ours.value += theirs.value
+        for name, theirs in other._gauges.items():
+            self.gauge(name).record(theirs.value)
+        for name, theirs in other._histograms.items():
+            ours = self.histogram(name, theirs.bounds)
+            ours.counts = [a + b for a, b in zip(ours.counts, theirs.counts)]
+
+    @classmethod
+    def merged(cls, registries: Iterable["MetricsRegistry"]) -> "MetricsRegistry":
+        merged = cls()
+        for registry in registries:
+            merged.merge_from(registry)
+        return merged
+
+
+class NullRegistry:
+    """Disabled backend: every handle is a shared no-op singleton.
+
+    Keeps instrumented code branch-free — components call
+    ``metrics.counter(...)`` unconditionally and pay one no-op method
+    call per recording when telemetry is off.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, merge: str = MERGE_SUM) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, bounds: Sequence[float]) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def counter_values(self) -> Dict[str, int]:
+        return {}
+
+    def gauge_values(self) -> Dict[str, float]:
+        return {}
+
+    def histogram_values(self) -> Dict[str, List[int]]:
+        return {}
+
+    def snapshot(self) -> Dict[str, dict]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NULL_REGISTRY = NullRegistry()
+
+
+def registry_for(enabled: bool):
+    """The standard way components obtain a backend from a config flag."""
+    return MetricsRegistry() if enabled else NULL_REGISTRY
+
+
+def labeled(name: str, **labels: object) -> str:
+    """Canonical ``name[k=v,...]`` metric naming, keys sorted.
+
+    >>> labeled("campaign.decoys_sent", protocol="dns", phase=1)
+    'campaign.decoys_sent[phase=1,protocol=dns]'
+    """
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{name}[{inner}]"

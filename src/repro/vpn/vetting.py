@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Sequence, Tuple
 
 from repro.datasets.resolvers import DnsDestination
+from repro.telemetry.registry import MERGE_SAME
 from repro.vpn.vantage import VantagePoint
 
 # Signature: does a DNS query from this VP to this address draw a response?
@@ -34,6 +35,20 @@ class VettingReport:
     @property
     def removed(self) -> int:
         return len(self.removed_ttl_reset) + len(self.removed_intercepted)
+
+    def record(self, metrics) -> None:
+        """Publish the outcome as ``merge="same"`` counters.
+
+        Vetting is a pure function of the seed, so every shard (and the
+        sharded parent) replays it to the identical outcome; a summing
+        merge would multiply the tally by the worker count.  The "same"
+        policy instead asserts agreement and keeps the one true value.
+        """
+        metrics.counter("vetting.kept", merge=MERGE_SAME).inc(len(self.kept))
+        metrics.counter("vetting.removed_ttl_reset", merge=MERGE_SAME).inc(
+            len(self.removed_ttl_reset))
+        metrics.counter("vetting.removed_intercepted", merge=MERGE_SAME).inc(
+            len(self.removed_intercepted))
 
 
 def vet_providers(vps: Sequence[VantagePoint]) -> VettingReport:
