@@ -109,6 +109,13 @@ class Campaign:
         }
         self._m_path_length = metrics.histogram(
             "campaign.path_length", (4, 6, 8, 10, 12))
+        # Fault/robustness instrumentation (see docs/ROBUSTNESS.md): every
+        # injected fault and every recovery action is a counted event.
+        self._m_packets_lost = metrics.counter("faults.packets_lost")
+        self._m_retries = metrics.counter("campaign.send_retries")
+        self._m_retry_backoff = metrics.histogram(
+            "campaign.retry_backoff_virtual", (2, 8, 32, 128))
+        self._m_abandoned = metrics.counter("faults.sends_abandoned")
         self._pcap = None
         self._pcap_stream = None
         if eco.config.capture_pcap:
@@ -286,21 +293,67 @@ class Campaign:
         self._m_path_length.observe(info.path.length)
         if self._pcap is not None:
             self._pcap.write(packet, now)
-        transit = self._transmit(info, protocol, packet, phase)
+        transit = self._attempt_transit(info, protocol, packet, phase,
+                                        decoy.domain, destination, attempt=0)
+        return SendOutcome(record=record, transit=transit)
 
+    def _attempt_transit(self, info: PathInfo, protocol: str, packet,
+                         phase: int, domain: str, destination: object,
+                         attempt: int) -> TransitResult:
+        """One transmission attempt, with fault-aware recovery.
+
+        When the fault plan loses the packet on a link, a Phase I decoy is
+        retransmitted after exponential backoff (fresh keyed loss draws
+        per attempt); exhausted retries are skipped-and-recorded — the
+        ledger entry stands, the gap is a counted telemetry event, and the
+        campaign carries on.  Phase II probes are never retried: a lost
+        probe is just a silent TTL step, exactly like an ICMP-silent hop.
+        """
+        faults = self.eco.faults
+        loss_at = None
+        if faults is not None:
+            loss_at = faults.loss_link(domain, attempt, info.path.length,
+                                       packet.ip.ttl)
+        transit = self._transmit(info, protocol, packet, phase,
+                                 loss_at=loss_at)
+
+        # Interception happens at the first (access) hop, so it applies to
+        # any attempt the access link carried — even one lost further on.
         intercepted = False
-        if protocol == "dns" and info.has_interceptor:
+        if protocol == "dns" and info.has_interceptor and transit.final_position >= 1:
             first_hop = info.path.hop_at(1)
             interceptor = self.eco.interceptor_at(first_hop.address)
             if interceptor is not None:
-                interceptor.on_query(decoy.domain)
+                interceptor.on_query(domain)
                 intercepted = True
 
-        if transit.delivered and not intercepted:
-            self._deliver(decoy.domain, protocol, info, destination)
-        return SendOutcome(record=record, transit=transit)
+        if transit.outcome is TransitOutcome.LOST:
+            self._m_packets_lost.inc()
+            if intercepted:
+                return transit  # the interceptor already answered the VP
+            if phase == 1 and attempt < faults.spec.max_retries:
+                backoff = faults.retry_backoff(attempt)
+                self._m_retries.inc()
+                self._m_retry_backoff.observe(backoff)
+                self.eco.sim.schedule_in(
+                    backoff,
+                    lambda info=info, protocol=protocol, packet=packet,
+                           phase=phase, domain=domain,
+                           destination=destination, attempt=attempt + 1:
+                        self._attempt_transit(info, protocol, packet, phase,
+                                              domain, destination, attempt),
+                    label=f"retry:{protocol}",
+                )
+            elif phase == 1:
+                self._m_abandoned.inc()
+            return transit
 
-    def _transmit(self, info: PathInfo, protocol: str, packet, phase: int):
+        if transit.delivered and not intercepted:
+            self._deliver(domain, protocol, info, destination)
+        return transit
+
+    def _transmit(self, info: PathInfo, protocol: str, packet, phase: int,
+                  loss_at: Optional[int] = None):
         """Put one decoy on the wire.
 
         Phase I HTTP/TLS decoys are sent *after a successful TCP
@@ -328,10 +381,10 @@ class Campaign:
                     final_position=min(packet.ip.ttl, info.path.length),
                     icmp=None,
                 )
-            transit = client.send(packet.payload)
+            transit = client.send(packet.payload, loss_at=loss_at)
             client.close()
             return transit
-        return info.path.transit(packet)
+        return info.path.transit(packet, loss_at=loss_at)
 
     def _deliver(self, domain: str, protocol: str, info: PathInfo,
                  destination: object) -> None:
@@ -362,7 +415,8 @@ class Campaign:
         vps = self.eco.platform.vantage_points
         if not vps:
             raise RuntimeError("no vantage points left after vetting")
-        limiter = RoundRobinScheduler(vps, per_target_interval=0.5)
+        limiter = RoundRobinScheduler(vps, per_target_interval=0.5,
+                                      faults=self.eco.faults)
         planned = 0
         scheduled = 0
         last_time = sim.now()
@@ -372,9 +426,11 @@ class Campaign:
                      service: str, round_index: int) -> float:
             nonlocal planned, scheduled, last_time
             # Every shard replays the full plan — including rate-limiter
-            # state — so `actual` matches the serial schedule; only owned
-            # pairs materialize a path and enqueue the send.
-            actual = limiter.earliest_send_time(address, send_time)
+            # state and VP-churn deferrals — so `actual` matches the
+            # serial schedule; only owned pairs materialize a path and
+            # enqueue the send.
+            actual = limiter.earliest_send_time(address, send_time,
+                                                vp_address=vp.address)
             plan_index = planned
             planned += 1
             last_time = max(last_time, actual)
@@ -431,6 +487,11 @@ class Campaign:
         self._metrics.counter(
             "campaign.sends_planned", merge=MERGE_SAME).inc(planned)
         self._metrics.counter("campaign.sends_scheduled").inc(scheduled)
+        # Churn deferrals happen inside the replayed plan, so every shard
+        # counts the identical total (merge="same", like sends_planned).
+        self._metrics.counter(
+            "faults.vp_churn_deferrals", merge=MERGE_SAME,
+        ).inc(limiter.deferred_by_churn)
         return scheduled
 
     def run_phase1(self) -> None:

@@ -1,0 +1,119 @@
+"""Phase-boundary checkpoints for the sharded executor.
+
+The supervisor (:mod:`repro.core.shard`) flushes each shard's payload to
+disk the moment it arrives — Phase I payloads after the first round of
+the worker protocol, final payloads after the second — so a run killed at
+any point can resume with ``run --resume DIR``: shards whose final
+payload is on disk are never re-simulated, and shards that only reached
+Phase I skip nothing but re-derive their (deterministic) simulator state
+by replay.
+
+Every write is atomic (temp file + :func:`os.replace` in the same
+directory), so a crash mid-flush leaves either the previous checkpoint or
+none — never a torn file.  Payloads are pickled; ``meta.json`` carries
+the human-readable run identity (seed, shard count) used to reject
+resuming with a mismatched config.
+"""
+
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Dict, List, Optional
+
+_META = "meta.json"
+_CONFIG = "config.pkl"
+_PLAN = "phase2_plan.pkl"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint directory is unusable for the requested operation."""
+
+
+class CheckpointStore:
+    """Atomic pickle/JSON persistence under one checkpoint directory."""
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # -- low-level atomic writes ------------------------------------------
+
+    def _write_bytes(self, name: str, payload: bytes) -> None:
+        target = self.directory / name
+        temp = self.directory / (name + ".tmp")
+        temp.write_bytes(payload)
+        os.replace(temp, target)
+
+    def _write_pickle(self, name: str, value) -> None:
+        self._write_bytes(name, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+
+    def _read_pickle(self, name: str):
+        with open(self.directory / name, "rb") as handle:
+            return pickle.load(handle)
+
+    # -- run identity ------------------------------------------------------
+
+    def save_run(self, config, shard_count: int) -> None:
+        self._write_pickle(_CONFIG, config)
+        self._write_bytes(_META, json.dumps({
+            "seed": config.seed,
+            "shard_count": shard_count,
+            "format": 1,
+        }, indent=2).encode())
+
+    def load_meta(self) -> Dict:
+        path = self.directory / _META
+        if not path.exists():
+            raise CheckpointError(f"{self.directory} has no {_META}; "
+                                  "not a checkpoint directory")
+        return json.loads(path.read_text())
+
+    def load_config(self):
+        try:
+            return self._read_pickle(_CONFIG)
+        except FileNotFoundError as exc:
+            raise CheckpointError(
+                f"{self.directory} has no {_CONFIG}"
+            ) from exc
+
+    # -- phase payloads ----------------------------------------------------
+
+    @staticmethod
+    def _phase1_name(shard_index: int) -> str:
+        return f"shard-{shard_index:02d}.phase1.pkl"
+
+    @staticmethod
+    def _final_name(shard_index: int) -> str:
+        return f"shard-{shard_index:02d}.final.pkl"
+
+    def save_phase1(self, payload) -> None:
+        self._write_pickle(self._phase1_name(payload.shard_index), payload)
+
+    def load_phase1(self, shard_index: int):
+        return self._read_pickle(self._phase1_name(shard_index))
+
+    def has_phase1(self, shard_index: int) -> bool:
+        return (self.directory / self._phase1_name(shard_index)).exists()
+
+    def save_phase2_plan(self, slices: List[list]) -> None:
+        self._write_pickle(_PLAN, slices)
+
+    def load_phase2_plan(self) -> Optional[List[list]]:
+        try:
+            return self._read_pickle(_PLAN)
+        except FileNotFoundError:
+            return None
+
+    def save_final(self, payload) -> None:
+        self._write_pickle(self._final_name(payload.shard_index), payload)
+
+    def load_final(self, shard_index: int):
+        return self._read_pickle(self._final_name(shard_index))
+
+    def has_final(self, shard_index: int) -> bool:
+        return (self.directory / self._final_name(shard_index)).exists()
+
+    def completed_shards(self, shard_count: int) -> List[int]:
+        """Shards whose final payload is already flushed."""
+        return [index for index in range(shard_count) if self.has_final(index)]

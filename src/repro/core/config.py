@@ -9,6 +9,7 @@ qualitative shape; benches scale selected knobs up.
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from repro.faults.plan import FaultSpec
 from repro.simkit.units import DAY, HOUR
 
 
@@ -73,6 +74,16 @@ class ExperimentConfig:
     destination) pair space into N shards simulated in parallel and
     deterministically merged — the result is identical to the serial run
     (see docs/PERFORMANCE.md)."""
+
+    # -- robustness ---------------------------------------------------------
+    faults: Optional[FaultSpec] = None
+    """Deterministic fault injection (:mod:`repro.faults`): per-link
+    packet loss, VP churn windows, honeypot outages, delayed/duplicated
+    log appends, and the retry/backoff policy for undelivered decoys.
+    None (and a spec with all rates zero) injects nothing.  Fault
+    decisions are keyed by the spec's own seed, so serial and sharded
+    runs of the same config see identical faults and still merge to
+    byte-identical results (see docs/ROBUSTNESS.md)."""
 
     # -- diagnostics --------------------------------------------------------
     telemetry: bool = False

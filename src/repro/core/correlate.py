@@ -131,25 +131,34 @@ class Correlator:
         one experiment phase."""
         result = CorrelationResult()
         for domain in log.domains():
+            aliased = False
             record = self._ledger.lookup(domain)
             if record is None:
-                result.unknown_domains.append(domain)
-                continue
+                record = self._recover_alias(domain)
+                if record is None:
+                    result.unknown_domains.append(domain)
+                    continue
+                aliased = True
             if phase is not None and record.phase != phase:
                 continue
-            try:
-                self._codec.decode_domain(domain, self._zone)
-            except IdentifierError:
-                result.unknown_domains.append(domain)
-                continue
+            if not aliased:
+                try:
+                    self._codec.decode_domain(domain, self._zone)
+                except IdentifierError:
+                    result.unknown_domains.append(domain)
+                    continue
             dns_arrivals = 0
             for entry in log.for_domain(domain):
                 unsolicited = True
-                if entry.protocol == "dns" and record.protocol == "dns":
+                if (not aliased and entry.protocol == "dns"
+                        and record.protocol == "dns"):
                     dns_arrivals += 1
                     if dns_arrivals == 1:
                         # Rule (iii): the first DNS appearance of a DNS
                         # decoy's name is the decoy itself recursing.
+                        # Aliased names never qualify: the decoy's own
+                        # recursion carries its exact domain, so anything
+                        # arriving under a mangled name is third-party.
                         result.initial_arrivals[domain] = entry
                         unsolicited = False
                 if unsolicited:
@@ -161,6 +170,25 @@ class Correlator:
                         )
                     )
         return result
+
+    def _recover_alias(self, domain: str) -> Optional[DecoyRecord]:
+        """Map a mangled logged name back to its decoy, if possible.
+
+        Shadowers sometimes prepend their own labels before replaying a
+        name ("probe.<identifier>.<zone>"), so the raw domain misses the
+        ledger.  The embedded identifier still survives: decode it from
+        whichever label carries it, re-encode the canonical domain, and
+        look that up.  Anything that still fails to decode is genuine
+        noise and stays in ``unknown_domains``.
+        """
+        try:
+            identity = self._codec.decode_domain(domain, self._zone)
+        except IdentifierError:
+            return None
+        canonical = f"{self._codec.encode(identity)}.{self._zone}"
+        if canonical == domain:
+            return None
+        return self._ledger.lookup(canonical)
 
     @staticmethod
     def combo_label(decoy_protocol: str, request_protocol: str) -> str:

@@ -85,6 +85,12 @@ class Ecosystem:
     interceptors: Dict[str, Optional[DnsInterceptor]]
     """Per-router interception decision cache, keyed by router address."""
     interceptor_router_fraction: float
+    faults: object = None
+    """The run's compiled :class:`~repro.faults.FaultPlan`, or None when
+    ``config.faults`` injects nothing.  Campaign, scheduler, and honeypot
+    log all consult this one plan; since every decision is a keyed draw
+    on the fault seed, each shard worker compiles an identical plan from
+    the config."""
     telemetry: object = None
     """The run's :class:`~repro.telemetry.MetricsRegistry` (or the no-op
     backend when ``config.telemetry`` is off).  Every instrumented
@@ -129,7 +135,16 @@ def build_ecosystem(config: ExperimentConfig) -> Ecosystem:
     directory = IpDirectory()
     blocklist = Blocklist()
     allocator = AddressAllocator()
-    deployment = HoneypotDeployment(zone=config.zone, metrics=telemetry)
+    faults = None
+    if config.faults is not None and config.faults.any_faults:
+        from repro.faults import FaultPlan
+        faults = FaultPlan(config.faults)
+    log = None
+    if faults is not None and config.faults.affects_log:
+        from repro.honeypot.deployment import FaultInjectingLog
+        log = FaultInjectingLog(sim=sim, faults=faults, metrics=telemetry)
+    deployment = HoneypotDeployment(zone=config.zone, log=log,
+                                    metrics=telemetry)
     ground_truth = GroundTruth()
     emitter = UnsolicitedEmitter(deployment, sim, router.stream("emitter"),
                                  metrics=telemetry)
@@ -248,6 +263,7 @@ def build_ecosystem(config: ExperimentConfig) -> Ecosystem:
         interceptor_router_fraction=(
             config.interceptor_asn_fraction if config.interceptors_enabled else 0.0
         ),
+        faults=faults,
         telemetry=telemetry,
     )
 

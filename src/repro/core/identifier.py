@@ -88,7 +88,12 @@ class IdentifierCodec:
         experiment identifier — corrupted, truncated, or foreign labels.
         """
         token, separator, sequence_text = label.partition("-")
-        if not separator or not sequence_text.isdigit():
+        # The sequence suffix must be exactly the four digits encode()
+        # emits: accepting shorter or longer digit runs lets distinct
+        # labels ("…-1", "…-01", "…-00001") alias onto one identity and
+        # misattribute foreign traffic to a decoy.
+        if (not separator or len(sequence_text) != 4
+                or not sequence_text.isdigit()):
             raise IdentifierError(f"label has no sequence suffix: {label!r}")
         padding = "=" * (-len(token) % 8)
         try:
@@ -119,7 +124,18 @@ class IdentifierCodec:
         if not domain.endswith("." + zone):
             raise IdentifierError(f"{domain!r} is not under zone {zone!r}")
         label = domain[: -(len(zone) + 1)]
-        if "." in label:
-            # Identifier must be the leftmost (only) extra label.
-            label = label.split(".")[0]
-        return self.decode(label)
+        if "." not in label:
+            return self.decode(label)
+        # Third parties prepend their own labels when probing
+        # ("probe.<identifier>.<zone>"), so the identifier is not
+        # necessarily leftmost — try every candidate label and accept the
+        # one that decodes (the checksum rejects foreign labels).
+        last_error: IdentifierError = IdentifierError(
+            f"no decodable label in {domain!r}"
+        )
+        for candidate in label.split("."):
+            try:
+                return self.decode(candidate)
+            except IdentifierError as exc:
+                last_error = exc
+        raise last_error

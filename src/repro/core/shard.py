@@ -28,13 +28,35 @@ the parent, which merges the interim ledgers/logs, computes the global
 Phase II plan (per-destination quotas need the *merged* Phase I
 correlation), and dispatches each shard its slice; workers then run Phase
 II over their still-live simulators and return the remainder.
+
+Crash tolerance
+---------------
+
+Workers are supervised (:class:`SupervisorPolicy`): each one sends
+heartbeats from a background thread, and the parent treats a dead process
+*or* a stale heartbeat as a worker death.  Because every shard's
+simulation is a pure function of (config, shard index, shard count), a
+dead worker is simply respawned and replays its partition from the start
+of the current phase: the respawn re-runs build + Phase I, the parent
+verifies the replayed Phase I payload is byte-identical to the original
+(any divergence is a determinism bug, not a recoverable fault), and then
+re-dispatches the same Phase II slice.  A fault-free N-worker run, a
+worker-killed-and-respawned run, and the serial run therefore produce
+identical result digests.
+
+With a checkpoint directory, each payload is flushed to disk as it
+arrives (:mod:`repro.core.checkpoint`), and ``run_sharded(resume_dir=…)``
+skips shards whose final payload survived a previous (killed) run.
 """
 
 import multiprocessing
+import threading
 import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.checkpoint import CheckpointError, CheckpointStore
 
 from repro.core.campaign import Campaign, pair_shard
 from repro.core.config import ExperimentConfig
@@ -54,6 +76,34 @@ from repro.telemetry.registry import MetricsRegistry
 from repro.telemetry.spans import Span, SpanTracer, merge_spans, timings_from_spans
 
 LedgerKey = Tuple[float, int, int, int]
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """How the parent watches, times out, and respawns shard workers."""
+
+    heartbeat_interval: float = 0.5
+    """Seconds between worker heartbeats (wall clock)."""
+    worker_timeout: float = 120.0
+    """Seconds of silence (no heartbeat, no payload) before the parent
+    declares a worker dead and respawns it.  Generous by default: a busy
+    worker heartbeats from a background thread, so only a genuinely hung
+    or killed process goes silent."""
+    max_respawns: int = 2
+    """Respawn budget per shard; exceeding it fails the run (a shard that
+    keeps dying is a real bug, not a transient fault)."""
+    kill_after_phase1: Optional[int] = None
+    """Test hook: SIGKILL this shard's worker right after its Phase I
+    payload is received, forcing the respawn-and-replay path during
+    Phase II dispatch.  None disables the hook."""
+
+    def __post_init__(self):
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.worker_timeout <= self.heartbeat_interval:
+            raise ValueError("worker_timeout must exceed heartbeat_interval")
+        if self.max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
 
 
 @dataclass
@@ -107,9 +157,51 @@ def _ledger_snapshot(campaign: Campaign, skip: int) -> List[Tuple[LedgerKey, Dec
     ]
 
 
+class _HeartbeatSender:
+    """Background thread that keeps the parent's liveness clock fresh.
+
+    The worker's main thread spends minutes inside the simulator without
+    touching the pipe; this thread sends a tagged heartbeat every
+    interval so the parent can tell "busy" from "hung or dead".  All pipe
+    sends (heartbeats and payloads) share one lock, since Connection
+    objects are not thread-safe.
+    """
+
+    def __init__(self, conn, lock: threading.Lock, interval: float):
+        self._conn = conn
+        self._lock = lock
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info):
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+    def _run(self):
+        while not self._stop.wait(self._interval):
+            try:
+                with self._lock:
+                    self._conn.send(("heartbeat", None))
+            except (BrokenPipeError, OSError):
+                return
+
+
 def _shard_worker(conn, config: ExperimentConfig, shard_index: int,
-                  shard_count: int) -> None:
+                  shard_count: int, heartbeat_interval: float = 0.5) -> None:
     """Worker process body: Phase I, then (on request) Phase II."""
+    send_lock = threading.Lock()
+
+    def send(message):
+        with send_lock:
+            conn.send(message)
+
+    heartbeat = _HeartbeatSender(conn, send_lock, heartbeat_interval)
+    heartbeat.__enter__()
     try:
         started = time.perf_counter()
         tracer_spans = SpanTracer(shard=shard_index)
@@ -123,7 +215,7 @@ def _shard_worker(conn, config: ExperimentConfig, shard_index: int,
             phase1_records = len(campaign.ledger)
             phase1_log_len = len(eco.deployment.log)
             vetting = campaign.vetting
-            conn.send(("phase1", ShardPhase1Payload(
+            send(("phase1", ShardPhase1Payload(
                 shard_index=shard_index,
                 records=_ledger_snapshot(campaign, 0),
                 log_entries=list(eco.deployment.log),
@@ -148,7 +240,7 @@ def _shard_worker(conn, config: ExperimentConfig, shard_index: int,
             correlator = Correlator(campaign.ledger, zone=config.zone)
             phase2 = correlator.correlate(eco.deployment.log, phase=2)
             locations = tracer.locate(phase2)
-            conn.send(("final", ShardFinalPayload(
+            send(("final", ShardFinalPayload(
                 shard_index=shard_index,
                 records=_ledger_snapshot(campaign, phase1_records),
                 log_entries=list(eco.deployment.log)[phase1_log_len:],
@@ -178,30 +270,222 @@ def _shard_worker(conn, config: ExperimentConfig, shard_index: int,
             )))
     except BaseException:
         try:
-            conn.send(("error", traceback.format_exc()))
+            send(("error", traceback.format_exc()))
         except (BrokenPipeError, OSError):
             pass
     finally:
+        heartbeat.__exit__()
         conn.close()
 
 
-def _recv(conn, process, shard_index: int, expected: str):
-    """Receive one tagged message, failing fast on a dead worker."""
-    while not conn.poll(1.0):
-        if not process.is_alive() and not conn.poll(0):
-            raise RuntimeError(
-                f"shard {shard_index} worker died with exit code "
-                f"{process.exitcode} before sending {expected!r}"
-            )
-    tag, payload = conn.recv()
-    if tag == "error":
-        raise RuntimeError(f"shard {shard_index} worker failed:\n{payload}")
-    if tag != expected:
-        raise RuntimeError(
-            f"shard {shard_index} protocol error: expected {expected!r}, "
-            f"got {tag!r}"
+class _WorkerDied(Exception):
+    """A shard worker stopped responding — recoverable by respawn."""
+
+
+def _phase1_fingerprint(payload: ShardPhase1Payload) -> str:
+    """Content hash of a Phase I payload, for replay verification.
+
+    A respawned worker re-derives its Phase I payload from scratch; any
+    difference from the original means the simulation is not the pure
+    function of (config, shard index, shard count) the whole merge
+    depends on, so the supervisor refuses to continue.
+    """
+    import hashlib
+
+    hasher = hashlib.sha256()
+    hasher.update(repr((
+        payload.shard_index, payload.sends_planned, payload.sends_scheduled,
+        payload.last_send_time, payload.virtual_now, payload.vetting_kept,
+        payload.vetting_removed_ttl, payload.vetting_removed_intercepted,
+    )).encode())
+    for key, record in payload.records:
+        hasher.update(repr((key, record.domain, record.protocol,
+                            record.vp_id, record.sent_at)).encode())
+    for entry in payload.log_entries:
+        hasher.update(repr((entry.time, entry.site, entry.protocol,
+                            entry.src_address, entry.domain)).encode())
+    return hasher.hexdigest()
+
+
+@dataclass
+class _WorkerHandle:
+    """Parent-side state for one live shard worker."""
+
+    shard_index: int
+    process: multiprocessing.process.BaseProcess
+    conn: object
+    phase2_sent: bool = False
+
+
+class _ShardSupervisor:
+    """Spawns, watches, and respawns the shard worker fleet.
+
+    All protocol receives go through :meth:`_await`, which drains
+    heartbeats, refreshes the liveness deadline, and converts both a dead
+    process and a stale heartbeat into :class:`_WorkerDied` — callers
+    respond by replaying the shard in a fresh process (bounded by
+    ``policy.max_respawns``).
+    """
+
+    def __init__(self, config: ExperimentConfig, shard_count: int,
+                 policy: SupervisorPolicy, registry=None):
+        self._mp = multiprocessing.get_context()
+        self._config = config
+        self._shard_count = shard_count
+        self._policy = policy
+        self._registry = registry
+        self._handles: Dict[int, _WorkerHandle] = {}
+        self._respawns: Dict[int, int] = {}
+
+    def spawn(self, shard_index: int) -> None:
+        parent_conn, child_conn = self._mp.Pipe()
+        process = self._mp.Process(
+            target=_shard_worker,
+            args=(child_conn, self._config, shard_index, self._shard_count,
+                  self._policy.heartbeat_interval),
+            daemon=True,
         )
-    return payload
+        process.start()
+        child_conn.close()
+        self._handles[shard_index] = _WorkerHandle(
+            shard_index=shard_index, process=process, conn=parent_conn,
+        )
+
+    def kill(self, shard_index: int) -> None:
+        """SIGKILL a worker (fault injection and respawn cleanup)."""
+        handle = self._handles[shard_index]
+        handle.process.kill()
+        handle.process.join()
+
+    def _respawn(self, shard_index: int) -> None:
+        used = self._respawns.get(shard_index, 0)
+        if used >= self._policy.max_respawns:
+            raise RuntimeError(
+                f"shard {shard_index} died {used + 1} times; respawn "
+                f"budget is {self._policy.max_respawns} — a shard that "
+                "keeps dying is a bug, not a transient fault"
+            )
+        self._respawns[shard_index] = used + 1
+        if self._registry is not None:
+            # Created lazily so a respawn-free sharded snapshot stays
+            # key-identical to the serial run's.
+            self._registry.counter("shard.respawns").inc()
+        handle = self._handles[shard_index]
+        if handle.process.is_alive():
+            handle.process.kill()
+        handle.process.join()
+        handle.conn.close()
+        self.spawn(shard_index)
+
+    @property
+    def respawn_count(self) -> int:
+        return sum(self._respawns.values())
+
+    def _await(self, handle: _WorkerHandle, expected: str):
+        deadline = time.monotonic() + self._policy.worker_timeout
+        while True:
+            try:
+                ready = handle.conn.poll(0.25)
+            except (BrokenPipeError, OSError):
+                raise _WorkerDied(f"shard {handle.shard_index} pipe closed")
+            if ready:
+                try:
+                    tag, payload = handle.conn.recv()
+                except (EOFError, OSError):
+                    raise _WorkerDied(
+                        f"shard {handle.shard_index} pipe closed before "
+                        f"{expected!r}"
+                    )
+                if tag == "heartbeat":
+                    deadline = time.monotonic() + self._policy.worker_timeout
+                    continue
+                if tag == "error":
+                    raise RuntimeError(
+                        f"shard {handle.shard_index} worker failed:\n{payload}"
+                    )
+                if tag != expected:
+                    raise RuntimeError(
+                        f"shard {handle.shard_index} protocol error: "
+                        f"expected {expected!r}, got {tag!r}"
+                    )
+                return payload
+            if not handle.process.is_alive():
+                raise _WorkerDied(
+                    f"shard {handle.shard_index} worker died with exit "
+                    f"code {handle.process.exitcode} before {expected!r}"
+                )
+            if time.monotonic() > deadline:
+                handle.process.kill()
+                handle.process.join()
+                raise _WorkerDied(
+                    f"shard {handle.shard_index} heartbeat stale for "
+                    f"{self._policy.worker_timeout:.0f}s"
+                )
+
+    def phase1_payload(self, shard_index: int) -> ShardPhase1Payload:
+        """Receive a shard's Phase I payload, respawning through deaths."""
+        while True:
+            try:
+                return self._await(self._handles[shard_index], "phase1")
+            except _WorkerDied:
+                self._respawn(shard_index)
+
+    def dispatch_phase2(self, shard_index: int,
+                        plan_slice: List[Phase2PlanEntry]) -> None:
+        """Send a shard its Phase II slice without blocking on the reply.
+
+        Dispatch to every shard first so Phase II runs in parallel; a
+        send into a dead worker is swallowed here (``phase2_sent`` stays
+        False) and :meth:`final_payload` replays the shard.
+        """
+        handle = self._handles[shard_index]
+        try:
+            handle.conn.send(("phase2", plan_slice))
+            handle.phase2_sent = True
+        except (BrokenPipeError, OSError):
+            pass
+
+    def final_payload(self, shard_index: int,
+                      plan_slice: List[Phase2PlanEntry],
+                      phase1_print: str) -> ShardFinalPayload:
+        """Dispatch a shard's Phase II slice and receive its final payload.
+
+        On a death anywhere in the round trip, respawn and replay: the
+        fresh worker re-runs build + Phase I, its payload is verified
+        against ``phase1_print``, and the same slice is re-dispatched.
+        """
+        while True:
+            handle = self._handles[shard_index]
+            try:
+                if not handle.phase2_sent:
+                    try:
+                        handle.conn.send(("phase2", plan_slice))
+                    except (BrokenPipeError, OSError):
+                        raise _WorkerDied(
+                            f"shard {shard_index} died before phase2 dispatch"
+                        )
+                    handle.phase2_sent = True
+                return self._await(handle, "final")
+            except _WorkerDied:
+                self._respawn(shard_index)
+                replayed = self.phase1_payload(shard_index)
+                if _phase1_fingerprint(replayed) != phase1_print:
+                    raise RuntimeError(
+                        f"shard {shard_index} replay diverged from its "
+                        "original Phase I payload — the shard simulation "
+                        "is not deterministic"
+                    )
+
+    def shutdown(self) -> None:
+        for handle in self._handles.values():
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+            handle.process.join(timeout=10.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join()
 
 
 def _check_consistent(payloads: Sequence[ShardPhase1Payload],
@@ -233,18 +517,62 @@ def _check_consistent(payloads: Sequence[ShardPhase1Payload],
         )
 
 
-def run_sharded(config: ExperimentConfig) -> ExperimentResult:
+def run_sharded(config: Optional[ExperimentConfig] = None, *,
+                checkpoint_dir=None, resume_dir=None,
+                supervision: Optional[SupervisorPolicy] = None,
+                ) -> ExperimentResult:
     """Run one experiment across ``config.workers`` shard processes.
 
     The returned result is deterministically equal to the serial run of
     the same config and seed (see module docstring and
-    :func:`result_digest`).
+    :func:`result_digest`) — including runs where workers died and were
+    respawned mid-protocol, and runs resumed from a checkpoint.
+
+    ``checkpoint_dir`` flushes each shard payload to disk as it arrives;
+    ``resume_dir`` reopens such a directory, loads the config (when
+    ``config`` is None) and every completed shard's payloads, and only
+    simulates the shards that never finished.  ``supervision`` tunes
+    heartbeat/timeout/respawn behaviour (defaults are production-safe).
     """
+    supervision = supervision if supervision is not None else SupervisorPolicy()
+    checkpoints: Optional[CheckpointStore] = None
+    cached_phase1: Dict[int, ShardPhase1Payload] = {}
+    cached_final: Dict[int, ShardFinalPayload] = {}
+    cached_slices: Optional[List[List[Phase2PlanEntry]]] = None
+    if resume_dir is not None:
+        checkpoints = CheckpointStore(resume_dir)
+        meta = checkpoints.load_meta()
+        if config is None:
+            config = checkpoints.load_config()
+        elif (config.seed != meta["seed"]
+              or config.workers != meta["shard_count"]):
+            raise CheckpointError(
+                f"checkpoint at {resume_dir} was written by seed "
+                f"{meta['seed']} with {meta['shard_count']} workers; "
+                f"cannot resume it with seed {config.seed} and "
+                f"{config.workers} workers"
+            )
+    if config is None:
+        raise ValueError("run_sharded needs a config or a resume_dir")
     if config.workers < 2:
         raise ValueError(
             f"run_sharded needs workers >= 2, got {config.workers}"
         )
     shard_count = config.workers
+    if checkpoints is None and checkpoint_dir is not None:
+        checkpoints = CheckpointStore(checkpoint_dir)
+    if checkpoints is not None:
+        if resume_dir is not None:
+            for index in checkpoints.completed_shards(shard_count):
+                if not checkpoints.has_phase1(index):
+                    raise CheckpointError(
+                        f"shard {index} has a final checkpoint but no "
+                        "Phase I checkpoint; the directory is corrupt"
+                    )
+                cached_phase1[index] = checkpoints.load_phase1(index)
+                cached_final[index] = checkpoints.load_final(index)
+            cached_slices = checkpoints.load_phase2_plan()
+        checkpoints.save_run(config, shard_count)
     started = time.perf_counter()
     spans = SpanTracer()
 
@@ -258,26 +586,32 @@ def run_sharded(config: ExperimentConfig) -> ExperimentResult:
         campaign.vet_platform()
     spans.virtual_now = eco.sim.now
 
-    mp = multiprocessing.get_context()
-    workers = []
+    supervisor = _ShardSupervisor(config, shard_count, supervision,
+                                  registry=eco.telemetry)
+    live = [index for index in range(shard_count)
+            if index not in cached_final]
+    phase1_by_shard: Dict[int, ShardPhase1Payload] = dict(cached_phase1)
     try:
         with spans.span("phase1"):
-            for shard_index in range(shard_count):
-                parent_conn, child_conn = mp.Pipe()
-                process = mp.Process(
-                    target=_shard_worker,
-                    args=(child_conn, config, shard_index, shard_count),
-                    daemon=True,
-                )
-                process.start()
-                child_conn.close()
-                workers.append((shard_index, process, parent_conn))
-
-            phase1_payloads = [
-                _recv(conn, process, shard_index, "phase1")
-                for shard_index, process, conn in workers
-            ]
+            for shard_index in live:
+                supervisor.spawn(shard_index)
+            for shard_index in live:
+                payload = supervisor.phase1_payload(shard_index)
+                phase1_by_shard[shard_index] = payload
+                if checkpoints is not None:
+                    checkpoints.save_phase1(payload)
+            phase1_payloads = [phase1_by_shard[index]
+                               for index in range(shard_count)]
             _check_consistent(phase1_payloads, campaign)
+        phase1_prints = {index: _phase1_fingerprint(phase1_by_shard[index])
+                         for index in live}
+
+        if (supervision.kill_after_phase1 is not None
+                and supervision.kill_after_phase1 in live):
+            # Fault injection: this worker is dead before Phase II
+            # dispatch, so final_payload() must respawn it and replay
+            # its partition — the path a real mid-run crash exercises.
+            supervisor.kill(supervision.kill_after_phase1)
 
         # Interim merge: the Phase II plan needs per-destination quotas
         # applied to the *globally merged* Phase I correlation.
@@ -289,32 +623,39 @@ def run_sharded(config: ExperimentConfig) -> ExperimentResult:
             for key, record in interim_records:
                 campaign.ledger.register(record)
                 campaign._ledger_keys[record.domain] = key
-            interim_log = LogStore.merged(
-                [payload.log_entries for payload in phase1_payloads]
-            )
             correlator = Correlator(campaign.ledger, zone=config.zone)
-            phase1_interim = correlator.correlate(interim_log, phase=1)
-            entries = plan_phase2(eco, phase1_interim, config)
+            if cached_slices is not None:
+                slices = cached_slices
+            else:
+                interim_log = LogStore.merged(
+                    [payload.log_entries for payload in phase1_payloads]
+                )
+                phase1_interim = correlator.correlate(interim_log, phase=1)
+                entries = plan_phase2(eco, phase1_interim, config)
+                slices = [[] for _ in range(shard_count)]
+                for entry in entries:
+                    owner = pair_shard(entry.vp_address,
+                                       entry.destination_address, shard_count)
+                    slices[owner].append(entry)
+            if checkpoints is not None:
+                checkpoints.save_phase2_plan(slices)
 
         with spans.span("phase2"):
-            slices: List[List[Phase2PlanEntry]] = [[] for _ in range(shard_count)]
-            for entry in entries:
-                owner = pair_shard(entry.vp_address, entry.destination_address,
-                                   shard_count)
-                slices[owner].append(entry)
-            for shard_index, process, conn in workers:
-                conn.send(("phase2", slices[shard_index]))
-            final_payloads = [
-                _recv(conn, process, shard_index, "final")
-                for shard_index, process, conn in workers
-            ]
+            final_by_shard: Dict[int, ShardFinalPayload] = dict(cached_final)
+            for shard_index in live:
+                supervisor.dispatch_phase2(shard_index, slices[shard_index])
+            for shard_index in live:
+                payload = supervisor.final_payload(
+                    shard_index, slices[shard_index],
+                    phase1_prints[shard_index],
+                )
+                final_by_shard[shard_index] = payload
+                if checkpoints is not None:
+                    checkpoints.save_final(payload)
+            final_payloads = [final_by_shard[index]
+                              for index in range(shard_count)]
     finally:
-        for _, process, conn in workers:
-            conn.close()
-            process.join(timeout=10.0)
-            if process.is_alive():
-                process.terminate()
-                process.join()
+        supervisor.shutdown()
 
     # -- final deterministic merge ----------------------------------------
     with spans.span("merge_final"):
@@ -409,6 +750,7 @@ def run_sharded(config: ExperimentConfig) -> ExperimentResult:
     timings["total"] = time.perf_counter() - started
     timings["virtual_span"] = eco.sim.now()
     timings["workers"] = float(shard_count)
+    timings["shard_respawns"] = float(supervisor.respawn_count)
     timings["shard_phase1_wall_max"] = max(
         payload.wall_seconds for payload in phase1_payloads
     )

@@ -1,0 +1,5 @@
+"""Deterministic fault injection for campaigns (see docs/ROBUSTNESS.md)."""
+
+from repro.faults.plan import FaultPlan, FaultSpec, OutageWindow
+
+__all__ = ["FaultPlan", "FaultSpec", "OutageWindow"]

@@ -1,12 +1,14 @@
 """The three-site honeypot deployment (US, DE, SG)."""
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.honeypot.authdns import AuthoritativeServer
-from repro.honeypot.logstore import LogStore
+from repro.honeypot.logstore import LoggedRequest, LogStore
 from repro.honeypot.tlsserver import HoneyTlsServer
 from repro.honeypot.webserver import HoneyWebServer
+from repro.telemetry.registry import NULL_REGISTRY
 
 DEFAULT_EXPERIMENT_ZONE = "www.experiment.domain"
 
@@ -18,6 +20,60 @@ _SITE_PLAN: Tuple[Tuple[str, str, str], ...] = (
     ("DE", "203.0.113.20", "203.0.113.21"),
     ("SG", "203.0.113.30", "203.0.113.31"),
 )
+
+
+class FaultInjectingLog(LogStore):
+    """A :class:`LogStore` whose append path consults the fault plan.
+
+    Three collector failure modes, all deterministic under the fault seed
+    and all counted (no silent drops):
+
+    * **Site outage** — a request arriving while its site is inside an
+      injected downtime window is dropped entirely, as a crashed
+      collector would lose it (``faults.honeypot_dropped``).
+    * **Delayed append** — the entry lands late: the real append is
+      scheduled at ``time + delay`` with the delayed timestamp, modeling
+      collector write lag (``faults.log_delayed``).  Delays are keyed
+      content draws, so the landing time is identical in serial and
+      sharded runs.
+    * **Duplicated append** — the entry is recorded twice back to back,
+      as an at-least-once log sink would (``faults.log_duplicated``).
+    """
+
+    def __init__(self, sim, faults, metrics=None):
+        super().__init__(metrics=metrics)
+        self._sim = sim
+        self._faults = faults
+        metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._m_dropped = metrics.counter("faults.honeypot_dropped")
+        self._m_delayed = metrics.counter("faults.log_delayed")
+        self._m_duplicated = metrics.counter("faults.log_duplicated")
+
+    def append(self, entry: LoggedRequest) -> None:
+        if not self._faults.site_online(entry.site, entry.time):
+            self._m_dropped.inc()
+            return
+        delay, duplicated = self._faults.log_append_fault(
+            entry.site, entry.protocol, entry.src_address, entry.domain,
+            entry.time,
+        )
+        if delay > 0.0:
+            self._m_delayed.inc()
+            landed = dataclasses.replace(entry, time=entry.time + delay)
+            self._sim.schedule_in(
+                delay,
+                lambda landed=landed, duplicated=duplicated:
+                    self._land(landed, duplicated),
+                label="honeypot:delayed_append",
+            )
+            return
+        self._land(entry, duplicated)
+
+    def _land(self, entry: LoggedRequest, duplicated: bool) -> None:
+        LogStore.append(self, entry)
+        if duplicated:
+            self._m_duplicated.inc()
+            LogStore.append(self, entry)
 
 
 @dataclass

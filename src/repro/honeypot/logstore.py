@@ -47,6 +47,9 @@ class LogStore:
     def __init__(self, metrics=None):
         self._entries: List[LoggedRequest] = []
         self._by_domain: Dict[str, List[int]] = {}
+        self._times: List[float] = []
+        """Entry times, parallel to ``_entries`` — maintained on append so
+        :meth:`between` bisects without rebuilding the list per query."""
         metrics = metrics if metrics is not None else NULL_REGISTRY
         self._m_requests = {
             protocol: metrics.counter(
@@ -90,6 +93,7 @@ class LogStore:
             )
         self._by_domain.setdefault(entry.domain, []).append(len(self._entries))
         self._entries.append(entry)
+        self._times.append(entry.time)
         self._m_requests[entry.protocol].inc()
 
     def __len__(self) -> int:
@@ -109,10 +113,9 @@ class LogStore:
         return list(self._by_domain)
 
     def between(self, start: float, end: float) -> List[LoggedRequest]:
-        """Entries with ``start <= time < end``."""
-        times = [entry.time for entry in self._entries]
-        low = bisect.bisect_left(times, start)
-        high = bisect.bisect_left(times, end)
+        """Entries with ``start <= time < end``, by bisection (O(log n + k))."""
+        low = bisect.bisect_left(self._times, start)
+        high = bisect.bisect_left(self._times, end)
         return self._entries[low:high]
 
     def by_protocol(self, protocol: str) -> List[LoggedRequest]:

@@ -49,6 +49,9 @@ class Hop:
 class TransitOutcome(enum.Enum):
     DELIVERED = "delivered"
     EXPIRED = "expired"
+    LOST = "lost"
+    """Dropped in transit by an injected link fault: no ICMP, no delivery
+    (see :mod:`repro.faults`)."""
 
 
 @dataclass
@@ -57,7 +60,9 @@ class TransitResult:
 
     outcome: TransitOutcome
     final_position: int
-    """1-indexed hop where the packet stopped (destination or expiry hop)."""
+    """1-indexed hop where the packet stopped (destination or expiry hop).
+    For LOST transits, the last hop that saw the packet — 0 when it died
+    on the access link before the first hop."""
     icmp: Optional[IcmpTimeExceeded]
     """Time-Exceeded returned to the sender, when the expiry hop responds."""
     observed_by: List[Tuple[int, Hop]] = field(default_factory=list)
@@ -114,8 +119,16 @@ class Path:
             raise TransitError(f"tap position {position} outside path of length {len(self.hops)}")
         self._taps.append((position, tap))
 
-    def transit(self, packet: Packet) -> TransitResult:
-        """Send ``packet`` down the path and report its fate."""
+    def transit(self, packet: Packet,
+                loss_at: Optional[int] = None) -> TransitResult:
+        """Send ``packet`` down the path and report its fate.
+
+        ``loss_at`` injects a link fault: the packet is dropped on the
+        link *toward* hop ``loss_at`` (1-indexed), so hops before it
+        still process the packet — and any sniffers tapped there still
+        capture it — but no ICMP is generated and nothing is delivered.
+        A ``loss_at`` beyond where the packet naturally stops is moot.
+        """
         initial_ttl = packet.ip.ttl
         if initial_ttl < 1:
             raise TransitError(f"packet needs TTL >= 1 to leave the VP, got {initial_ttl}")
@@ -123,6 +136,13 @@ class Path:
         observed: List[Tuple[int, Hop]] = []
         current = packet
         for position in range(1, reach + 1):
+            if loss_at is not None and position == loss_at:
+                return TransitResult(
+                    outcome=TransitOutcome.LOST,
+                    final_position=position - 1,
+                    icmp=None,
+                    observed_by=observed,
+                )
             hop = self.hops[position - 1]
             observed.append((position, hop))
             for tap_position, tap in self._taps:

@@ -95,11 +95,16 @@ class TcpClient:
         self._next_seq = (self.client_isn + 1) & 0xFFFFFFFF
         return HandshakeResult(self.state, True, self.client_isn, self.server_isn)
 
-    def send(self, payload: bytes, ttl: Optional[int] = None):
+    def send(self, payload: bytes, ttl: Optional[int] = None,
+             loss_at: Optional[int] = None):
         """Send application bytes on the established connection.
 
         Returns the path's :class:`TransitResult`.  Raises unless the
         connection is established — the invariant Phase I relies on.
+        ``loss_at`` injects a link fault on this data segment only; the
+        handshake itself is kept reliable (TCP's own retransmission is
+        below this model's level of detail — undelivered-decoy faults are
+        what the robustness layer exercises).
         """
         if self.state is not TcpState.ESTABLISHED:
             raise RuntimeError(f"send() on {self.state} connection")
@@ -117,7 +122,7 @@ class TcpClient:
         )
         packet = Packet(ip=packet.ip, transport=segment)
         self._next_seq = (self._next_seq + len(payload)) & 0xFFFFFFFF
-        return self.path.transit(packet)
+        return self.path.transit(packet, loss_at=loss_at)
 
     def close(self) -> None:
         """Tear the connection down (FIN transit elided)."""

@@ -6,7 +6,7 @@ cyclically and spaces sends to respect the paper's per-target rate limit
 (no more than 2 decoys/second toward any single destination).
 """
 
-from typing import Iterator, List, Sequence
+from typing import Iterator, List, Optional, Sequence
 
 from repro.vpn.vantage import VantagePoint
 
@@ -15,7 +15,7 @@ class RoundRobinScheduler:
     """Cycles through vantage points, tracking per-destination send times."""
 
     def __init__(self, vantage_points: Sequence[VantagePoint],
-                 per_target_interval: float = 0.5):
+                 per_target_interval: float = 0.5, faults=None):
         if not vantage_points:
             raise ValueError("scheduler needs at least one vantage point")
         if per_target_interval < 0:
@@ -24,6 +24,13 @@ class RoundRobinScheduler:
         self._cursor = 0
         self.per_target_interval = per_target_interval
         self._last_send_toward: dict = {}
+        self._faults = faults
+        """Optional :class:`~repro.faults.FaultPlan`: sends proposed while
+        the sending VP is inside its disconnect window are deferred to its
+        reconnect time before rate limiting."""
+        self.deferred_by_churn = 0
+        """Sends shifted by a VP disconnect window; the campaign surfaces
+        this as a replayed (merge="same") fault counter."""
 
     def next_vp(self) -> VantagePoint:
         """The next VP in rotation."""
@@ -38,13 +45,22 @@ class RoundRobinScheduler:
         for _ in range(count * len(self._vps)):
             yield self.next_vp()
 
-    def earliest_send_time(self, target: str, proposed: float) -> float:
+    def earliest_send_time(self, target: str, proposed: float,
+                           vp_address: Optional[str] = None) -> float:
         """Shift ``proposed`` later if needed to respect the rate limit, and
         record the reservation.
 
         Ethics appendix: at most 2 decoy packets per second toward a given
-        target, hence the default 0.5 s spacing.
+        target, hence the default 0.5 s spacing.  With a fault plan and a
+        ``vp_address``, a send proposed during the VP's disconnect window
+        first defers to the reconnect time (VP churn is part of the
+        deterministic plan, so every shard replays the same deferral).
         """
+        if self._faults is not None and vp_address is not None:
+            deferred = self._faults.defer_past_vp_outage(vp_address, proposed)
+            if deferred != proposed:
+                self.deferred_by_churn += 1
+                proposed = deferred
         last = self._last_send_toward.get(target)
         send_at = proposed
         if last is not None and proposed - last < self.per_target_interval:

@@ -103,6 +103,39 @@ class TestIdentifierCodec:
         with pytest.raises(IdentifierError):
             make_identity(sent_at=-1)
 
+    def test_rejects_non_canonical_sequence_suffixes(self):
+        # encode() always emits exactly four digits; shorter or longer
+        # digit runs must NOT decode, or "…-1", "…-01", and "…-00001"
+        # would all alias onto the identity of "…-0001" and misattribute
+        # foreign traffic to a decoy (regression).
+        token = self.codec.encode(make_identity(sequence=1)).rsplit("-", 1)[0]
+        for suffix in ("1", "01", "001", "00001", "000001"):
+            with pytest.raises(IdentifierError):
+                self.codec.decode(f"{token}-{suffix}")
+        assert self.codec.decode(f"{token}-0001").sequence == 1
+
+    def test_canonical_four_digit_sequences_still_decode(self):
+        for sequence in (0, 1, 42, 9999):
+            identity = make_identity(sequence=sequence)
+            assert self.codec.decode(self.codec.encode(identity)) == identity
+
+    def test_decode_domain_with_prepended_third_party_label(self):
+        # Probing third parties prepend their own labels before replaying
+        # a name; the identifier is then no longer leftmost, but it must
+        # still be found and decoded (regression).
+        identity = make_identity()
+        label = self.codec.encode(identity)
+        for mangled in (
+            f"probe.{label}.{ZONE}",
+            f"a.b.{label}.{ZONE}",
+            f"{label}.extra.{ZONE}",
+        ):
+            assert self.codec.decode_domain(mangled, ZONE) == identity
+
+    def test_decode_domain_all_foreign_labels_rejected(self):
+        with pytest.raises(IdentifierError):
+            self.codec.decode_domain(f"scan.probe.{ZONE}", ZONE)
+
 
 class TestDecoyFactory:
     def setup_method(self):

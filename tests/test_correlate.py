@@ -124,6 +124,65 @@ class TestClassificationRules:
             Correlator.combo_label("dns", "gopher")
 
 
+class TestAliasRecovery:
+    """Mangled names whose embedded identifier still decodes are mapped
+    back to their decoy instead of being misfiled as noise."""
+
+    def make(self, record):
+        ledger = DecoyLedger()
+        ledger.register(record)
+        return ledger, Correlator(ledger, ZONE), LogStore()
+
+    def test_prepended_label_recovered_as_unsolicited(self):
+        record = make_record(protocol="dns")
+        ledger, correlator, log = self.make(record)
+        log.append(entry(f"probe.{record.domain}", "dns", 200.0))
+        result = correlator.correlate(log)
+        assert [event.decoy.domain for event in result.events] == [record.domain]
+        assert result.events[0].combo == "DNS-DNS"
+        assert result.unknown_domains == []
+
+    def test_alias_never_counts_as_initial_arrival(self):
+        # The decoy's own recursion carries its exact domain; a mangled
+        # name is third-party by construction, so even its *first* DNS
+        # arrival is unsolicited and must not consume rule (iii).
+        record = make_record(protocol="dns")
+        ledger, correlator, log = self.make(record)
+        log.append(entry(f"scan.{record.domain}", "dns", 150.0))
+        log.append(entry(record.domain, "dns", 200.0))
+        result = correlator.correlate(log)
+        assert record.domain in result.initial_arrivals
+        assert f"scan.{record.domain}" not in result.initial_arrivals
+        assert len(result.events) == 1
+
+    def test_alias_http_arrival_keeps_combo(self):
+        record = make_record(protocol="dns")
+        ledger, correlator, log = self.make(record)
+        log.append(entry(f"a.b.{record.domain}", "http", 300.0, path="/x"))
+        result = correlator.correlate(log)
+        assert [event.combo for event in result.events] == ["DNS-HTTP"]
+
+    def test_undecodable_mangling_stays_noise(self):
+        record = make_record(protocol="dns")
+        ledger, correlator, log = self.make(record)
+        noise = f"probe.not-an-identifier-0001.{ZONE}"
+        log.append(entry(noise, "dns", 200.0))
+        result = correlator.correlate(log)
+        assert result.events == []
+        assert result.unknown_domains == [noise]
+
+    def test_decodable_but_unregistered_identifier_stays_noise(self):
+        # A forged name can carry a valid checksum without matching any
+        # decoy this campaign actually sent.
+        record = make_record(sequence=1)
+        ledger, correlator, log = self.make(record)
+        foreign = make_record(sequence=2)
+        log.append(entry(f"probe.{foreign.domain}", "dns", 200.0))
+        result = correlator.correlate(log)
+        assert result.events == []
+        assert result.unknown_domains == [f"probe.{foreign.domain}"]
+
+
 class TestDecoyLedger:
     def test_duplicate_domain_rejected(self):
         ledger = DecoyLedger()

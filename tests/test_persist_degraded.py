@@ -1,0 +1,175 @@
+"""Persistence round trips under degraded inputs.
+
+A faulted campaign can legitimately produce lopsided artifacts — an
+empty honeypot log (every collector window lost), a bundle whose events
+are all Phase II, a log dominated by undecodable noise.  The bundle
+format must round-trip all of them without special-casing, and
+``LogStore.merged`` must tolerate shards with fault-injected gaps
+(empty shards, long silent stretches) without reordering anything.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.correlate import Correlator, DecoyLedger, DecoyRecord
+from repro.core.identifier import DecoyIdentity, IdentifierCodec
+from repro.core.persist import BUNDLE_FORMAT_VERSION, load_bundle
+from repro.honeypot.logstore import LoggedRequest, LogStore
+
+ZONE = "www.experiment.domain"
+CODEC = IdentifierCodec()
+
+
+def make_record(sequence=1, phase=1, protocol="dns") -> DecoyRecord:
+    identity = DecoyIdentity(sent_at=100, vp_address="100.96.0.1",
+                             dst_address="8.8.8.8", ttl=64,
+                             sequence=sequence)
+    return DecoyRecord(
+        identity=identity, domain=f"{CODEC.encode(identity)}.{ZONE}",
+        protocol=protocol, vp_id="vp-1", vp_country="DE", vp_province=None,
+        destination_address="8.8.8.8", destination_name="Google",
+        destination_kind="dns", destination_country="US",
+        instance_country="US", path_length=10, sent_at=100.0, phase=phase,
+    )
+
+
+def entry(domain, protocol, time, src="100.88.0.1") -> LoggedRequest:
+    return LoggedRequest(time=time, site="US", protocol=protocol,
+                         src_address=src, domain=domain)
+
+
+def write_bundle(directory, records, log_entries):
+    """Write a minimal-but-valid bundle the way export_result lays it out."""
+    ledger = DecoyLedger()
+    for record in records:
+        ledger.register(record)
+    log = LogStore()
+    for item in log_entries:
+        log.append(item)
+    correlator = Correlator(ledger, zone=ZONE)
+    events = (correlator.correlate(log, phase=1).events
+              + correlator.correlate(log, phase=2).events)
+
+    (directory / "meta.json").write_text(json.dumps({
+        "format_version": BUNDLE_FORMAT_VERSION,
+        "config": {"zone": ZONE},
+    }))
+
+    def jsonl(name, rows):
+        (directory / name).write_text(
+            "".join(json.dumps(row, sort_keys=True) + "\n" for row in rows))
+
+    jsonl("ledger.jsonl", (
+        {"identity": dataclasses.asdict(record.identity),
+         **{key: value
+            for key, value in dataclasses.asdict(record).items()
+            if key != "identity"}}
+        for record in records
+    ))
+    jsonl("honeypot_log.jsonl",
+          (dataclasses.asdict(item) for item in log_entries))
+    jsonl("locations.jsonl", ())
+    jsonl("ip_directory.jsonl", ())
+    (directory / "blocklist.txt").write_text("")
+    jsonl("events.jsonl", (
+        {"domain": event.decoy.domain, "time": event.request.time,
+         "protocol": event.request.protocol, "combo": event.combo,
+         "origin": event.origin_address, "phase": event.decoy.phase}
+        for event in events
+    ))
+    return directory
+
+
+class TestDegradedBundles:
+    def test_empty_honeypot_log_round_trips(self, tmp_path):
+        # Total collector loss: decoys were sent, nothing ever arrived.
+        bundle = load_bundle(write_bundle(tmp_path, [make_record()], []))
+        assert len(bundle.ledger) == 1
+        assert len(bundle.log) == 0
+        assert bundle.phase1.events == []
+        assert bundle.phase2.events == []
+        assert bundle.locations == []
+
+    def test_completely_empty_bundle_round_trips(self, tmp_path):
+        bundle = load_bundle(write_bundle(tmp_path, [], []))
+        assert len(bundle.ledger) == 0
+        assert len(bundle.log) == 0
+
+    def test_phase2_only_events_round_trip(self, tmp_path):
+        record = make_record(sequence=5, phase=2)
+        entries = [entry(record.domain, "http", 200.0),
+                   entry(record.domain, "https", 300.0)]
+        bundle = load_bundle(write_bundle(tmp_path, [record], entries))
+        assert bundle.phase1.events == []
+        assert [event.combo for event in bundle.phase2.events] == [
+            "DNS-HTTP", "DNS-HTTPS"]
+
+    def test_noise_heavy_log_round_trips(self, tmp_path):
+        # One real decoy drowned in undecodable junk: every junk name
+        # must land in unknown_domains on reload, none may raise.
+        record = make_record()
+        entries = [entry(record.domain, "dns", 101.0)]
+        for index in range(40):
+            entries.append(
+                entry(f"junk-{index:03d}.{ZONE}", "dns", 102.0 + index))
+        bundle = load_bundle(write_bundle(tmp_path, [record], entries))
+        assert len(bundle.log) == 41
+        assert len(bundle.phase1.unknown_domains) == 40
+        assert record.domain in bundle.phase1.initial_arrivals
+
+    def test_mangled_alias_survives_round_trip(self, tmp_path):
+        # Alias recovery is a property of correlation, so it must hold
+        # equally over a reloaded log.
+        record = make_record()
+        entries = [entry(f"probe.{record.domain}", "dns", 150.0)]
+        bundle = load_bundle(write_bundle(tmp_path, [record], entries))
+        assert [event.decoy.domain for event in bundle.phase1.events] == [
+            record.domain]
+        assert bundle.phase1.unknown_domains == []
+
+    def test_event_count_mismatch_still_detected(self, tmp_path):
+        record = make_record()
+        write_bundle(tmp_path, [record], [entry(record.domain, "http", 200.0)])
+        (tmp_path / "events.jsonl").write_text("")
+        with pytest.raises(ValueError, match="inconsistent"):
+            load_bundle(tmp_path)
+
+
+class TestMergedWithGaps:
+    def test_empty_and_gapped_shards_interleave_stably(self):
+        # Shard 1 lost everything; shard 2 has a long fault-injected gap.
+        merged = LogStore.merged([
+            [entry("a.x", "dns", 1.0), entry("d.x", "dns", 500.0)],
+            [],
+            [entry("b.x", "dns", 2.0), entry("c.x", "dns", 400.0),
+             entry("e.x", "dns", 10_000.0)],
+        ])
+        assert [item.domain for item in merged] == [
+            "a.x", "b.x", "c.x", "d.x", "e.x"]
+
+    def test_duplicate_entries_from_fault_injection_survive_merge(self):
+        # FaultInjectingLog can append the same entry twice; merged()
+        # must keep both (dedup is an analysis decision, not the log's).
+        doubled = entry("dup.x", "dns", 5.0)
+        merged = LogStore.merged([[doubled, doubled]])
+        assert len(merged) == 2
+        assert merged.for_domain("dup.x") == [doubled, doubled]
+
+    def test_between_uses_maintained_time_index(self):
+        store = LogStore()
+        for time in (1.0, 2.0, 2.0, 3.0, 10.0):
+            store.append(entry(f"t{time}.x", "dns", time))
+        assert [item.time for item in store.between(2.0, 4.0)] == [
+            2.0, 2.0, 3.0]
+        assert store.between(4.0, 5.0) == []
+        assert len(store.between(0.0, 100.0)) == 5
+
+    def test_between_index_survives_delayed_and_merged_appends(self):
+        merged = LogStore.merged([
+            [entry("a.x", "dns", 1.0)],
+            [entry("b.x", "dns", 1.5), entry("c.x", "dns", 2.5)],
+        ])
+        assert [item.domain for item in merged.between(1.0, 2.0)] == [
+            "a.x", "b.x"]
