@@ -125,3 +125,101 @@ def test_perf_campaign_worker_scaling():
     # path) without flaking on scheduler jitter.
     assert telemetry_seconds < off_seconds * 1.5, \
         f"telemetry overhead {overhead_pct:+.1f}% is out of bounds"
+
+
+STREAMING_ARTIFACT = OUT_DIR / "BENCH_streaming.json"
+
+# On the tiny smoke config the batch path has little re-correlation work
+# to amortize, so the streaming win is smaller; the full-mode bound is
+# the real acceptance criterion (see docs/STREAMING.md).
+MIN_REPORT_SPEEDUP = 1.0 if SMOKE else 5.0
+REPORT_REPEATS = 3
+
+
+def test_perf_report_streaming(tmp_path):
+    """Report-stage latency: batch replay vs streaming accumulator state.
+
+    Exports one finished run as a bundle, then times what ``repro
+    report`` does under each engine: ``batch`` reloads the ledger + log
+    and re-correlates before rendering; ``streaming`` reads
+    ``analysis.json`` and renders from the merged accumulators.  Both
+    must emit byte-identical reports; the streaming engine must be at
+    least ``MIN_REPORT_SPEEDUP`` x faster (best-of-N to shave scheduler
+    jitter).  Results land in ``benchmarks/out/BENCH_streaming.json``.
+    """
+    from repro.analysis.paperreport import full_report, full_report_from_state
+    from repro.core.persist import export_result, load_analysis_state, load_bundle
+
+    rows = []
+    reports = {}
+    for workers in ([1] if SMOKE else [1, 4]):
+        result = Experiment(_config(workers)).run()
+        bundle_dir = tmp_path / f"bundle-{workers}"
+        export_result(result, bundle_dir)
+
+        def _best(action):
+            return min(_timed_call(action) for _ in range(REPORT_REPEATS))
+
+        batch_report = None
+        streaming_report = None
+
+        def _batch():
+            nonlocal batch_report
+            batch_report = full_report(load_bundle(bundle_dir))
+
+        def _streaming():
+            nonlocal streaming_report
+            state = load_analysis_state(bundle_dir)
+            streaming_report = full_report_from_state(state)
+
+        batch_seconds = _best(_batch)
+        streaming_seconds = _best(_streaming)
+        assert batch_report == streaming_report, \
+            "streaming report diverged from batch"
+        reports[workers] = streaming_report
+        rows.append({
+            "workers": workers,
+            "batch_seconds": round(batch_seconds, 4),
+            "streaming_seconds": round(streaming_seconds, 4),
+            "speedup": round(batch_seconds / streaming_seconds, 2),
+            "log_entries": len(result.log),
+        })
+
+    if len(reports) > 1:
+        assert len(set(reports.values())) == 1, \
+            "serial and sharded bundles rendered different reports"
+
+    artifact = {
+        "bench": "report_streaming_vs_batch",
+        "mode": "smoke" if SMOKE else "medium",
+        "seed": BENCH_SEED,
+        "cpu_count": os.cpu_count(),
+        "repeats": REPORT_REPEATS,
+        "min_speedup_required": MIN_REPORT_SPEEDUP,
+        "rows": rows,
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    STREAMING_ARTIFACT.write_text(
+        json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+
+    lines = [
+        f"{row['workers']} worker(s): batch {row['batch_seconds']:.3f}s"
+        f"  streaming {row['streaming_seconds']:.3f}s"
+        f"  ({row['speedup']:.1f}x)"
+        for row in rows
+    ]
+    print("\n=== BENCH_streaming ===\n" + "\n".join(lines)
+          + f"\nartifact={STREAMING_ARTIFACT}")
+
+    for row in rows:
+        assert row["speedup"] > MIN_REPORT_SPEEDUP, (
+            f"streaming report only {row['speedup']:.2f}x faster than "
+            f"batch at {row['workers']} worker(s); need "
+            f"> {MIN_REPORT_SPEEDUP}x"
+        )
+
+
+def _timed_call(action) -> float:
+    started = time.perf_counter()
+    action()
+    return time.perf_counter() - started

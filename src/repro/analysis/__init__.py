@@ -17,6 +17,11 @@ Artifact map:
 * Section 5.1 multi-use → :func:`repro.analysis.temporal.multi_use_stats`
 * Section 5.1/5.2 incentives → :mod:`repro.analysis.payloads`
 * Section 5.2 ports → :func:`repro.analysis.ports.observer_port_audit`
+
+Every figure/table also has an exact streaming mirror reading a merged
+:class:`~repro.analysis.streaming.AnalysisState` (the
+``*_from_accumulator`` constructors in each module); see
+:mod:`repro.analysis.streaming` and ``docs/STREAMING.md``.
 """
 
 from repro.analysis.casestudies import anycast_case_study, yandex_case_study
@@ -31,8 +36,9 @@ from repro.analysis.origins import (
 )
 from repro.analysis.payloads import incentive_report
 from repro.analysis.ports import observer_port_audit
-from repro.analysis.paperreport import full_report
+from repro.analysis.paperreport import full_report, full_report_from_state
 from repro.analysis.stats import ks_distance, proportion_ci, total_variation
+from repro.analysis.streaming import AccumulatorMergeError, AnalysisState
 from repro.analysis.temporal import (
     Cdf,
     dns_delay_cdfs,
@@ -55,6 +61,9 @@ __all__ = [
     "incentive_report",
     "observer_port_audit",
     "full_report",
+    "full_report_from_state",
+    "AnalysisState",
+    "AccumulatorMergeError",
     "validate",
     "ks_distance",
     "total_variation",

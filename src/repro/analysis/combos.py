@@ -73,6 +73,29 @@ def decoy_breakdown(
     return rows
 
 
+def decoy_breakdown_from_accumulator(accumulator,
+                                     protocol: str = "dns") -> List[BreakdownRow]:
+    """Figure 5 from a :class:`~repro.analysis.streaming.ComboAccumulator`.
+
+    Cells arrive sorted by (destination, combo, bucket) — the same order
+    the batch path produces — and the decoy sets merged exactly, so rows
+    are bit-identical.
+    """
+    rows: List[BreakdownRow] = []
+    for (destination_name, combo, bucket), decoys in accumulator.cells(protocol):
+        total_sent = accumulator.sent(protocol, destination_name)
+        rows.append(
+            BreakdownRow(
+                destination_name=destination_name,
+                combo=combo,
+                latency_bucket=bucket,
+                decoys=len(decoys),
+                share_of_sent=(len(decoys) / total_sent) if total_sent else 0.0,
+            )
+        )
+    return rows
+
+
 def shadowed_share(ledger: DecoyLedger, events: Sequence[ShadowingEvent],
                    destination_name: str, protocol: str = "dns") -> float:
     """Fraction of decoys to one destination that triggered anything
@@ -113,4 +136,29 @@ def http_https_share(ledger: DecoyLedger, events: Sequence[ShadowingEvent],
         and event.request.protocol in ("http", "https")
         and event.decoy.phase == 1
     }
+    return len(decoys) / sent
+
+
+def shadowed_share_from_accumulator(accumulator, destination_name: str,
+                                    protocol: str = "dns") -> float:
+    """Streaming mirror of :func:`shadowed_share`."""
+    sent = accumulator.sent(protocol, destination_name)
+    if sent == 0:
+        return 0.0
+    return len(accumulator.decoy_union(protocol, destination_name)) / sent
+
+
+def http_https_share_from_accumulator(accumulator,
+                                      destination_name: str) -> float:
+    """Streaming mirror of :func:`http_https_share`.
+
+    Combo labels "DNS-HTTP"/"DNS-HTTPS" are exactly the DNS-decoy events
+    whose request protocol is http/https, so the union over those cells
+    equals the batch decoy set.
+    """
+    sent = accumulator.sent("dns", destination_name)
+    if sent == 0:
+        return 0.0
+    decoys = accumulator.decoy_union("dns", destination_name,
+                                     combos=("DNS-HTTP", "DNS-HTTPS"))
     return len(decoys) / sent

@@ -45,14 +45,15 @@ class HeatCell:
     paths: int
 
 
-def country_destination_matrix(
-    ledger: DecoyLedger,
-    events: Sequence[ShadowingEvent],
-    protocol: str = "dns",
-    min_paths: int = 1,
-) -> List[HeatCell]:
-    """The Figure 3 matrix for one decoy protocol."""
-    rows = problematic_path_ratios(ledger, events)
+def cells_from_rows(rows: Sequence[PathRatioRow],
+                    protocol: str = "dns",
+                    min_paths: int = 1) -> List[HeatCell]:
+    """Build the heat matrix cells from already-computed ratio rows.
+
+    Shared by the batch path (:func:`country_destination_matrix`) and the
+    streaming path, which produces its rows via
+    ``landscape.problematic_path_ratios_from_accumulator``.
+    """
     cells = []
     for row in rows:
         if row.protocol != protocol or row.paths_total < min_paths:
@@ -64,6 +65,17 @@ def country_destination_matrix(
             paths=row.paths_total,
         ))
     return cells
+
+
+def country_destination_matrix(
+    ledger: DecoyLedger,
+    events: Sequence[ShadowingEvent],
+    protocol: str = "dns",
+    min_paths: int = 1,
+) -> List[HeatCell]:
+    """The Figure 3 matrix for one decoy protocol."""
+    return cells_from_rows(problematic_path_ratios(ledger, events),
+                           protocol=protocol, min_paths=min_paths)
 
 
 def regional_ratios(cells: Sequence[HeatCell]) -> Dict[str, float]:

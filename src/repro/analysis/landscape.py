@@ -132,3 +132,51 @@ def destination_share(locations: Sequence[ObserverLocation],
     if not relevant:
         return 0.0
     return sum(1 for loc in relevant if loc.at_destination) / len(relevant)
+
+
+# -- streaming constructors (see repro.analysis.streaming) -----------------
+
+
+def problematic_path_ratios_from_accumulator(
+    accumulator,
+    group_by_vp_country: bool = True,
+) -> List[PathRatioRow]:
+    """Figure 3 from a
+    :class:`~repro.analysis.streaming.LandscapeAccumulator`: the
+    accumulator kept the exact (VP, destination) pair sets, so totals and
+    problematic counts — and therefore every ratio — match the batch
+    recount bit for bit."""
+    total, problematic = accumulator.path_sets(group_by_vp_country)
+    rows = []
+    for key, paths in sorted(total.items()):
+        vp_group, destination_name, protocol, destination_country = key
+        rows.append(
+            PathRatioRow(
+                vp_country=vp_group,
+                destination_name=destination_name,
+                destination_country=destination_country,
+                protocol=protocol,
+                paths_total=len(paths),
+                paths_problematic=len(problematic.get(key, set())),
+            )
+        )
+    return rows
+
+
+def observer_location_table_from_accumulator(
+    accumulator,
+) -> Dict[str, Dict[int, float]]:
+    """Table 2 from a
+    :class:`~repro.analysis.streaming.LandscapeAccumulator`."""
+    table: Dict[str, Dict[int, float]] = {}
+    for protocol, per_hop in accumulator.hop_counts().items():
+        total = sum(per_hop.values())
+        table[protocol] = {
+            hop: 100.0 * count / total for hop, count in sorted(per_hop.items())
+        }
+    return table
+
+
+def destination_share_from_accumulator(accumulator, protocol: str) -> float:
+    """Streaming mirror of :func:`destination_share`."""
+    return accumulator.destination_share(protocol)

@@ -119,10 +119,18 @@ def top_observer_ases(
             continue
         per_as = per_protocol.setdefault(location.protocol, {})
         per_as.setdefault(location.observer_asn, set()).add(location.observer_address)
+    return _observer_as_rows(per_protocol, top_n)
+
+
+def _observer_as_rows(per_protocol: Dict[str, Dict[int, set]],
+                      top_n: int) -> List[ObserverAsRow]:
     rows: List[ObserverAsRow] = []
     for protocol, per_as in sorted(per_protocol.items()):
         total = sum(len(addresses) for addresses in per_as.values())
-        ranked = sorted(per_as.items(), key=lambda item: -len(item[1]))
+        # Ties rank by ascending ASN so the order is a pure function of
+        # content — the streaming path merges shard states in arbitrary
+        # order and must reproduce this ranking bit for bit.
+        ranked = sorted(per_as.items(), key=lambda item: (-len(item[1]), item[0]))
         for asn, addresses in ranked[:top_n]:
             rows.append(
                 ObserverAsRow(
@@ -196,13 +204,25 @@ def observer_as_groups(
         combos[event.combo] = combos.get(event.combo, 0) + 1
         origin_asn = directory.asn_of(event.origin_address)
         per_as_same_origin.setdefault(asn, []).append(origin_asn == asn)
+    per_as_events = {asn: len(same) for asn, same in per_as_same_origin.items()}
+    per_as_same = {asn: sum(same) for asn, same in per_as_same_origin.items()}
+    return _observer_group_rows(per_as_paths, per_as_combos, per_as_events,
+                                per_as_same, top_n)
+
+
+def _observer_group_rows(per_as_paths: Dict[int, set],
+                         per_as_combos: Dict[int, Dict[str, int]],
+                         per_as_events: Dict[int, int],
+                         per_as_same: Dict[int, int],
+                         top_n: int) -> List[ObserverGroupRow]:
     total_paths = sum(len(paths) for paths in per_as_paths.values())
-    ranked = sorted(per_as_paths.items(), key=lambda item: -len(item[1]))
+    # Ascending-ASN tie-break: content-deterministic, see _observer_as_rows.
+    ranked = sorted(per_as_paths.items(), key=lambda item: (-len(item[1]), item[0]))
     rows: List[ObserverGroupRow] = []
     for asn, paths in ranked[:top_n]:
         combos = per_as_combos.get(asn, {})
         combo_total = sum(combos.values())
-        same = per_as_same_origin.get(asn, [])
+        events = per_as_events.get(asn, 0)
         rows.append(
             ObserverGroupRow(
                 asn=asn,
@@ -212,7 +232,111 @@ def observer_as_groups(
                 combo_shares={
                     combo: count / combo_total for combo, count in sorted(combos.items())
                 },
-                same_as_origin_share=(sum(same) / len(same)) if same else 0.0,
+                same_as_origin_share=(
+                    per_as_same.get(asn, 0) / events) if events else 0.0,
             )
         )
     return rows
+
+
+# -- streaming constructors (see repro.analysis.streaming) -----------------
+
+
+def origin_as_distribution_from_accumulator(
+    accumulator,
+    resolvers: Sequence[str] = RESOLVER_H_NAMES,
+    top_n: int = 6,
+) -> List[OriginAsRow]:
+    """Figure 6 from an
+    :class:`~repro.analysis.streaming.OriginAsAccumulator` (origin ASNs
+    were resolved at observe time, so no IP directory is needed)."""
+    wanted = set(resolvers)
+    counts: Dict[Tuple[str, str, int], int] = {}
+    totals: Dict[Tuple[str, str], int] = {}
+    for (destination, protocol, asn), count in accumulator.origin_counts().items():
+        if destination not in wanted:
+            continue
+        counts[(destination, protocol, asn)] = count
+        pair = (destination, protocol)
+        totals[pair] = totals.get(pair, 0) + count
+    rows: List[OriginAsRow] = []
+    by_pair: Dict[Tuple[str, str], List[Tuple[int, int]]] = {}
+    for (destination, protocol, asn), count in counts.items():
+        by_pair.setdefault((destination, protocol), []).append((count, asn))
+    for (destination, protocol), entries in sorted(by_pair.items()):
+        entries.sort(reverse=True)
+        total = totals[(destination, protocol)]
+        for count, asn in entries[:top_n]:
+            rows.append(
+                OriginAsRow(
+                    destination_name=destination,
+                    request_protocol=protocol,
+                    asn=asn,
+                    as_name=_as_label(asn),
+                    requests=count,
+                    share=count / total,
+                )
+            )
+    return rows
+
+
+def origin_blocklist_rate_from_accumulator(
+    accumulator,
+    request_protocol: Optional[str] = None,
+    decoy_protocol: Optional[str] = None,
+) -> float:
+    """Streaming mirror of :func:`origin_blocklist_rate`: the accumulator
+    kept the distinct origin-address sets and their blocklisted subsets,
+    so the merged ratio divides the identical integers."""
+    return accumulator.blocklist_rate(request_protocol=request_protocol,
+                                      decoy_protocol=decoy_protocol)
+
+
+def top_observer_ases_from_accumulator(accumulator,
+                                       top_n: int = 3) -> List[ObserverAsRow]:
+    """Table 3 from an
+    :class:`~repro.analysis.streaming.OriginAsAccumulator`."""
+    per_protocol: Dict[str, Dict[int, set]] = {}
+    for (protocol, asn), addresses in accumulator.observer_sets().items():
+        per_protocol.setdefault(protocol, {})[asn] = addresses
+    return _observer_as_rows(per_protocol, top_n)
+
+
+def observer_country_counts_from_accumulator(accumulator) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for country in accumulator.observer_countries().values():
+        counts[country] = counts.get(country, 0) + 1
+    return counts
+
+
+def observer_as_groups_from_accumulator(
+    accumulator,
+    protocols: Tuple[str, ...] = ("http", "tls"),
+    top_n: int = 5,
+) -> List[ObserverGroupRow]:
+    """Section 5.2 from an
+    :class:`~repro.analysis.streaming.OriginAsAccumulator`.
+
+    The accumulator kept per-path combo and origin-ASN counts; joining
+    them with the Phase II observer map here reproduces the batch
+    grouping — per-AS event totals, same-AS-origin counts, and path sets
+    all merge exactly."""
+    observer_of, combos_by_path, origins_by_path = accumulator.group_state(protocols)
+    per_as_paths: Dict[int, set] = {}
+    per_as_combos: Dict[int, Dict[str, int]] = {}
+    per_as_events: Dict[int, int] = {}
+    per_as_same: Dict[int, int] = {}
+    for key, combos in combos_by_path.items():
+        asn = observer_of.get(key)
+        if asn is None:
+            continue
+        per_as_paths.setdefault(asn, set()).add(key)
+        merged = per_as_combos.setdefault(asn, {})
+        for combo, count in combos.items():
+            merged[combo] = merged.get(combo, 0) + count
+        origin_counts = origins_by_path.get(key, {})
+        per_as_events[asn] = (per_as_events.get(asn, 0)
+                              + sum(origin_counts.values()))
+        per_as_same[asn] = per_as_same.get(asn, 0) + origin_counts.get(asn, 0)
+    return _observer_group_rows(per_as_paths, per_as_combos, per_as_events,
+                                per_as_same, top_n)

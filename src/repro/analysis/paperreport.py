@@ -2,68 +2,165 @@
 
 Used by the CLI (``python -m repro run``) and reusable on reloaded
 bundles (:mod:`repro.core.persist`): anything exposing ``ledger``,
-``log``, ``phase1``, ``phase2``, ``locations``, ``directory`` and
-``blocklist`` attributes works.
+``log``, ``phase1``, ``locations``, ``directory`` and ``blocklist``
+attributes works with :func:`full_report`.
+
+The renderer is split from the analyses: :func:`batch_artifacts`
+recomputes every figure/table from the raw correlation output (the
+reference path), :func:`streaming_artifacts` reads the same values out of
+a merged :class:`~repro.analysis.streaming.AnalysisState`, and both feed
+one shared :func:`_render`.  Because every artifact the two paths
+produce is bit-identical (see ``docs/STREAMING.md``), the rendered text
+is byte-identical — ``tests/test_streaming_analysis.py`` holds both
+paths to that.
 """
 
-from typing import List
+from typing import Dict, List, Optional
 
-from repro.analysis.combos import http_https_share, shadowed_share
+from repro.analysis.combos import (
+    http_https_share,
+    http_https_share_from_accumulator,
+    shadowed_share,
+    shadowed_share_from_accumulator,
+)
 from repro.analysis.landscape import (
     destination_ratio_summary,
     destination_share,
+    destination_share_from_accumulator,
     observer_location_table,
+    observer_location_table_from_accumulator,
     problematic_path_ratios,
+    problematic_path_ratios_from_accumulator,
 )
 from repro.analysis.origins import (
     observer_as_groups,
+    observer_as_groups_from_accumulator,
     observer_country_counts,
+    observer_country_counts_from_accumulator,
     origin_as_distribution,
+    origin_as_distribution_from_accumulator,
     origin_blocklist_rate,
+    origin_blocklist_rate_from_accumulator,
     top_observer_ases,
+    top_observer_ases_from_accumulator,
 )
-from repro.analysis.payloads import incentive_report
+from repro.analysis.payloads import incentive_report, incentive_report_from_accumulator
 from repro.analysis.report import percent, render_table
 from repro.analysis.temporal import (
     dns_delay_cdfs,
+    dns_delay_cdfs_from_accumulator,
     multi_use_stats,
+    multi_use_stats_from_accumulator,
     other_resolver_cdf,
+    other_resolver_cdf_from_accumulator,
     web_delay_cdfs,
+    web_delay_cdfs_from_accumulator,
 )
 from repro.datasets.resolvers import RESOLVER_H_NAMES
 from repro.simkit.units import DAY, HOUR, MINUTE
 
 
-def full_report(source, title: str = "Traffic shadowing measurement report",
-                include_validation: bool = False) -> str:
-    """Render all reproduced artifacts as one text document.
-
-    ``include_validation`` appends the ground-truth recall section; it
-    requires a live :class:`~repro.core.experiment.ExperimentResult`
-    (reloaded bundles carry no ground truth) and is off by default so the
-    same input always renders the same report.
-    """
-    sections: List[str] = [title, "=" * len(title)]
+def batch_artifacts(source) -> Dict[str, object]:
+    """Every rendered artifact, recomputed from the raw correlation
+    output (the reference implementation)."""
+    from repro.analysis.geography import cells_from_rows
 
     ledger = source.ledger
     log = source.log
-    phase1 = source.phase1
     locations = source.locations
     directory = source.directory if hasattr(source, "directory") else source.eco.directory
     blocklist = source.blocklist if hasattr(source, "blocklist") else source.eco.blocklist
-    events = phase1.events
+    events = source.phase1.events
+
+    fig3_rows = problematic_path_ratios(ledger, events)
+    return {
+        "phase1_decoys": len(ledger.records(phase=1)),
+        "phase2_decoys": len(ledger.records(phase=2)),
+        "log_entries": len(log),
+        "events": len(events),
+        "fig3_rows": fig3_rows,
+        "table2": observer_location_table(locations),
+        "observer_rows": top_observer_ases(locations),
+        "countries": observer_country_counts(locations),
+        "fig4_cdfs": dns_delay_cdfs(events),
+        "other_cdf": other_resolver_cdf(events),
+        "fig5": [
+            (name, shadowed_share(ledger, events, name),
+             http_https_share(ledger, events, name))
+            for name in RESOLVER_H_NAMES
+        ],
+        "multi_use": multi_use_stats(events),
+        "fig6_rows": origin_as_distribution(events, directory, top_n=2),
+        "blocklist_rates": tuple(
+            origin_blocklist_rate(events, blocklist, protocol, "dns")
+            for protocol in ("dns", "http", "https")
+        ),
+        "web_cdfs": web_delay_cdfs(events),
+        "destination_shares": tuple(
+            destination_share(locations, protocol)
+            for protocol in ("dns", "http", "tls")
+        ),
+        "groups": observer_as_groups(locations, events, directory),
+        "incentives": incentive_report(events, blocklist),
+        "heat_cells": cells_from_rows(fig3_rows, "dns"),
+    }
+
+
+def streaming_artifacts(state) -> Dict[str, object]:
+    """The same artifacts read out of a merged
+    :class:`~repro.analysis.streaming.AnalysisState` — O(state) instead
+    of O(events); no ledger, log, IP directory or blocklist needed."""
+    from repro.analysis.geography import cells_from_rows
+
+    fig3_rows = problematic_path_ratios_from_accumulator(state.landscape)
+    return {
+        "phase1_decoys": state.decoy_counts.get(1, 0),
+        "phase2_decoys": state.decoy_counts.get(2, 0),
+        "log_entries": state.log_entries,
+        "events": state.event_count,
+        "fig3_rows": fig3_rows,
+        "table2": observer_location_table_from_accumulator(state.landscape),
+        "observer_rows": top_observer_ases_from_accumulator(state.origins),
+        "countries": observer_country_counts_from_accumulator(state.origins),
+        "fig4_cdfs": dns_delay_cdfs_from_accumulator(state.cdf),
+        "other_cdf": other_resolver_cdf_from_accumulator(state.cdf),
+        "fig5": [
+            (name, shadowed_share_from_accumulator(state.combos, name),
+             http_https_share_from_accumulator(state.combos, name))
+            for name in RESOLVER_H_NAMES
+        ],
+        "multi_use": multi_use_stats_from_accumulator(state.multi_use),
+        "fig6_rows": origin_as_distribution_from_accumulator(state.origins, top_n=2),
+        "blocklist_rates": tuple(
+            origin_blocklist_rate_from_accumulator(state.origins, protocol, "dns")
+            for protocol in ("dns", "http", "https")
+        ),
+        "web_cdfs": web_delay_cdfs_from_accumulator(state.cdf),
+        "destination_shares": tuple(
+            destination_share_from_accumulator(state.landscape, protocol)
+            for protocol in ("dns", "http", "tls")
+        ),
+        "groups": observer_as_groups_from_accumulator(state.origins),
+        "incentives": incentive_report_from_accumulator(state.incentives),
+        "heat_cells": cells_from_rows(fig3_rows, "dns"),
+    }
+
+
+def _render(artifacts: Dict[str, object], title: str,
+            extra_sections: Optional[List[str]] = None) -> str:
+    sections: List[str] = [title, "=" * len(title)]
 
     sections.append(
-        f"\ndecoys: {len(ledger.records(phase=1)):,} (phase I) + "
-        f"{len(ledger.records(phase=2)):,} (phase II traceroute probes); "
-        f"honeypot log entries: {len(log):,}; "
-        f"unsolicited requests: {len(events):,}"
+        f"\ndecoys: {artifacts['phase1_decoys']:,} (phase I) + "
+        f"{artifacts['phase2_decoys']:,} (phase II traceroute probes); "
+        f"honeypot log entries: {artifacts['log_entries']:,}; "
+        f"unsolicited requests: {artifacts['events']:,}"
     )
 
-    # Figure 3.
-    rows = problematic_path_ratios(ledger, events)
-    dns_summary = destination_ratio_summary(rows, "dns")
-    ranked = sorted(dns_summary.items(), key=lambda item: -item[1])
+    # Figure 3.  Ties rank alphabetically so the order is a pure function
+    # of content, not of dict insertion order.
+    dns_summary = destination_ratio_summary(artifacts["fig3_rows"], "dns")
+    ranked = sorted(dns_summary.items(), key=lambda item: (-item[1], item[0]))
     sections.append("\n" + render_table(
         ("DNS destination", "problematic paths"),
         [(name, percent(ratio)) for name, ratio in ranked if ratio > 0][:12],
@@ -71,7 +168,7 @@ def full_report(source, title: str = "Traffic shadowing measurement report",
     ))
 
     # Table 2.
-    table = observer_location_table(locations)
+    table = artifacts["table2"]
     sections.append("\n" + render_table(
         ["protocol"] + [str(hop) for hop in range(1, 11)],
         [[protocol.upper()] + [f"{table[protocol].get(hop, 0.0):.1f}"
@@ -81,24 +178,24 @@ def full_report(source, title: str = "Traffic shadowing measurement report",
     ))
 
     # Table 3.
-    observer_rows = top_observer_ases(locations)
     sections.append("\n" + render_table(
         ("decoy", "AS", "network", "observer IPs", "share"),
         [(row.protocol.upper(), f"AS{row.asn}", row.as_name[:40],
-          row.observers, percent(row.share)) for row in observer_rows],
+          row.observers, percent(row.share)) for row in artifacts["observer_rows"]],
         title="Table 3 — top observer networks",
     ))
-    countries = observer_country_counts(locations)
+    countries = artifacts["countries"]
     total_observers = sum(countries.values())
     if total_observers:
         sections.append(
             f"observer IPs by country: "
             + ", ".join(f"{country}={count}" for country, count
-                        in sorted(countries.items(), key=lambda item: -item[1]))
+                        in sorted(countries.items(),
+                                  key=lambda item: (-item[1], item[0])))
         )
 
     # Figure 4.
-    cdfs = dns_delay_cdfs(events)
+    cdfs = artifacts["fig4_cdfs"]
     sections.append("\n" + render_table(
         ("resolver", "n", "<1m", "<1h", "<1d", "<10d"),
         [(name, len(cdf), percent(cdf.at(MINUTE)), percent(cdf.at(HOUR)),
@@ -106,7 +203,7 @@ def full_report(source, title: str = "Traffic shadowing measurement report",
          for name, cdf in cdfs.items() if len(cdf)],
         title="Figure 4 — retention of DNS decoy data (Resolver_h)",
     ))
-    other = other_resolver_cdf(events)
+    other = artifacts["other_cdf"]
     if len(other):
         sections.append(
             f"other public resolvers: {percent(other.at(MINUTE))} of "
@@ -116,14 +213,13 @@ def full_report(source, title: str = "Traffic shadowing measurement report",
     # Figure 5 digest.
     sections.append("\n" + render_table(
         ("destination", "shadowed", "drew HTTP/HTTPS"),
-        [(name, percent(shadowed_share(ledger, events, name)),
-          percent(http_https_share(ledger, events, name)))
-         for name in RESOLVER_H_NAMES],
+        [(name, percent(shadowed), percent(webbed))
+         for name, shadowed, webbed in artifacts["fig5"]],
         title="Figure 5 — Resolver_h decoy outcomes",
     ))
 
     # Section 5.1 multi-use.
-    stats = multi_use_stats(events)
+    stats = artifacts["multi_use"]
     sections.append(
         f"\nSection 5.1 — of DNS decoys still active >1h after emission, "
         f"{percent(stats.share_more_than_3)} produced >3 unsolicited "
@@ -131,23 +227,23 @@ def full_report(source, title: str = "Traffic shadowing measurement report",
     )
 
     # Figure 6 digest.
-    origin_rows = origin_as_distribution(events, directory, top_n=2)
     sections.append("\n" + render_table(
         ("destination", "request", "origin AS", "share"),
         [(row.destination_name, row.request_protocol.upper(),
           f"AS{row.asn} {row.as_name[:28]}", percent(row.share))
-         for row in origin_rows],
+         for row in artifacts["fig6_rows"]],
         title="Figure 6 — top origins of unsolicited requests",
     ))
+    dns_rate, http_rate, https_rate = artifacts["blocklist_rates"]
     sections.append(
         "origin blocklist rates (DNS decoys): "
-        f"dns {percent(origin_blocklist_rate(events, blocklist, 'dns', 'dns'))}, "
-        f"http {percent(origin_blocklist_rate(events, blocklist, 'http', 'dns'))}, "
-        f"https {percent(origin_blocklist_rate(events, blocklist, 'https', 'dns'))}"
+        f"dns {percent(dns_rate)}, "
+        f"http {percent(http_rate)}, "
+        f"https {percent(https_rate)}"
     )
 
     # Figure 7.
-    web = web_delay_cdfs(events)
+    web = artifacts["web_cdfs"]
     sections.append("\n" + render_table(
         ("decoy", "n", "<1h", "<1d", "<3d"),
         [(protocol.upper(), len(cdf), percent(cdf.at(HOUR)),
@@ -155,14 +251,15 @@ def full_report(source, title: str = "Traffic shadowing measurement report",
          for protocol, cdf in sorted(web.items())],
         title="Figure 7 — retention of HTTP/TLS decoy data",
     ))
+    dns_share, http_share, tls_share = artifacts["destination_shares"]
     sections.append(
-        f"observers at destination: dns {percent(destination_share(locations, 'dns'))}, "
-        f"http {percent(destination_share(locations, 'http'))}, "
-        f"tls {percent(destination_share(locations, 'tls'))}"
+        f"observers at destination: dns {percent(dns_share)}, "
+        f"http {percent(http_share)}, "
+        f"tls {percent(tls_share)}"
     )
 
     # Section 5.2 groups + incentives.
-    groups = observer_as_groups(locations, events, directory)
+    groups = artifacts["groups"]
     if groups:
         sections.append("\n" + render_table(
             ("observer AS", "paths", "share", "same-AS origins"),
@@ -171,7 +268,7 @@ def full_report(source, title: str = "Traffic shadowing measurement report",
               percent(group.same_as_origin_share)) for group in groups],
             title="Section 5.2 — HTTP/TLS shadowing by observer AS",
         ))
-    incentives = incentive_report(events, blocklist)
+    incentives = artifacts["incentives"]
     sections.append(
         f"\nprobing incentives: {percent(incentives.enumeration_share)} path "
         f"enumeration, {percent(incentives.exploit_share)} exploit payloads "
@@ -179,30 +276,50 @@ def full_report(source, title: str = "Traffic shadowing measurement report",
     )
 
     # Geographic view (Figure 3's map form).
-    from repro.analysis.geography import (
-        country_destination_matrix,
-        regional_ratios,
-        render_heat_matrix,
-    )
-    cells = country_destination_matrix(ledger, events, "dns")
+    from repro.analysis.geography import regional_ratios, render_heat_matrix
+    cells = artifacts["heat_cells"]
     if cells:
         sections.append("\nFigure 3 (map form) — DNS heat matrix:")
         sections.append(render_heat_matrix(cells, max_countries=14))
         regions = regional_ratios(cells)
         sections.append("by region: " + ", ".join(
             f"{region} {percent(ratio)}"
-            for region, ratio in sorted(regions.items(), key=lambda item: -item[1])
+            for region, ratio in sorted(regions.items(),
+                                        key=lambda item: (-item[1], item[0]))
         ))
 
-    # Ground-truth validation, when the source carries a live ecosystem.
+    if extra_sections:
+        sections.extend(extra_sections)
+    return "\n".join(sections) + "\n"
+
+
+def full_report(source, title: str = "Traffic shadowing measurement report",
+                include_validation: bool = False) -> str:
+    """Render all reproduced artifacts as one text document (batch path).
+
+    ``include_validation`` appends the ground-truth recall section; it
+    requires a live :class:`~repro.core.experiment.ExperimentResult`
+    (reloaded bundles carry no ground truth) and is off by default so the
+    same input always renders the same report.
+    """
+    extra: List[str] = []
     if include_validation and hasattr(source, "eco"):
         from repro.analysis.validation import validate
         report = validate(source.eco.ground_truth, source.phase1,
-                          source.phase2, ledger,
+                          source.phase2, source.ledger,
                           source.config.observation_window)
-        sections.append(
+        extra.append(
             f"\nvalidation vs ground truth: recall "
             f"{percent(report.recall)} over {report.planted_domains} planted "
             f"domains, {report.false_domains} unexplained flags"
         )
-    return "\n".join(sections) + "\n"
+    return _render(batch_artifacts(source), title, extra)
+
+
+def full_report_from_state(
+    state, title: str = "Traffic shadowing measurement report",
+) -> str:
+    """Render the same document from a merged
+    :class:`~repro.analysis.streaming.AnalysisState` — O(merge), never
+    touching the ledger, the honeypot log, or the correlation output."""
+    return _render(streaming_artifacts(state), title)

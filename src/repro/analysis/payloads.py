@@ -69,3 +69,34 @@ def incentive_report(
         blocklist_rate_https=blocklist.hit_rate(origins_https),
         top_paths=top_paths,
     )
+
+
+def incentive_report_from_accumulator(
+    accumulator,
+    decoy_protocol: Optional[str] = None,
+    top_n: int = 10,
+) -> IncentiveReport:
+    """Streaming mirror of :func:`incentive_report`, reading an
+    :class:`~repro.analysis.streaming.IncentiveAccumulator`.
+
+    Verdicts were classified and blocklist membership resolved at observe
+    time; totals sum and origin sets union across shards, so every share
+    divides the identical integers the batch pass produces.
+    """
+    verdicts = accumulator.verdict_counts(decoy_protocol)
+    total = sum(verdicts.values())
+    path_counts = accumulator.path_counts(decoy_protocol)
+    top_paths = tuple(
+        sorted(path_counts.items(), key=lambda item: (-item[1], item[0]))[:top_n]
+    )
+    if total == 0:
+        return IncentiveReport(0, 0.0, 0.0, 0.0, 0.0, 0.0, ())
+    return IncentiveReport(
+        requests=total,
+        enumeration_share=verdicts.get(PayloadVerdict.ENUMERATION.name, 0) / total,
+        exploit_share=verdicts.get(PayloadVerdict.EXPLOIT.name, 0) / total,
+        root_share=verdicts.get(PayloadVerdict.BENIGN.name, 0) / total,
+        blocklist_rate_http=accumulator.blocklist_rate("http", decoy_protocol),
+        blocklist_rate_https=accumulator.blocklist_rate("https", decoy_protocol),
+        top_paths=top_paths,
+    )

@@ -126,6 +126,63 @@ def multi_use_stats(events: Sequence[ShadowingEvent],
     )
 
 
+# -- streaming constructors (see repro.analysis.streaming) -----------------
+#
+# Each *_from_accumulator mirrors its batch counterpart above, reading a
+# CdfAccumulator / MultiUseAccumulator instead of re-scanning events.
+# The accumulators store the exact per-event delta multisets, so the
+# resulting Cdf objects are bit-identical to the batch ones.
+
+
+def dns_delay_cdfs_from_accumulator(
+    accumulator,
+    resolvers: Sequence[str] = RESOLVER_H_NAMES,
+) -> Dict[str, Cdf]:
+    """Figure 4 from a :class:`~repro.analysis.streaming.CdfAccumulator`."""
+    return {
+        name: Cdf.from_values(
+            accumulator.deltas(decoy_protocols=("dns",), include_names=(name,))
+        )
+        for name in resolvers
+    }
+
+
+def other_resolver_cdf_from_accumulator(
+    accumulator,
+    exclude: Sequence[str] = RESOLVER_H_NAMES,
+) -> Cdf:
+    return Cdf.from_values(accumulator.deltas(
+        decoy_protocols=("dns",), destination_kinds=("dns",),
+        exclude_names=exclude,
+    ))
+
+
+def web_delay_cdfs_from_accumulator(accumulator) -> Dict[str, Cdf]:
+    """Figure 7 from a :class:`~repro.analysis.streaming.CdfAccumulator`."""
+    return {
+        protocol: Cdf.from_values(accumulator.deltas(decoy_protocols=(protocol,)))
+        for protocol in ("http", "tls")
+    }
+
+
+def multi_use_stats_from_accumulator(accumulator,
+                                     protocol: str = "dns") -> MultiUseStats:
+    """Section 5.1 from a
+    :class:`~repro.analysis.streaming.MultiUseAccumulator` (the ``after``
+    threshold is the accumulator's own, fixed at observation time)."""
+    late_counts = accumulator.late_counts(protocol)
+    total = len(late_counts)
+    if total == 0:
+        return MultiUseStats(0, 0.0, 0.0)
+    more_than_3 = sum(1 for count in late_counts.values() if count > 3)
+    more_than_10 = sum(1 for count in late_counts.values() if count > 10)
+    return MultiUseStats(
+        decoys_with_late_requests=total,
+        share_more_than_3=more_than_3 / total,
+        share_more_than_10=more_than_10 / total,
+    )
+
+
 def reappearance_share(events: Sequence[ShadowingEvent], destination: str,
                        after: float = 10 * DAY,
                        protocols: Tuple[str, ...] = ("http", "https")) -> float:

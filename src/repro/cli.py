@@ -16,7 +16,7 @@ import pathlib
 import sys
 from typing import List, Optional
 
-from repro.analysis.paperreport import full_report
+from repro.analysis.paperreport import full_report, full_report_from_state
 from repro.analysis.report import render_table
 from repro.core.config import ExperimentConfig
 from repro.core.experiment import Experiment
@@ -86,6 +86,13 @@ def _build_parser() -> argparse.ArgumentParser:
     report = commands.add_parser("report",
                                  help="re-render the report from a bundle")
     report.add_argument("bundle", help="directory written by 'run --export'")
+    report.add_argument("--engine", choices=("auto", "batch", "streaming"),
+                        default="auto",
+                        help="'streaming' renders from the bundle's "
+                             "analysis.json (O(merge), no re-correlation); "
+                             "'batch' replays the full log; 'auto' (default) "
+                             "uses streaming when analysis.json exists. "
+                             "Both engines produce byte-identical reports.")
     report.add_argument("--output", metavar="FILE")
 
     platform = commands.add_parser("platform",
@@ -168,9 +175,20 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_report(args: argparse.Namespace) -> int:
+    title = f"Report (reloaded from {args.bundle})"
+    engine = args.engine
+    if engine in ("auto", "streaming"):
+        from repro.core.persist import load_analysis_state
+        state = load_analysis_state(args.bundle)
+        if state is not None:
+            _emit(full_report_from_state(state, title=title), args.output)
+            return 0
+        if engine == "streaming":
+            print(f"{args.bundle} has no analysis.json; re-export the "
+                  "bundle or use --engine batch", file=sys.stderr)
+            return 2
     bundle = load_bundle(args.bundle)
-    _emit(full_report(bundle, title=f"Report (reloaded from {args.bundle})"),
-          args.output)
+    _emit(full_report(bundle, title=title), args.output)
     return 0
 
 

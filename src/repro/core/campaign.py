@@ -84,6 +84,12 @@ class Campaign:
         self.shard_index = shard_index
         self.shard_count = shard_count
         self.ledger = DecoyLedger()
+        # Streaming analysis state, fed at send time (decoys) and at phase
+        # boundaries (correlated events / Phase II verdicts); shards ship
+        # it over the worker pipe and the supervisor merges exactly.
+        from repro.analysis.streaming import AnalysisState
+        self.analysis = AnalysisState(directory=eco.directory,
+                                      blocklist=eco.blocklist)
         self.factory = DecoyFactory(
             zone=eco.config.zone, rng=eco.router.stream("decoy.factory")
         )
@@ -288,6 +294,7 @@ class Campaign:
             round_index=round_index,
         )
         self.ledger.register(record)
+        self.analysis.observe_decoy(record)
         self._ledger_keys[record.domain] = (now, phase, plan_key[0], plan_key[1])
         self._m_sent[(protocol, phase)].inc()
         self._m_path_length.observe(info.path.length)

@@ -24,6 +24,13 @@ from typing import Dict, List, Optional
 _META = "meta.json"
 _CONFIG = "config.pkl"
 _PLAN = "phase2_plan.pkl"
+_ANALYSIS = "analysis.json"
+
+CHECKPOINT_FORMAT = 2
+"""Format 2 payloads carry per-shard correlation and streaming-analysis
+state (``ShardPhase1Payload.correlation`` / ``.analysis``); format-1
+directories would unpickle into objects missing those fields, so resume
+rejects them up front instead of failing with an AttributeError later."""
 
 
 class CheckpointError(RuntimeError):
@@ -59,7 +66,7 @@ class CheckpointStore:
         self._write_bytes(_META, json.dumps({
             "seed": config.seed,
             "shard_count": shard_count,
-            "format": 1,
+            "format": CHECKPOINT_FORMAT,
         }, indent=2).encode())
 
     def load_meta(self) -> Dict:
@@ -67,7 +74,15 @@ class CheckpointStore:
         if not path.exists():
             raise CheckpointError(f"{self.directory} has no {_META}; "
                                   "not a checkpoint directory")
-        return json.loads(path.read_text())
+        meta = json.loads(path.read_text())
+        if meta.get("format") != CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                f"{self.directory} is checkpoint format "
+                f"{meta.get('format')!r}; this build reads format "
+                f"{CHECKPOINT_FORMAT} — re-run the campaign instead of "
+                "resuming"
+            )
+        return meta
 
     def load_config(self):
         try:
@@ -102,6 +117,20 @@ class CheckpointStore:
     def load_phase2_plan(self) -> Optional[List[list]]:
         try:
             return self._read_pickle(_PLAN)
+        except FileNotFoundError:
+            return None
+
+    def save_analysis(self, snapshot: Dict) -> None:
+        """Persist the merged interim analysis state (canonical JSON).
+
+        JSON, not pickle: the snapshot is already canonical-JSON-able, and
+        a text artifact doubles as a debugging/diffing aid."""
+        self._write_bytes(_ANALYSIS,
+                          json.dumps(snapshot, sort_keys=True).encode())
+
+    def load_analysis(self) -> Optional[Dict]:
+        try:
+            return json.loads((self.directory / _ANALYSIS).read_text())
         except FileNotFoundError:
             return None
 

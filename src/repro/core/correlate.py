@@ -17,7 +17,7 @@ decoy ledger, applies the rules in arrival order, and emits
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.identifier import DecoyIdentity, IdentifierCodec, IdentifierError
 from repro.honeypot.logstore import LoggedRequest, LogStore
@@ -198,3 +198,114 @@ class Correlator:
             raise ValueError(
                 f"unknown protocol pair ({decoy_protocol!r}, {request_protocol!r})"
             ) from exc
+
+
+@dataclass
+class ShardCorrelation:
+    """One shard's correlation output plus the ordering metadata the
+    supervisor needs to reconstruct the *merged-log* correlation without
+    ever materializing the merged log.
+
+    Exactness rests on shard locality: every log entry bearing a decoy's
+    data arrives at an observer in the shard that owns the decoy's
+    (VP, destination) pair — aliased names decode back to in-shard
+    canonical decoys — so one shard holds *all* of a domain's events and
+    the per-domain event order is the shard's own arrival order.
+    """
+
+    firsts: List[Tuple[float, int, str]]
+    """(first time, first in-shard log index, domain) for every domain in
+    this shard's log; with the shard position this keys the merged
+    first-appearance order (the order ``LogStore.merged().domains()``
+    would yield)."""
+    events: Dict[str, List[ShadowingEvent]]
+    """Per-domain events, in in-shard arrival order."""
+    initial_arrivals: Dict[str, LoggedRequest]
+    unknown_domains: List[str]
+
+
+def shard_correlation(result: CorrelationResult, log: LogStore) -> ShardCorrelation:
+    """Package one shard's :class:`CorrelationResult` for exact merging."""
+    firsts: List[Tuple[float, int, str]] = []
+    for domain in log.domains():
+        occurrence = log.first_occurrence(domain)
+        if occurrence is None:  # pragma: no cover - domains() implies entries
+            continue
+        firsts.append((occurrence[0], occurrence[1], domain))
+    events: Dict[str, List[ShadowingEvent]] = {}
+    for event in result.events:
+        events.setdefault(event.decoy.domain, []).append(event)
+    return ShardCorrelation(
+        firsts=firsts,
+        events=events,
+        initial_arrivals=dict(result.initial_arrivals),
+        unknown_domains=list(result.unknown_domains),
+    )
+
+
+def merge_shard_correlations(
+    shards: Sequence[ShardCorrelation],
+) -> CorrelationResult:
+    """Reconstruct ``Correlator.correlate(LogStore.merged(...))`` from
+    per-shard correlations, bit for bit.
+
+    The batch pass iterates merged-log domains in first-appearance order
+    and emits each domain's events in arrival order.  First appearance
+    orders by (time, shard position, in-shard index) — exactly
+    :meth:`LogStore.merged`'s interleaving key — and shard locality puts
+    all of a domain's events in one shard, so concatenating per-shard
+    event lists in that domain order reproduces the merged event list.
+    A domain counts as unknown only if some shard flagged it and no
+    shard correlated it (the shard that owns a decoy resolves its
+    domain; other shards never see it).
+    """
+    first_key: Dict[str, Tuple[float, int, int]] = {}
+    for position, shard in enumerate(shards):
+        for time, index, domain in shard.firsts:
+            key = (time, position, index)
+            existing = first_key.get(domain)
+            if existing is None or key < existing:
+                first_key[domain] = key
+    flagged_unknown = set()
+    for shard in shards:
+        flagged_unknown.update(shard.unknown_domains)
+    result = CorrelationResult()
+    for domain in sorted(first_key, key=first_key.__getitem__):
+        correlated = False
+        for shard in shards:
+            domain_events = shard.events.get(domain)
+            if domain_events:
+                result.events.extend(domain_events)
+                correlated = True
+            arrival = shard.initial_arrivals.get(domain)
+            if arrival is not None:
+                result.initial_arrivals[domain] = arrival
+                correlated = True
+        if not correlated and domain in flagged_unknown:
+            result.unknown_domains.append(domain)
+    return result
+
+
+def split_correlation(result: CorrelationResult, ledger: DecoyLedger,
+                      phase: int) -> CorrelationResult:
+    """Restrict a ``phase=None`` correlation to one phase, matching what
+    ``Correlator.correlate(log, phase=phase)`` would have produced.
+
+    Events and arrivals filter by their decoy's phase.  Unknown domains
+    keep ledger misses unconditionally; a ledger *hit* that still went
+    unknown (identifier decode failure) only surfaces in the pass whose
+    phase filter admits its record, mirroring the batch control flow
+    (the phase check runs before the decode check).
+    """
+    split = CorrelationResult()
+    split.events = [event for event in result.events
+                    if event.decoy.phase == phase]
+    for domain, entry in result.initial_arrivals.items():
+        record = ledger.lookup(domain)
+        if record is not None and record.phase == phase:
+            split.initial_arrivals[domain] = entry
+    for domain in result.unknown_domains:
+        record = ledger.lookup(domain)
+        if record is None or record.phase == phase:
+            split.unknown_domains.append(domain)
+    return split

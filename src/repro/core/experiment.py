@@ -50,6 +50,11 @@ class ExperimentResult:
     telemetry: Optional[RunTelemetry] = None
     """Stage spans always; merged counters/gauges/histograms when
     ``config.telemetry`` is on (see docs/OBSERVABILITY.md)."""
+    analysis: Optional[object] = None
+    """Merged :class:`~repro.analysis.streaming.AnalysisState` — the
+    streaming mirror of every paper artifact, fed as the run progressed
+    (see docs/STREAMING.md).  Persisted bundles export it so ``repro
+    report`` can render without re-correlating."""
 
     @property
     def ledger(self) -> DecoyLedger:
@@ -218,6 +223,12 @@ class Experiment:
                 phase2 = correlator.correlate(eco.deployment.log, phase=2)
                 locations = tracer.locate(phase2)
 
+            # Feed the streaming analysis state (decoys were observed at
+            # send time); it becomes the O(merge) report input.
+            campaign.analysis.observe_events(phase1.events)
+            campaign.analysis.observe_locations(locations)
+            campaign.analysis.set_log_entries(len(eco.deployment.log))
+
         timings = timings_from_spans(spans.spans)
         timings["total"] = _time.perf_counter() - started
         timings["virtual_span"] = eco.sim.now()
@@ -229,6 +240,7 @@ class Experiment:
             phase2=phase2,
             locations=locations,
             vetting=campaign.vetting,
+            analysis=campaign.analysis,
             timings=timings,
             telemetry=RunTelemetry(
                 metrics=eco.telemetry,

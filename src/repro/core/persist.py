@@ -38,6 +38,7 @@ _PATHS = {
     "locations": "locations.jsonl",
     "directory": "ip_directory.jsonl",
     "blocklist": "blocklist.txt",
+    "analysis": "analysis.json",
 }
 
 
@@ -53,6 +54,9 @@ class AnalysisBundle:
     locations: List[ObserverLocation]
     directory: IpDirectory
     blocklist: Blocklist
+    analysis: Optional[object] = None
+    """Restored :class:`~repro.analysis.streaming.AnalysisState`, when
+    the bundle was exported with one (``analysis.json``)."""
 
 
 def _write_jsonl(path: pathlib.Path, rows) -> None:
@@ -116,7 +120,34 @@ def export_result(result: ExperimentResult, directory: Union[str, pathlib.Path])
          "origin": event.origin_address, "phase": event.decoy.phase}
         for event in list(result.phase1.events) + list(result.phase2.events)
     ))
+    analysis = getattr(result, "analysis", None)
+    if analysis is not None:
+        (out / _PATHS["analysis"]).write_text(json.dumps(
+            {"state": analysis.snapshot(), "digest": analysis.digest()},
+            sort_keys=True,
+        ))
     return out
+
+
+def load_analysis_state(directory: Union[str, pathlib.Path]):
+    """Load just the streaming analysis state from a bundle, or None.
+
+    This is the fast path behind ``repro report --engine streaming``: it
+    reads one JSON file — no ledger reload, no log replay, no
+    re-correlation — and verifies the stored content digest.
+    """
+    from repro.analysis.streaming import AnalysisState
+
+    path = pathlib.Path(directory) / _PATHS["analysis"]
+    if not path.exists():
+        return None
+    payload = json.loads(path.read_text())
+    state = AnalysisState.from_snapshot(payload["state"])
+    if state.digest() != payload["digest"]:
+        raise ValueError(
+            f"analysis state in {path} is corrupt: digest mismatch"
+        )
+    return state
 
 
 def load_bundle(directory: Union[str, pathlib.Path]) -> AnalysisBundle:
@@ -174,4 +205,5 @@ def load_bundle(directory: Union[str, pathlib.Path]) -> AnalysisBundle:
         locations=locations,
         directory=directory_obj,
         blocklist=blocklist,
+        analysis=load_analysis_state(src),
     )

@@ -60,7 +60,14 @@ from repro.core.checkpoint import CheckpointError, CheckpointStore
 
 from repro.core.campaign import Campaign, pair_shard
 from repro.core.config import ExperimentConfig
-from repro.core.correlate import Correlator, DecoyRecord
+from repro.core.correlate import (
+    Correlator,
+    DecoyRecord,
+    ShardCorrelation,
+    merge_shard_correlations,
+    shard_correlation,
+    split_correlation,
+)
 from repro.core.ecosystem import build_ecosystem
 from repro.core.experiment import (
     ExperimentResult,
@@ -121,6 +128,14 @@ class ShardPhase1Payload:
     vetting_removed_ttl: int
     vetting_removed_intercepted: int
     wall_seconds: float
+    correlation: Optional[ShardCorrelation] = None
+    """This shard's Phase I correlation, packaged for exact merging —
+    the supervisor plans Phase II from ``merge_shard_correlations`` of
+    these instead of re-correlating the merged interim log."""
+    analysis: Optional[dict] = None
+    """Snapshot of the shard's interim
+    :class:`~repro.analysis.streaming.AnalysisState` at the Phase I
+    boundary (decoys + correlated events so far)."""
 
 
 @dataclass
@@ -148,6 +163,14 @@ class ShardFinalPayload:
     the worker's simulator lives across the two-round protocol)."""
     spans: List[Span] = field(default_factory=list)
     """Per-shard stage spans, tagged with the shard index."""
+    correlation: Optional[ShardCorrelation] = None
+    """Full-log (both phases) correlation of this shard, packaged for
+    exact merging; the supervisor phase-splits the merged result instead
+    of re-scanning the merged log twice."""
+    analysis: Optional[dict] = None
+    """Snapshot of the shard's final
+    :class:`~repro.analysis.streaming.AnalysisState` (all Phase I events,
+    Phase II verdicts, and log counts)."""
 
 
 def _ledger_snapshot(campaign: Campaign, skip: int) -> List[Tuple[LedgerKey, DecoyRecord]]:
@@ -215,6 +238,14 @@ def _shard_worker(conn, config: ExperimentConfig, shard_index: int,
             phase1_records = len(campaign.ledger)
             phase1_log_len = len(eco.deployment.log)
             vetting = campaign.vetting
+            # Correlate the shard's own Phase I log: shard locality means
+            # the merged correlation is exactly the merge of these (see
+            # merge_shard_correlations), so the parent never re-scans.
+            correlator = Correlator(campaign.ledger, zone=config.zone)
+            phase1_result = correlator.correlate(eco.deployment.log, phase=1)
+            interim_analysis = campaign.analysis.clone()
+            interim_analysis.observe_events(phase1_result.events)
+            interim_analysis.set_log_entries(phase1_log_len)
             send(("phase1", ShardPhase1Payload(
                 shard_index=shard_index,
                 records=_ledger_snapshot(campaign, 0),
@@ -227,6 +258,9 @@ def _shard_worker(conn, config: ExperimentConfig, shard_index: int,
                 vetting_removed_ttl=len(vetting.removed_ttl_reset),
                 vetting_removed_intercepted=len(vetting.removed_intercepted),
                 wall_seconds=time.perf_counter() - started,
+                correlation=shard_correlation(phase1_result,
+                                              eco.deployment.log),
+                analysis=interim_analysis.snapshot(),
             )))
 
             command, entries = conn.recv()
@@ -237,9 +271,17 @@ def _shard_worker(conn, config: ExperimentConfig, shard_index: int,
             with tracer_spans.span("phase2"):
                 schedule_phase2_entries(campaign, tracer, entries)
                 eco.sim.run(until=eco.sim.now() + config.phase2_observation_window)
-            correlator = Correlator(campaign.ledger, zone=config.zone)
-            phase2 = correlator.correlate(eco.deployment.log, phase=2)
+            # One unfiltered pass over the complete shard log; the phase
+            # split is derived from it (and by the parent, after merging).
+            full_result = correlator.correlate(eco.deployment.log)
+            phase2 = split_correlation(full_result, campaign.ledger, 2)
             locations = tracer.locate(phase2)
+            campaign.analysis.observe_events(
+                event for event in full_result.events
+                if event.decoy.phase == 1
+            )
+            campaign.analysis.observe_locations(locations)
+            campaign.analysis.set_log_entries(len(eco.deployment.log))
             send(("final", ShardFinalPayload(
                 shard_index=shard_index,
                 records=_ledger_snapshot(campaign, phase1_records),
@@ -267,6 +309,9 @@ def _shard_worker(conn, config: ExperimentConfig, shard_index: int,
                 wall_seconds=time.perf_counter() - stage,
                 telemetry=eco.telemetry.snapshot(),
                 spans=list(tracer_spans.spans),
+                correlation=shard_correlation(full_result,
+                                              eco.deployment.log),
+                analysis=campaign.analysis.snapshot(),
             )))
     except BaseException:
         try:
@@ -627,10 +672,17 @@ def run_sharded(config: Optional[ExperimentConfig] = None, *,
             if cached_slices is not None:
                 slices = cached_slices
             else:
-                interim_log = LogStore.merged(
-                    [payload.log_entries for payload in phase1_payloads]
-                )
-                phase1_interim = correlator.correlate(interim_log, phase=1)
+                shard_results = [payload.correlation
+                                 for payload in phase1_payloads]
+                if all(result is not None for result in shard_results):
+                    # O(events) merge of the workers' own correlations —
+                    # the parent never materializes the interim log.
+                    phase1_interim = merge_shard_correlations(shard_results)
+                else:  # payloads from a pre-streaming checkpoint
+                    interim_log = LogStore.merged(
+                        [payload.log_entries for payload in phase1_payloads]
+                    )
+                    phase1_interim = correlator.correlate(interim_log, phase=1)
                 entries = plan_phase2(eco, phase1_interim, config)
                 slices = [[] for _ in range(shard_count)]
                 for entry in entries:
@@ -639,6 +691,14 @@ def run_sharded(config: Optional[ExperimentConfig] = None, *,
                     slices[owner].append(entry)
             if checkpoints is not None:
                 checkpoints.save_phase2_plan(slices)
+                interim_snapshots = [payload.analysis
+                                     for payload in phase1_payloads]
+                if all(snap is not None for snap in interim_snapshots):
+                    from repro.analysis.streaming import AnalysisState
+                    checkpoints.save_analysis(AnalysisState.merged([
+                        AnalysisState.from_snapshot(snap)
+                        for snap in interim_snapshots
+                    ]).snapshot())
 
         with spans.span("phase2"):
             final_by_shard: Dict[int, ShardFinalPayload] = dict(cached_final)
@@ -741,8 +801,25 @@ def run_sharded(config: Optional[ExperimentConfig] = None, *,
             eco.telemetry = merged_metrics
 
     with spans.span("correlate"):
-        phase1 = correlator.correlate(merged_log, phase=1)
-        phase2 = correlator.correlate(merged_log, phase=2)
+        final_results = [payload.correlation for payload in final_payloads]
+        if all(result is not None for result in final_results):
+            # Merge the workers' full-log correlations (exact — shard
+            # locality) and phase-split against the merged ledger, instead
+            # of re-scanning the merged log twice.
+            merged_correlation = merge_shard_correlations(final_results)
+            phase1 = split_correlation(merged_correlation, campaign.ledger, 1)
+            phase2 = split_correlation(merged_correlation, campaign.ledger, 2)
+        else:  # payloads from a pre-streaming checkpoint
+            phase1 = correlator.correlate(merged_log, phase=1)
+            phase2 = correlator.correlate(merged_log, phase=2)
+
+    analysis = None
+    analysis_snapshots = [payload.analysis for payload in final_payloads]
+    if all(snap is not None for snap in analysis_snapshots):
+        from repro.analysis.streaming import AnalysisState
+        analysis = AnalysisState.merged([
+            AnalysisState.from_snapshot(snap) for snap in analysis_snapshots
+        ])
 
     merged_spans = merge_spans(
         [spans.spans] + [payload.spans for payload in final_payloads])
@@ -766,6 +843,7 @@ def run_sharded(config: Optional[ExperimentConfig] = None, *,
         phase2=phase2,
         locations=locations,
         vetting=campaign.vetting,
+        analysis=analysis,
         timings=timings,
         telemetry=RunTelemetry(
             metrics=eco.telemetry,

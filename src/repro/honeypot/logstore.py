@@ -112,8 +112,30 @@ class LogStore:
     def domains(self) -> List[str]:
         return list(self._by_domain)
 
+    def first_occurrence(self, domain: str) -> Optional[Tuple[float, int]]:
+        """(time, index) of the first entry bearing ``domain``, or None.
+
+        The index is the entry's position in this store; together with the
+        shard position it forms the deterministic cross-shard ordering key
+        :func:`repro.core.correlate.merge_shard_correlations` uses.
+        """
+        indexes = self._by_domain.get(domain)
+        if not indexes:
+            return None
+        first = indexes[0]
+        return self._times[first], first
+
     def between(self, start: float, end: float) -> List[LoggedRequest]:
-        """Entries with ``start <= time < end``, by bisection (O(log n + k))."""
+        """Entries in the half-open window ``start <= time < end``.
+
+        ``end`` is *exclusive*: an entry stamped exactly ``end`` is NOT
+        returned.  (The pre-bisection linear scan used ``<=`` on both
+        bounds; the bisect rewrite settled on half-open because it
+        composes — ``between(a, b) + between(b, c) == between(a, c)``
+        with no entry duplicated at the seam.  Pinned by
+        ``tests/test_honeypot.py``.)  O(log n + k) via bisection over the
+        append-ordered times.
+        """
         low = bisect.bisect_left(self._times, start)
         high = bisect.bisect_left(self._times, end)
         return self._entries[low:high]

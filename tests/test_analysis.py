@@ -238,3 +238,72 @@ class TestReportHelpers:
     def test_percent(self):
         assert percent(0.1234) == "12.3%"
         assert percent(1.0, digits=0) == "100%"
+
+
+class TestGoldenDigests:
+    """Pinned content hashes of the headline artifacts on the default seed.
+
+    These digests freeze Figure 4 (per-resolver retention CDF series),
+    Table 2 (normalized observer-hop distribution), and Table 3 (top
+    observer ASes) for ``ExperimentConfig.tiny(seed=20240301)``.  Any
+    change to the simulation, correlation, or analysis pipeline that
+    shifts these artifacts — intentionally or not — must update the
+    constants below, making the drift explicit in review.  The streaming
+    accumulators must reproduce the same bytes (see
+    tests/test_streaming_analysis.py for the full equivalence suite).
+    """
+
+    FIG4_DIGEST = "b8e49f720a9e93913bc1c9b9a72e3211acdf7269f22cd1d278d14d1b1b8cef68"
+    TABLE2_DIGEST = "cb2ba3c81eecb8d9caf66633b9f77036cba1aa83b36c14a97ce94cb49bafd071"
+    TABLE3_DIGEST = "3ff80cf33f14a9dea78c2f221232715f0b1d1e31a4c5fc90529eb5458aaf7051"
+
+    @staticmethod
+    def digest(value) -> str:
+        import hashlib
+        import json
+        canonical = json.dumps(value, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    @classmethod
+    def canonical_fig4(cls, cdfs):
+        from repro.analysis.temporal import DEFAULT_THRESHOLDS
+        return sorted((name, cdf.series(DEFAULT_THRESHOLDS))
+                      for name, cdf in cdfs.items())
+
+    @staticmethod
+    def canonical_table2(table):
+        return sorted((protocol, sorted(per_hop.items()))
+                      for protocol, per_hop in table.items())
+
+    @staticmethod
+    def canonical_table3(rows):
+        return [[row.protocol, row.asn, row.as_name, row.observers, row.share]
+                for row in rows]
+
+    def test_fig4_cdf_series(self, result):
+        cdfs = dns_delay_cdfs(result.phase1.events)
+        assert self.digest(self.canonical_fig4(cdfs)) == self.FIG4_DIGEST
+
+    def test_table2_hop_table(self, result):
+        table = observer_location_table(result.locations)
+        assert self.digest(self.canonical_table2(table)) == self.TABLE2_DIGEST
+
+    def test_table3_as_table(self, result):
+        rows = top_observer_ases(result.locations)
+        assert self.digest(self.canonical_table3(rows)) == self.TABLE3_DIGEST
+
+    def test_streaming_reproduces_golden_digests(self, result):
+        from repro.analysis.landscape import (
+            observer_location_table_from_accumulator,
+        )
+        from repro.analysis.origins import top_observer_ases_from_accumulator
+        from repro.analysis.temporal import dns_delay_cdfs_from_accumulator
+        state = result.analysis
+        assert self.digest(self.canonical_fig4(
+            dns_delay_cdfs_from_accumulator(state.cdf))) == self.FIG4_DIGEST
+        assert self.digest(self.canonical_table2(
+            observer_location_table_from_accumulator(
+                state.landscape))) == self.TABLE2_DIGEST
+        assert self.digest(self.canonical_table3(
+            top_observer_ases_from_accumulator(
+                state.origins))) == self.TABLE3_DIGEST

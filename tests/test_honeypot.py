@@ -52,6 +52,41 @@ class TestLogStore:
             store.append(self.entry(time=time))
         assert [entry.time for entry in store.between(1.0, 3.0)] == [1.0, 2.0]
 
+    def test_between_excludes_entry_exactly_at_end(self):
+        """Pins ``start <= time < end``: an entry at exactly ``end`` is
+        excluded, so adjacent windows tile the log without double counting
+        (see the ``between`` docstring)."""
+        store = LogStore()
+        for time in (0.0, 5.0, 10.0):
+            store.append(self.entry(time=time))
+        assert [entry.time for entry in store.between(0.0, 5.0)] == [0.0]
+        assert [entry.time for entry in store.between(5.0, 10.0)] == [5.0]
+        assert [entry.time for entry in store.between(10.0, 10.0)] == []
+
+    def test_between_windows_compose(self):
+        """between(a, b) + between(b, c) == between(a, c) for any cut b,
+        including cuts landing exactly on an entry's timestamp."""
+        store = LogStore()
+        times = (0.0, 1.0, 1.0, 2.5, 4.0, 4.0, 7.0)
+        for time in times:
+            store.append(self.entry(time=time))
+        whole = [entry.time for entry in store.between(0.0, 8.0)]
+        assert whole == list(times)
+        for cut in (0.0, 1.0, 2.0, 2.5, 4.0, 6.9, 7.0, 8.0):
+            left = [entry.time for entry in store.between(0.0, cut)]
+            right = [entry.time for entry in store.between(cut, 8.0)]
+            assert left + right == whole, f"cut at {cut} double/under-counts"
+
+    def test_first_occurrence(self):
+        store = LogStore()
+        assert store.first_occurrence("a.www.experiment.domain") is None
+        store.append(self.entry(time=1.0, domain="b.www.experiment.domain"))
+        store.append(self.entry(time=2.0))
+        store.append(self.entry(time=3.0))
+        assert store.first_occurrence("a.www.experiment.domain") == (2.0, 1)
+        assert store.first_occurrence("b.www.experiment.domain") == (1.0, 0)
+        assert store.first_occurrence("missing") is None
+
     def test_by_protocol(self):
         store = LogStore()
         store.append(self.entry(time=1.0, protocol="dns"))

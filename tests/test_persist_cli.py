@@ -30,7 +30,7 @@ class TestExport:
         assert names == {
             "meta.json", "ledger.jsonl", "honeypot_log.jsonl",
             "events.jsonl", "locations.jsonl", "ip_directory.jsonl",
-            "blocklist.txt",
+            "blocklist.txt", "analysis.json",
         }
 
     def test_meta_counts(self, result, bundle_dir):

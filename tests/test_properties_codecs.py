@@ -1,0 +1,257 @@
+"""Seeded property-based round-trip tests for the wire codecs.
+
+No external property-testing framework: each property is driven by a
+``random.Random`` with a pinned seed, so failures replay exactly.  The
+three codecs under test carry every decoy end to end:
+
+* DNS name encoding (:mod:`repro.protocols.dns.names`), including RFC
+  1035 compression pointers and the 63-byte label limit;
+* the decoy identifier codec (:mod:`repro.core.identifier`), whose
+  CRC-16 must reject every corrupted label;
+* HTTP/1.1 request framing (:mod:`repro.protocols.http.message`).
+"""
+
+import random
+import string
+
+import pytest
+
+from repro.core.identifier import (
+    DecoyIdentity,
+    IdentifierCodec,
+    IdentifierError,
+    crc16_ccitt,
+)
+from repro.net.addr import ip_from_int
+from repro.protocols.dns.names import (
+    MAX_LABEL_LENGTH,
+    MAX_NAME_LENGTH,
+    DnsNameError,
+    decode_name,
+    encode_name,
+    normalize_name,
+)
+from repro.protocols.http.message import (
+    HttpMessageError,
+    HttpRequest,
+    make_get,
+)
+
+CASES = 200
+
+_LABEL_CHARS = string.ascii_lowercase + string.digits
+_B32_CHARS = "abcdefghijklmnopqrstuvwxyz234567"
+
+
+def random_label(rng: random.Random, max_length: int = MAX_LABEL_LENGTH) -> str:
+    length = rng.randint(1, max_length)
+    return "".join(rng.choice(_LABEL_CHARS) for _ in range(length))
+
+
+def random_name(rng: random.Random) -> str:
+    """A random valid domain name whose wire form stays within 255 bytes."""
+    labels = []
+    wire = 1  # trailing root byte
+    for _ in range(rng.randint(1, 6)):
+        label = random_label(rng, max_length=rng.choice((8, 20, MAX_LABEL_LENGTH)))
+        if wire + 1 + len(label) > MAX_NAME_LENGTH:
+            break
+        labels.append(label)
+        wire += 1 + len(label)
+    return ".".join(labels)
+
+
+class TestDnsNameRoundTrip:
+    def test_encode_decode_identity(self):
+        rng = random.Random(0xD15)
+        for _ in range(CASES):
+            name = random_name(rng)
+            wire = encode_name(name)
+            decoded, next_offset = decode_name(wire, 0)
+            assert decoded == normalize_name(name)
+            assert next_offset == len(wire)
+
+    def test_round_trip_survives_leading_garbage(self):
+        """Offsets other than zero decode the same name."""
+        rng = random.Random(0xD16)
+        for _ in range(CASES):
+            name = random_name(rng)
+            pad = bytes(rng.randrange(256) for _ in range(rng.randint(1, 12)))
+            wire = pad + encode_name(name)
+            decoded, next_offset = decode_name(wire, len(pad))
+            assert decoded == normalize_name(name)
+            assert next_offset == len(wire)
+
+    def test_compression_pointer_round_trip(self):
+        """prefix-labels + pointer decodes to prefix.suffix.
+
+        The suffix name is encoded at offset 0; a second name is written
+        after it as length-prefixed prefix labels ending in a 2-byte
+        pointer back to offset 0, exactly as DnsMessage.encode compresses
+        repeated QNAME tails.
+        """
+        rng = random.Random(0xD17)
+        for _ in range(CASES):
+            # Keep prefix + suffix comfortably under the 255-byte wire
+            # limit, which applies to the *decompressed* name.
+            suffix = ".".join(random_label(rng, 20)
+                              for _ in range(rng.randint(1, 3)))
+            prefix = [random_label(rng, 8) for _ in range(rng.randint(1, 3))]
+            message = bytearray(encode_name(suffix))
+            start = len(message)
+            for label in prefix:
+                message.append(len(label))
+                message.extend(label.encode("ascii"))
+            message.extend((0xC0, 0x00))  # pointer to offset 0
+            decoded, next_offset = decode_name(bytes(message), start)
+            expected = ".".join(prefix + [normalize_name(suffix)]).rstrip(".")
+            assert decoded == expected
+            assert next_offset == len(message)
+
+    def test_max_label_round_trips_and_overlong_rejects(self):
+        rng = random.Random(0xD18)
+        for _ in range(20):
+            label = random_label(rng, MAX_LABEL_LENGTH)
+            label += "a" * (MAX_LABEL_LENGTH - len(label))
+            assert len(label) == MAX_LABEL_LENGTH
+            decoded, _ = decode_name(encode_name(label), 0)
+            assert decoded == label
+            with pytest.raises(DnsNameError):
+                encode_name(label + "a")
+
+    def test_forward_pointer_rejected(self):
+        wire = bytes((0xC0, 0x02)) + encode_name("a")
+        with pytest.raises(DnsNameError):
+            decode_name(wire, 0)
+
+
+def random_identity(rng: random.Random) -> DecoyIdentity:
+    return DecoyIdentity(
+        sent_at=rng.randint(0, 0xFFFFFFFF),
+        vp_address=ip_from_int(rng.randint(0, 0xFFFFFFFF)),
+        dst_address=ip_from_int(rng.randint(0, 0xFFFFFFFF)),
+        ttl=rng.randint(0, 255),
+        sequence=rng.randint(0, 9999),
+    )
+
+
+class TestIdentifierRoundTrip:
+    def test_decode_encode_identity(self):
+        rng = random.Random(0x1D)
+        codec = IdentifierCodec()
+        for _ in range(CASES):
+            identity = random_identity(rng)
+            assert codec.decode(codec.encode(identity)) == identity
+
+    def test_label_fits_dns_label(self):
+        rng = random.Random(0x1E)
+        codec = IdentifierCodec()
+        for _ in range(CASES):
+            label = codec.encode(random_identity(rng))
+            assert len(label) <= MAX_LABEL_LENGTH
+
+    def test_corrupted_crc_always_rejects(self):
+        """Any single-character corruption of the base32 token is caught.
+
+        One base32 character carries 5 payload bits, and CRC-16/CCITT
+        detects every burst error shorter than 16 bits, so a mutated
+        token must never decode into a (wrong) identity.
+        """
+        rng = random.Random(0x1F)
+        codec = IdentifierCodec()
+        for _ in range(CASES):
+            label = codec.encode(random_identity(rng))
+            token, _, sequence = label.partition("-")
+            position = rng.randrange(len(token))
+            replacement = rng.choice(
+                [c for c in _B32_CHARS if c != token[position]])
+            corrupted = token[:position] + replacement + token[position + 1:]
+            with pytest.raises(IdentifierError):
+                codec.decode(f"{corrupted}-{sequence}")
+
+    def test_flipped_payload_bit_always_rejects(self):
+        """Re-packing a bit-flipped body with the stale checksum fails."""
+        import base64
+        import struct
+
+        rng = random.Random(0x20)
+        codec = IdentifierCodec()
+        for _ in range(CASES):
+            identity = random_identity(rng)
+            label = codec.encode(identity)
+            token, _, sequence = label.partition("-")
+            packed = bytearray(
+                base64.b32decode(token.upper() + "=" * (-len(token) % 8)))
+            body = bytearray(packed[:13])
+            body[rng.randrange(13)] ^= 1 << rng.randrange(8)
+            stale = struct.pack("!H", struct.unpack("!H", packed[13:])[0])
+            forged = (base64.b32encode(bytes(body) + stale)
+                      .decode("ascii").lower().rstrip("="))
+            with pytest.raises(IdentifierError):
+                codec.decode(f"{forged}-{sequence}")
+            assert crc16_ccitt(bytes(body)) != struct.unpack("!H", stale)[0]
+
+    def test_decode_domain_skips_foreign_labels(self):
+        rng = random.Random(0x21)
+        codec = IdentifierCodec()
+        zone = "www.experiment.domain"
+        for _ in range(50):
+            identity = random_identity(rng)
+            label = codec.encode(identity)
+            probe = random_label(rng, 12)
+            domain = f"{probe}.{label}.{zone}"
+            assert codec.decode_domain(domain, zone) == identity
+
+
+_TOKEN_CHARS = string.ascii_letters + string.digits + "-_"
+_VALUE_CHARS = string.ascii_letters + string.digits + " -_/.;=()"
+
+
+def random_request(rng: random.Random) -> HttpRequest:
+    method = rng.choice(("GET", "POST", "PUT", "HEAD", "OPTIONS"))
+    path = "/" + "/".join(
+        "".join(rng.choice(_TOKEN_CHARS) for _ in range(rng.randint(1, 10)))
+        for _ in range(rng.randint(0, 3)))
+    headers = []
+    for _ in range(rng.randint(0, 6)):
+        name = "".join(rng.choice(_TOKEN_CHARS)
+                       for _ in range(rng.randint(1, 16)))
+        value = "".join(rng.choice(_VALUE_CHARS)
+                        for _ in range(rng.randint(0, 24))).strip()
+        headers.append((name, value))
+    body = bytes(rng.randrange(256) for _ in range(rng.randint(0, 64)))
+    if body:
+        headers.append(("Content-Length", str(len(body))))
+    return HttpRequest(method=method, path=path,
+                       headers=tuple(headers), body=body)
+
+
+class TestHttpRequestRoundTrip:
+    def test_decode_encode_fixpoint(self):
+        rng = random.Random(0x477)
+        for _ in range(CASES):
+            request = random_request(rng)
+            decoded = HttpRequest.decode(request.encode())
+            assert decoded == request
+            # Fixpoint: a decoded request re-encodes to identical bytes.
+            assert decoded.encode() == request.encode()
+
+    def test_decoy_get_round_trips(self):
+        rng = random.Random(0x478)
+        for _ in range(50):
+            host = random_name(rng)
+            request = make_get(host)
+            decoded = HttpRequest.decode(request.encode())
+            assert decoded == request
+            assert decoded.host == host
+
+    def test_content_length_mismatch_rejected(self):
+        rng = random.Random(0x479)
+        for _ in range(50):
+            request = random_request(rng)
+            if not request.body:
+                continue
+            wire = request.encode()
+            # Drop the last body byte: declared length no longer matches.
+            with pytest.raises(HttpMessageError):
+                HttpRequest.decode(wire[:-1])

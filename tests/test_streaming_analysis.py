@@ -1,0 +1,165 @@
+"""Streaming-vs-batch equivalence and merge-algebra tests.
+
+The streaming engine (:mod:`repro.analysis.streaming`) promises *exact*
+equality with the batch analyses — not approximate agreement — on any
+seed and any shard layout.  This suite pins that contract:
+
+* three seeds x {serial, 4-worker}: every accumulator-derived artifact
+  and the fully rendered report are bit-identical to batch;
+* ``AnalysisState.merge`` is associative and commutative over arbitrary
+  partitions of a run's feed;
+* snapshots round-trip through canonical JSON with equal digests.
+"""
+
+import itertools
+import json
+
+import pytest
+
+from repro.analysis.paperreport import (
+    batch_artifacts,
+    full_report,
+    full_report_from_state,
+    streaming_artifacts,
+)
+from repro.analysis.streaming import AccumulatorMergeError, AnalysisState
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import Experiment
+from repro.core.shard import result_digest
+from repro.simkit.units import HOUR
+
+SEEDS = (20240301, 7, 1234)
+WORKERS = 4
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """seed -> (serial result, 4-worker result)."""
+    results = {}
+    for seed in SEEDS:
+        serial = Experiment(ExperimentConfig.tiny(seed=seed)).run()
+        config = ExperimentConfig.tiny(seed=seed)
+        config.workers = WORKERS
+        sharded = Experiment(config).run()
+        results[seed] = (serial, sharded)
+    return results
+
+
+class TestStreamingEqualsBatch:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_serial_report_bit_identical(self, runs, seed):
+        serial, _ = runs[seed]
+        assert full_report(serial) == full_report_from_state(serial.analysis)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_sharded_report_bit_identical(self, runs, seed):
+        _, sharded = runs[seed]
+        assert sharded.analysis is not None
+        assert full_report(sharded) == full_report_from_state(sharded.analysis)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_every_artifact_equal(self, runs, seed):
+        """Artifact-by-artifact comparison, not just the rendered text."""
+        serial, _ = runs[seed]
+        batch = batch_artifacts(serial)
+        streaming = streaming_artifacts(serial.analysis)
+        assert batch.keys() == streaming.keys()
+        for key in batch:
+            assert batch[key] == streaming[key], f"artifact {key!r} differs"
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_sharded_state_equals_serial_state(self, runs, seed):
+        serial, sharded = runs[seed]
+        assert result_digest(serial) == result_digest(sharded)
+        assert serial.analysis.digest() == sharded.analysis.digest()
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_sharded_report_equals_serial_report(self, runs, seed):
+        serial, sharded = runs[seed]
+        assert (full_report_from_state(sharded.analysis)
+                == full_report(serial))
+
+
+def partition_feed(result, parts):
+    """Re-feed a serial run's observations round-robin into fresh states.
+
+    Covers exactly what the campaign fed ``result.analysis``: every decoy
+    at send time, every Phase I event, every Phase II location, and the
+    final log length (assigned wholly to part 0 — merge sums it).
+    """
+    eco = result.eco
+    states = [AnalysisState(directory=eco.directory, blocklist=eco.blocklist)
+              for _ in range(parts)]
+    for index, record in enumerate(result.ledger.records()):
+        states[index % parts].observe_decoy(record)
+    for index, event in enumerate(result.phase1.events):
+        states[index % parts].observe_event(event)
+    for index, location in enumerate(result.locations):
+        states[index % parts].observe_location(location)
+    states[0].set_log_entries(len(result.log))
+    return states
+
+
+class TestMergeAlgebra:
+    def test_merge_commutative_over_permutations(self, runs):
+        serial, _ = runs[SEEDS[0]]
+        states = partition_feed(serial, 4)
+        digests = {
+            AnalysisState.merged([states[i] for i in order]).digest()
+            for order in itertools.permutations(range(4))
+        }
+        assert digests == {serial.analysis.digest()}
+
+    def test_merge_associative(self, runs):
+        serial, _ = runs[SEEDS[0]]
+        a, b, c, d = partition_feed(serial, 4)
+        left = AnalysisState.merged([a, b]).merge(
+            AnalysisState.merged([c, d]))
+        right = AnalysisState.merged([a]).merge(b).merge(c).merge(d)
+        assert left.digest() == right.digest() == serial.analysis.digest()
+
+    def test_partition_count_invariant(self, runs):
+        serial, _ = runs[SEEDS[0]]
+        reference = serial.analysis.digest()
+        for parts in (1, 2, 3, 5):
+            merged = AnalysisState.merged(partition_feed(serial, parts))
+            assert merged.digest() == reference
+
+    def test_merged_state_renders_identically(self, runs):
+        serial, _ = runs[SEEDS[0]]
+        merged = AnalysisState.merged(partition_feed(serial, 3))
+        assert full_report_from_state(merged) == full_report(serial)
+
+    def test_mismatched_multi_use_window_rejected(self):
+        left = AnalysisState()
+        right = AnalysisState()
+        right.multi_use.after = 2 * HOUR
+        with pytest.raises(AccumulatorMergeError):
+            left.merge(right)
+
+
+class TestSnapshotRoundTrip:
+    def test_snapshot_is_canonical_json(self, runs):
+        serial, _ = runs[SEEDS[0]]
+        snapshot = serial.analysis.snapshot()
+        wire = json.dumps(snapshot, sort_keys=True)
+        assert json.loads(wire) == json.loads(wire)  # stable encoding
+        restored = AnalysisState.from_snapshot(json.loads(wire))
+        assert restored.digest() == serial.analysis.digest()
+
+    def test_restored_state_renders_identically(self, runs):
+        serial, _ = runs[SEEDS[0]]
+        restored = AnalysisState.from_snapshot(serial.analysis.snapshot())
+        assert full_report_from_state(restored) == full_report(serial)
+
+    def test_restored_state_cannot_observe(self, runs):
+        serial, _ = runs[SEEDS[0]]
+        restored = AnalysisState.from_snapshot(serial.analysis.snapshot())
+        with pytest.raises(RuntimeError):
+            restored.observe_event(serial.phase1.events[0])
+
+    def test_unknown_format_rejected(self):
+        snapshot = AnalysisState().snapshot()
+        snapshot["format"] = 999
+        with pytest.raises(ValueError):
+            AnalysisState.from_snapshot(snapshot)
