@@ -17,8 +17,9 @@ against the same campaign with ``config.telemetry = True``, plus the
 digest check proving instrumentation never changes the computed result.
 See docs/OBSERVABILITY.md for the overhead discussion.
 
-Smoke mode (``REPRO_BENCH_SMOKE=1``): one worker on the tiny config, for
-CI runs that only need to prove the bench still executes end to end.
+Smoke mode (``REPRO_BENCH_SMOKE=1``): the tiny config at 1 and 2 workers,
+for CI runs that only need to prove the bench — including the wire-byte
+and merge-stage accounting — still executes end to end.
 """
 
 import json
@@ -46,7 +47,9 @@ def _config(workers: int) -> ExperimentConfig:
 
 
 def test_perf_campaign_worker_scaling():
-    worker_counts = [1] if SMOKE else [1, 2, 4]
+    # Smoke still runs one sharded config so the wire-byte accounting and
+    # merge-stage columns are exercised end to end, just on the tiny size.
+    worker_counts = [1, 2] if SMOKE else [1, 2, 4]
     rows = []
     digests = []
     for workers in worker_counts:
@@ -54,12 +57,37 @@ def test_perf_campaign_worker_scaling():
         result = Experiment(_config(workers)).run()
         elapsed = time.perf_counter() - started
         decoys = len(result.ledger)
-        rows.append({
+        row = {
             "workers": workers,
             "seconds": round(elapsed, 3),
             "decoys": decoys,
             "decoys_per_sec": round(decoys / elapsed, 1),
-        })
+        }
+        if workers > 1:
+            # Data-plane cost of sharding: bytes actually shipped over
+            # the worker pipes per payload kind (run_sharded counts the
+            # encoded blobs as they cross), and the parent-side merge
+            # stages from the span-derived timings.  Serial runs have
+            # neither, so the columns are sharded-only.
+            timings = result.timings
+            row["wire_bytes"] = {
+                "phase1": int(timings["wire_phase1_bytes"]),
+                "dispatch": int(timings["wire_dispatch_bytes"]),
+                "final": int(timings["wire_final_bytes"]),
+                "total": int(timings["wire_phase1_bytes"]
+                             + timings["wire_dispatch_bytes"]
+                             + timings["wire_final_bytes"]),
+                "per_worker_avg": round(
+                    (timings["wire_phase1_bytes"]
+                     + timings["wire_dispatch_bytes"]
+                     + timings["wire_final_bytes"]) / workers, 1),
+            }
+            row["merge_seconds"] = {
+                "merge_interim": round(timings.get("merge_interim", 0.0), 4),
+                "merge_final": round(timings.get("merge_final", 0.0), 4),
+                "correlate": round(timings.get("correlate", 0.0), 4),
+            }
+        rows.append(row)
         digests.append(result_digest(result))
 
     # The throughput numbers are only meaningful if every worker count
@@ -112,6 +140,9 @@ def test_perf_campaign_worker_scaling():
     lines = [
         f"{row['workers']} worker(s): {row['decoys_per_sec']:>8.1f} decoys/sec"
         f"  ({row['seconds']:.2f}s, {row['decoys']} decoys)"
+        + (f"  wire={row['wire_bytes']['total']}B"
+           f" merge={sum(row['merge_seconds'].values()):.3f}s"
+           if "wire_bytes" in row else "")
         for row in rows
     ]
     print("\n=== BENCH_campaign ===\n" + "\n".join(lines)

@@ -80,6 +80,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="collect run telemetry and write telemetry.json "
                           "+ spans.jsonl to DIR (render later with "
                           "'repro telemetry DIR')")
+    run.add_argument("--profile", action="store_true",
+                     help="print a per-stage cumulative-time profile "
+                          "(derived from telemetry spans) to stderr after "
+                          "the run")
     run.add_argument("--output", metavar="FILE",
                      help="write the report to FILE instead of stdout")
 
@@ -170,6 +174,9 @@ def _command_run(args: argparse.Namespace) -> int:
     if args.telemetry:
         capture = write_telemetry(result.telemetry, args.telemetry)
         print(f"telemetry written to {capture}", file=sys.stderr)
+    if args.profile:
+        from repro.telemetry.render import render_profile
+        print(render_profile(result.telemetry.spans), file=sys.stderr)
     _emit(full_report(result, include_validation=True), args.output)
     return 0
 

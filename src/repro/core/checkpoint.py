@@ -10,9 +10,15 @@ by replay.
 
 Every write is atomic (temp file + :func:`os.replace` in the same
 directory), so a crash mid-flush leaves either the previous checkpoint or
-none — never a torn file.  Payloads are pickled; ``meta.json`` carries
-the human-readable run identity (seed, shard count) used to reject
-resuming with a mismatched config.
+none — never a torn file.  Shard payloads and the Phase II plan are
+stored as the same wire-format blobs that crossed the worker pipe
+(:mod:`repro.core.wire`) — the supervisor writes the received bytes
+verbatim, so checkpointing costs one file write, not a re-serialization,
+and the blob checksum doubles as on-disk corruption detection.  Final
+payloads are deltas: decoding one requires the shard's Phase I payload,
+which resume loads first anyway.  ``meta.json`` carries the
+human-readable run identity (seed, shard count) used to reject resuming
+with a mismatched config.
 """
 
 import json
@@ -21,16 +27,24 @@ import pickle
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from repro.core.wire import (
+    WireError,
+    decode_final_payload,
+    decode_phase1_payload,
+    decode_plan_slices,
+    encode_plan_slices,
+)
+
 _META = "meta.json"
 _CONFIG = "config.pkl"
-_PLAN = "phase2_plan.pkl"
+_PLAN = "phase2_plan.bin"
 _ANALYSIS = "analysis.json"
 
-CHECKPOINT_FORMAT = 2
-"""Format 2 payloads carry per-shard correlation and streaming-analysis
-state (``ShardPhase1Payload.correlation`` / ``.analysis``); format-1
-directories would unpickle into objects missing those fields, so resume
-rejects them up front instead of failing with an AttributeError later."""
+CHECKPOINT_FORMAT = 3
+"""Format 3 stores shard payloads and the Phase II plan as wire-format
+blobs (``*.bin``) with final payloads encoded as deltas against Phase I;
+format-2 directories hold pickles this build no longer reads, so resume
+rejects them up front instead of failing on a missing file later."""
 
 
 class CheckpointError(RuntimeError):
@@ -38,7 +52,7 @@ class CheckpointError(RuntimeError):
 
 
 class CheckpointStore:
-    """Atomic pickle/JSON persistence under one checkpoint directory."""
+    """Atomic wire-blob/JSON persistence under one checkpoint directory."""
 
     def __init__(self, directory) -> None:
         self.directory = Path(directory)
@@ -51,6 +65,9 @@ class CheckpointStore:
         temp = self.directory / (name + ".tmp")
         temp.write_bytes(payload)
         os.replace(temp, target)
+
+    def _read_bytes(self, name: str) -> bytes:
+        return (self.directory / name).read_bytes()
 
     def _write_pickle(self, name: str, value) -> None:
         self._write_bytes(name, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
@@ -96,35 +113,43 @@ class CheckpointStore:
 
     @staticmethod
     def _phase1_name(shard_index: int) -> str:
-        return f"shard-{shard_index:02d}.phase1.pkl"
+        return f"shard-{shard_index:02d}.phase1.bin"
 
     @staticmethod
     def _final_name(shard_index: int) -> str:
-        return f"shard-{shard_index:02d}.final.pkl"
+        return f"shard-{shard_index:02d}.final.bin"
 
-    def save_phase1(self, payload) -> None:
-        self._write_pickle(self._phase1_name(payload.shard_index), payload)
+    def save_phase1_blob(self, shard_index: int, blob: bytes) -> None:
+        self._write_bytes(self._phase1_name(shard_index), blob)
 
     def load_phase1(self, shard_index: int):
-        return self._read_pickle(self._phase1_name(shard_index))
+        name = self._phase1_name(shard_index)
+        try:
+            return decode_phase1_payload(self._read_bytes(name))
+        except WireError as exc:
+            raise CheckpointError(f"{self.directory / name}: {exc}") from exc
 
     def has_phase1(self, shard_index: int) -> bool:
         return (self.directory / self._phase1_name(shard_index)).exists()
 
     def save_phase2_plan(self, slices: List[list]) -> None:
-        self._write_pickle(_PLAN, slices)
+        self._write_bytes(_PLAN, encode_plan_slices(slices))
 
     def load_phase2_plan(self) -> Optional[List[list]]:
         try:
-            return self._read_pickle(_PLAN)
+            blob = self._read_bytes(_PLAN)
         except FileNotFoundError:
             return None
+        try:
+            return decode_plan_slices(blob)
+        except WireError as exc:
+            raise CheckpointError(f"{self.directory / _PLAN}: {exc}") from exc
 
     def save_analysis(self, snapshot: Dict) -> None:
         """Persist the merged interim analysis state (canonical JSON).
 
-        JSON, not pickle: the snapshot is already canonical-JSON-able, and
-        a text artifact doubles as a debugging/diffing aid."""
+        JSON, not a wire blob: the snapshot is already canonical-JSON-able,
+        and a text artifact doubles as a debugging/diffing aid."""
         self._write_bytes(_ANALYSIS,
                           json.dumps(snapshot, sort_keys=True).encode())
 
@@ -134,11 +159,17 @@ class CheckpointStore:
         except FileNotFoundError:
             return None
 
-    def save_final(self, payload) -> None:
-        self._write_pickle(self._final_name(payload.shard_index), payload)
+    def save_final_blob(self, shard_index: int, blob: bytes) -> None:
+        self._write_bytes(self._final_name(shard_index), blob)
 
-    def load_final(self, shard_index: int):
-        return self._read_pickle(self._final_name(shard_index))
+    def load_final(self, shard_index: int, phase1):
+        """Decode a final payload against its (already loaded) Phase I
+        payload — the delta base every final blob is encoded against."""
+        name = self._final_name(shard_index)
+        try:
+            return decode_final_payload(self._read_bytes(name), phase1)
+        except WireError as exc:
+            raise CheckpointError(f"{self.directory / name}: {exc}") from exc
 
     def has_final(self, shard_index: int) -> bool:
         return (self.directory / self._final_name(shard_index)).exists()

@@ -17,7 +17,8 @@ decoy ledger, applies the rules in arrival order, and emits
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from itertools import islice
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.identifier import DecoyIdentity, IdentifierCodec, IdentifierError
 from repro.honeypot.logstore import LoggedRequest, LogStore
@@ -69,6 +70,14 @@ class DecoyLedger:
         if phase is None:
             return list(self._by_domain.values())
         return [record for record in self._by_domain.values() if record.phase == phase]
+
+    def records_from(self, start: int) -> Iterator[DecoyRecord]:
+        """Records from registration position ``start`` onward.
+
+        The delta-snapshot path: a shard shipping only what it appended
+        since its last snapshot walks the tail without materializing the
+        full record list (registration order is insertion order)."""
+        return islice(self._by_domain.values(), start, None)
 
     def __len__(self) -> int:
         return len(self._by_domain)
@@ -243,47 +252,95 @@ def shard_correlation(result: CorrelationResult, log: LogStore) -> ShardCorrelat
     )
 
 
-def merge_shard_correlations(
-    shards: Sequence[ShardCorrelation],
-) -> CorrelationResult:
-    """Reconstruct ``Correlator.correlate(LogStore.merged(...))`` from
-    per-shard correlations, bit for bit.
+class CorrelationMerger:
+    """Incremental, order-independent accumulator behind
+    :func:`merge_shard_correlations`.
 
     The batch pass iterates merged-log domains in first-appearance order
     and emits each domain's events in arrival order.  First appearance
     orders by (time, shard position, in-shard index) — exactly
     :meth:`LogStore.merged`'s interleaving key — and shard locality puts
-    all of a domain's events in one shard, so concatenating per-shard
-    event lists in that domain order reproduces the merged event list.
-    A domain counts as unknown only if some shard flagged it and no
-    shard correlated it (the shard that owns a decoy resolves its
-    domain; other shards never see it).
+    all of a domain's events in one shard, so replaying per-shard event
+    lists in that domain order reproduces the merged event list.  A
+    domain counts as unknown only if some shard flagged it and no shard
+    correlated it (the shard that owns a decoy resolves its domain;
+    other shards never see it).
+
+    Every contribution is tagged with its *global* shard index, so
+    :meth:`add` and :meth:`merge` commute: the sharded supervisor folds
+    correlations pairwise in worker-completion order and still gets the
+    exact batch result.
     """
-    first_key: Dict[str, Tuple[float, int, int]] = {}
-    for position, shard in enumerate(shards):
+
+    def __init__(self):
+        self._first_key: Dict[str, Tuple[float, int, int]] = {}
+        self._events: Dict[str, List[Tuple[int, List[ShadowingEvent]]]] = {}
+        self._arrivals: Dict[str, Tuple[int, LoggedRequest]] = {}
+        self._flagged_unknown: Set[str] = set()
+
+    def add(self, shard: ShardCorrelation, position: int) -> "CorrelationMerger":
+        """Fold one shard's correlation in; ``position`` is its global
+        shard index (the batch iteration order)."""
+        first_key = self._first_key
         for time, index, domain in shard.firsts:
             key = (time, position, index)
             existing = first_key.get(domain)
             if existing is None or key < existing:
                 first_key[domain] = key
-    flagged_unknown = set()
-    for shard in shards:
-        flagged_unknown.update(shard.unknown_domains)
-    result = CorrelationResult()
-    for domain in sorted(first_key, key=first_key.__getitem__):
-        correlated = False
-        for shard in shards:
-            domain_events = shard.events.get(domain)
+        for domain, domain_events in shard.events.items():
             if domain_events:
-                result.events.extend(domain_events)
+                self._events.setdefault(domain, []).append(
+                    (position, domain_events))
+        for domain, arrival in shard.initial_arrivals.items():
+            existing = self._arrivals.get(domain)
+            if existing is None or position > existing[0]:
+                self._arrivals[domain] = (position, arrival)
+        self._flagged_unknown.update(shard.unknown_domains)
+        return self
+
+    def merge(self, other: "CorrelationMerger") -> "CorrelationMerger":
+        """Fold another partial accumulation in (associative/commutative)."""
+        for domain, key in other._first_key.items():
+            existing = self._first_key.get(domain)
+            if existing is None or key < existing:
+                self._first_key[domain] = key
+        for domain, groups in other._events.items():
+            self._events.setdefault(domain, []).extend(groups)
+        for domain, tagged in other._arrivals.items():
+            existing = self._arrivals.get(domain)
+            if existing is None or tagged[0] > existing[0]:
+                self._arrivals[domain] = tagged
+        self._flagged_unknown.update(other._flagged_unknown)
+        return self
+
+    def result(self) -> CorrelationResult:
+        """The batch-identical merged correlation."""
+        result = CorrelationResult()
+        for domain in sorted(self._first_key, key=self._first_key.__getitem__):
+            correlated = False
+            groups = self._events.get(domain)
+            if groups:
+                for _, domain_events in sorted(groups, key=lambda g: g[0]):
+                    result.events.extend(domain_events)
                 correlated = True
-            arrival = shard.initial_arrivals.get(domain)
-            if arrival is not None:
-                result.initial_arrivals[domain] = arrival
+            tagged = self._arrivals.get(domain)
+            if tagged is not None:
+                result.initial_arrivals[domain] = tagged[1]
                 correlated = True
-        if not correlated and domain in flagged_unknown:
-            result.unknown_domains.append(domain)
-    return result
+            if not correlated and domain in self._flagged_unknown:
+                result.unknown_domains.append(domain)
+        return result
+
+
+def merge_shard_correlations(
+    shards: Sequence[ShardCorrelation],
+) -> CorrelationResult:
+    """Reconstruct ``Correlator.correlate(LogStore.merged(...))`` from
+    per-shard correlations, bit for bit (see :class:`CorrelationMerger`)."""
+    merger = CorrelationMerger()
+    for position, shard in enumerate(shards):
+        merger.add(shard, position)
+    return merger.result()
 
 
 def split_correlation(result: CorrelationResult, ledger: DecoyLedger,

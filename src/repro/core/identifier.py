@@ -19,29 +19,52 @@ checksum, then ``-<sequence>``.  Layout (15 bytes before base32):
 
 24 base32 characters + ``-`` + sequence stays well under the 63-byte
 label limit.
+
+This codec sits on the per-decoy hot path — every send encodes one
+identifier and every logged request decodes up to one label per domain
+component — so the implementation is profile-driven: a table-driven CRC
+(one lookup per byte instead of eight shift/xor rounds), precompiled
+``struct.Struct`` instances, and a memoized label decoder.  Memoizing
+*failures* matters as much as successes: ``decode_domain`` tries every
+label of a multi-label name, so the common case for a candidate label is
+rejection, and campaign traffic repeats the same foreign labels
+("probe", "www") millions of times.
 """
 
 import base64
 import struct
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.net.addr import ip_from_int, ip_to_int
+
+_BODY = struct.Struct("!III B")
+_CRC = struct.Struct("!H")
 
 
 class IdentifierError(ValueError):
     """Raised for labels that do not decode to a valid identity."""
 
 
+def _crc16_table() -> tuple:
+    table = []
+    for byte in range(256):
+        crc = byte << 8
+        for _ in range(8):
+            crc = ((crc << 1) ^ 0x1021 if crc & 0x8000 else crc << 1) & 0xFFFF
+        table.append(crc)
+    return tuple(table)
+
+
+_CRC16_TABLE = _crc16_table()
+
+
 def crc16_ccitt(data: bytes) -> int:
     """CRC-16/CCITT-FALSE — compact integrity check for identifiers."""
     crc = 0xFFFF
+    table = _CRC16_TABLE
     for byte in data:
-        crc ^= byte << 8
-        for _ in range(8):
-            if crc & 0x8000:
-                crc = ((crc << 1) ^ 0x1021) & 0xFFFF
-            else:
-                crc = (crc << 1) & 0xFFFF
+        crc = ((crc << 8) & 0xFFFF) ^ table[(crc >> 8) ^ byte]
     return crc
 
 
@@ -66,18 +89,57 @@ class DecoyIdentity:
             raise IdentifierError(f"sequence out of range: {self.sequence}")
 
 
+@lru_cache(maxsize=65536)
+def _decode_label(label: str):
+    """Decode one label to a :class:`DecoyIdentity` or an
+    :class:`IdentifierError` *value* — cached either way, because the
+    try-every-label loop in ``decode_domain`` makes rejection the common
+    outcome and the same foreign labels recur campaign-wide."""
+    token, separator, sequence_text = label.partition("-")
+    # The sequence suffix must be exactly the four digits encode()
+    # emits: accepting shorter or longer digit runs lets distinct
+    # labels ("…-1", "…-01", "…-00001") alias onto one identity and
+    # misattribute foreign traffic to a decoy.
+    if (not separator or len(sequence_text) != 4
+            or not sequence_text.isdigit()):
+        return IdentifierError(f"label has no sequence suffix: {label!r}")
+    padding = "=" * (-len(token) % 8)
+    try:
+        packed = base64.b32decode(token.upper() + padding)
+    except Exception:
+        return IdentifierError(f"label is not base32: {label!r}")
+    if len(packed) != 15:
+        return IdentifierError(
+            f"identifier payload must be 15 bytes, got {len(packed)}"
+        )
+    body, checksum_bytes = packed[:13], packed[13:]
+    (expected,) = _CRC.unpack(checksum_bytes)
+    if crc16_ccitt(body) != expected:
+        return IdentifierError(f"identifier checksum mismatch in {label!r}")
+    sent_at, vp_int, dst_int, ttl = _BODY.unpack(body)
+    try:
+        return DecoyIdentity(
+            sent_at=sent_at,
+            vp_address=ip_from_int(vp_int),
+            dst_address=ip_from_int(dst_int),
+            ttl=ttl,
+            sequence=int(sequence_text),
+        )
+    except IdentifierError as exc:
+        return exc
+
+
 class IdentifierCodec:
     """Encodes identities into DNS labels and back."""
 
     def encode(self, identity: DecoyIdentity) -> str:
-        packed = struct.pack(
-            "!III B",
+        packed = _BODY.pack(
             identity.sent_at,
             ip_to_int(identity.vp_address),
             ip_to_int(identity.dst_address),
             identity.ttl,
         )
-        packed += struct.pack("!H", crc16_ccitt(packed))
+        packed += _CRC.pack(crc16_ccitt(packed))
         token = base64.b32encode(packed).decode("ascii").lower().rstrip("=")
         return f"{token}-{identity.sequence:04d}"
 
@@ -87,35 +149,10 @@ class IdentifierCodec:
         Raises :class:`IdentifierError` for anything that is not a genuine
         experiment identifier — corrupted, truncated, or foreign labels.
         """
-        token, separator, sequence_text = label.partition("-")
-        # The sequence suffix must be exactly the four digits encode()
-        # emits: accepting shorter or longer digit runs lets distinct
-        # labels ("…-1", "…-01", "…-00001") alias onto one identity and
-        # misattribute foreign traffic to a decoy.
-        if (not separator or len(sequence_text) != 4
-                or not sequence_text.isdigit()):
-            raise IdentifierError(f"label has no sequence suffix: {label!r}")
-        padding = "=" * (-len(token) % 8)
-        try:
-            packed = base64.b32decode(token.upper() + padding)
-        except Exception as exc:
-            raise IdentifierError(f"label is not base32: {label!r}") from exc
-        if len(packed) != 15:
-            raise IdentifierError(
-                f"identifier payload must be 15 bytes, got {len(packed)}"
-            )
-        body, checksum_bytes = packed[:13], packed[13:]
-        (expected,) = struct.unpack("!H", checksum_bytes)
-        if crc16_ccitt(body) != expected:
-            raise IdentifierError(f"identifier checksum mismatch in {label!r}")
-        sent_at, vp_int, dst_int, ttl = struct.unpack("!III B", body)
-        return DecoyIdentity(
-            sent_at=sent_at,
-            vp_address=ip_from_int(vp_int),
-            dst_address=ip_from_int(dst_int),
-            ttl=ttl,
-            sequence=int(sequence_text),
-        )
+        result = _decode_label(label)
+        if isinstance(result, IdentifierError):
+            raise result
+        return result
 
     def decode_domain(self, domain: str, zone: str) -> DecoyIdentity:
         """Decode the identity from a full experiment domain."""
@@ -134,8 +171,9 @@ class IdentifierCodec:
             f"no decodable label in {domain!r}"
         )
         for candidate in label.split("."):
-            try:
-                return self.decode(candidate)
-            except IdentifierError as exc:
-                last_error = exc
+            result = _decode_label(candidate)
+            if isinstance(result, IdentifierError):
+                last_error = result
+            else:
+                return result
         raise last_error

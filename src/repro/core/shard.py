@@ -23,11 +23,23 @@ Why the merge can be exact:
   major, plan minor) key and log entries merge by (time, shard, local
   index), reproducing the serial registration/arrival order.
 
-Workers stay alive across a two-round protocol: Phase I results flow to
-the parent, which merges the interim ledgers/logs, computes the global
-Phase II plan (per-destination quotas need the *merged* Phase I
-correlation), and dispatches each shard its slice; workers then run Phase
-II over their still-live simulators and return the remainder.
+Data plane
+----------
+
+Workers stay alive across a two-round protocol and everything that
+crosses the pipe is a compact wire-format blob (:mod:`repro.core.wire`):
+Phase I payloads flow to the parent, which folds each one into pairwise
+interim accumulators *as it arrives* (:class:`PairwiseMerger` over
+:class:`~repro.core.correlate.CorrelationMerger` and
+``AnalysisState``), computes the global Phase II plan (per-destination
+quotas need the *merged* Phase I correlation), and dispatches each shard
+its slice before doing any parent-side bookkeeping — Phase II simulation
+overlaps the parent's ledger registration and checkpoint writes.  Final
+payloads are deltas against the Phase I snapshot (ledger/log tails,
+correlation-event tails, telemetry/analysis diffs), decoded against the
+parent's retained Phase I payloads and merged in arrival order.  Nothing
+in the protocol depends on arrival order: the accumulators are
+order-independent and the final fan-in sorts by content keys.
 
 Crash tolerance
 ---------------
@@ -38,33 +50,34 @@ heartbeats from a background thread, and the parent treats a dead process
 simulation is a pure function of (config, shard index, shard count), a
 dead worker is simply respawned and replays its partition from the start
 of the current phase: the respawn re-runs build + Phase I, the parent
-verifies the replayed Phase I payload is byte-identical to the original
-(any divergence is a determinism bug, not a recoverable fault), and then
-re-dispatches the same Phase II slice.  A fault-free N-worker run, a
-worker-killed-and-respawned run, and the serial run therefore produce
-identical result digests.
+verifies the replayed Phase I payload is content-identical to the
+original (any divergence is a determinism bug, not a recoverable fault),
+and then re-dispatches the same Phase II slice.  A fault-free N-worker
+run, a worker-killed-and-respawned run, and the serial run therefore
+produce identical result digests.
 
-With a checkpoint directory, each payload is flushed to disk as it
-arrives (:mod:`repro.core.checkpoint`), and ``run_sharded(resume_dir=…)``
-skips shards whose final payload survived a previous (killed) run.
+With a checkpoint directory, each payload's wire blob is flushed to disk
+verbatim as it arrives (:mod:`repro.core.checkpoint`), and
+``run_sharded(resume_dir=…)`` skips shards whose final payload survived a
+previous (killed) run.
 """
 
 import multiprocessing
 import threading
 import time
 import traceback
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _connection_wait
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.checkpoint import CheckpointError, CheckpointStore
 
 from repro.core.campaign import Campaign, pair_shard
 from repro.core.config import ExperimentConfig
 from repro.core.correlate import (
+    CorrelationMerger,
     Correlator,
     DecoyRecord,
-    ShardCorrelation,
-    merge_shard_correlations,
     shard_correlation,
     split_correlation,
 )
@@ -75,14 +88,34 @@ from repro.core.experiment import (
     plan_phase2,
     schedule_phase2_entries,
 )
-from repro.core.phase2 import HopByHopTracer, ObserverLocation
-from repro.honeypot.logstore import LoggedRequest, LogStore
-from repro.observers.exhibitor import ObservationRecord
+from repro.core.phase2 import HopByHopTracer
+from repro.core.wire import (
+    LedgerKey,
+    ShardFinalPayload,
+    ShardPhase1Payload,
+    decode_final_payload,
+    decode_phase1_payload,
+    decode_plan_slice,
+    encode_final_payload,
+    encode_phase1_payload,
+    encode_plan_slice,
+)
+from repro.honeypot.logstore import LogStore
 from repro.telemetry.export import RunTelemetry
 from repro.telemetry.registry import MetricsRegistry
-from repro.telemetry.spans import Span, SpanTracer, merge_spans, timings_from_spans
+from repro.telemetry.spans import SpanTracer, merge_spans, timings_from_spans
 
-LedgerKey = Tuple[float, int, int, int]
+__all__ = [
+    "SupervisorPolicy",
+    "ShardPhase1Payload",
+    "ShardFinalPayload",
+    "PairwiseMerger",
+    "run_sharded",
+    "ledger_digest",
+    "log_digest",
+    "events_digest",
+    "result_digest",
+]
 
 
 @dataclass(frozen=True)
@@ -113,70 +146,58 @@ class SupervisorPolicy:
             raise ValueError("max_respawns must be >= 0")
 
 
-@dataclass
-class ShardPhase1Payload:
-    """Everything one shard produced during Phase I."""
+class PairwiseMerger:
+    """Tree-structured reduction of an associative, commutative merge.
 
-    shard_index: int
-    records: List[Tuple[LedgerKey, DecoyRecord]]
-    log_entries: List[LoggedRequest]
-    sends_planned: int
-    sends_scheduled: int
-    last_send_time: float
-    virtual_now: float
-    vetting_kept: int
-    vetting_removed_ttl: int
-    vetting_removed_intercepted: int
-    wall_seconds: float
-    correlation: Optional[ShardCorrelation] = None
-    """This shard's Phase I correlation, packaged for exact merging —
-    the supervisor plans Phase II from ``merge_shard_correlations`` of
-    these instead of re-correlating the merged interim log."""
-    analysis: Optional[dict] = None
-    """Snapshot of the shard's interim
-    :class:`~repro.analysis.streaming.AnalysisState` at the Phase I
-    boundary (decoys + correlated events so far)."""
+    ``push`` folds equal-rank partials together like binary addition
+    (the classic binary-counter trick), so after n pushes at most
+    O(log n) partials are alive and each element has participated in
+    O(log n) merges — instead of the n merges a left fold performs on
+    its accumulator.  For accumulators whose merge cost grows with the
+    accumulated state (correlation mergers, analysis states) this turns
+    the supervisor's fan-in from a 1×N barrier pass into balanced
+    pairwise work that happens as payloads arrive.
 
+    The fold order is arrival order, so the merge operation must be
+    order-independent; both accumulators pushed by the supervisor are
+    (their tests pin associativity/commutativity).
+    """
 
-@dataclass
-class ShardFinalPayload:
-    """Phase II deltas plus final counters from one shard."""
+    __slots__ = ("_merge", "_stack")
 
-    shard_index: int
-    records: List[Tuple[LedgerKey, DecoyRecord]]
-    log_entries: List[LoggedRequest]
-    """Entries appended after the Phase I snapshot."""
-    locations: List[Tuple[int, ObserverLocation]]
-    """(plan index, location) for traceroutes this shard ran."""
-    ground_truth: List[Tuple[float, ObservationRecord]]
-    label_counts: Dict[str, int]
-    processed: int
-    exhibitor_counts: Dict[str, Tuple[int, int]]
-    """Exhibitor name -> (observed_count, leveraged_count)."""
-    resolver_received: Dict[str, int]
-    """Destination address -> decoys_received."""
-    emitter_emitted: int
-    virtual_now: float
-    wall_seconds: float
-    telemetry: Dict[str, dict] = field(default_factory=dict)
-    """This shard's full :meth:`MetricsRegistry.snapshot` (both phases —
-    the worker's simulator lives across the two-round protocol)."""
-    spans: List[Span] = field(default_factory=list)
-    """Per-shard stage spans, tagged with the shard index."""
-    correlation: Optional[ShardCorrelation] = None
-    """Full-log (both phases) correlation of this shard, packaged for
-    exact merging; the supervisor phase-splits the merged result instead
-    of re-scanning the merged log twice."""
-    analysis: Optional[dict] = None
-    """Snapshot of the shard's final
-    :class:`~repro.analysis.streaming.AnalysisState` (all Phase I events,
-    Phase II verdicts, and log counts)."""
+    def __init__(self, merge: Callable):
+        self._merge = merge
+        self._stack: List[Tuple[int, object]] = []
+
+    def push(self, value) -> None:
+        rank = 0
+        stack = self._stack
+        while stack and stack[-1][0] == rank:
+            _, previous = stack.pop()
+            value = self._merge(previous, value)
+            rank += 1
+        stack.append((rank, value))
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def result(self):
+        """Fold the surviving partials; None if nothing was pushed."""
+        if not self._stack:
+            return None
+        partials = [value for _, value in self._stack]
+        merged = partials[0]
+        for value in partials[1:]:
+            merged = self._merge(merged, value)
+        self._stack = [(len(partials), merged)]
+        return merged
 
 
-def _ledger_snapshot(campaign: Campaign, skip: int) -> List[Tuple[LedgerKey, DecoyRecord]]:
+def _ledger_snapshot(campaign: Campaign,
+                     skip: int) -> List[Tuple[LedgerKey, DecoyRecord]]:
     return [
         (campaign.ledger_key(record.domain), record)
-        for record in campaign.ledger.records()[skip:]
+        for record in campaign.ledger.records_from(skip)
     ]
 
 
@@ -216,7 +237,12 @@ class _HeartbeatSender:
 
 def _shard_worker(conn, config: ExperimentConfig, shard_index: int,
                   shard_count: int, heartbeat_interval: float = 0.5) -> None:
-    """Worker process body: Phase I, then (on request) Phase II."""
+    """Worker process body: Phase I, then (on request) Phase II.
+
+    Payloads cross the pipe as wire blobs.  The worker keeps its own
+    Phase I payload alive as the delta base for the final encoding —
+    the final blob ships only what Phase II appended.
+    """
     send_lock = threading.Lock()
 
     def send(message):
@@ -240,13 +266,13 @@ def _shard_worker(conn, config: ExperimentConfig, shard_index: int,
             vetting = campaign.vetting
             # Correlate the shard's own Phase I log: shard locality means
             # the merged correlation is exactly the merge of these (see
-            # merge_shard_correlations), so the parent never re-scans.
+            # CorrelationMerger), so the parent never re-scans.
             correlator = Correlator(campaign.ledger, zone=config.zone)
             phase1_result = correlator.correlate(eco.deployment.log, phase=1)
             interim_analysis = campaign.analysis.clone()
             interim_analysis.observe_events(phase1_result.events)
             interim_analysis.set_log_entries(phase1_log_len)
-            send(("phase1", ShardPhase1Payload(
+            phase1_payload = ShardPhase1Payload(
                 shard_index=shard_index,
                 records=_ledger_snapshot(campaign, 0),
                 log_entries=list(eco.deployment.log),
@@ -261,11 +287,14 @@ def _shard_worker(conn, config: ExperimentConfig, shard_index: int,
                 correlation=shard_correlation(phase1_result,
                                               eco.deployment.log),
                 analysis=interim_analysis.snapshot(),
-            )))
+                telemetry=eco.telemetry.snapshot(),
+            )
+            send(("phase1", encode_phase1_payload(phase1_payload)))
 
-            command, entries = conn.recv()
+            command, blob = conn.recv()
             if command != "phase2":
                 return
+            entries = decode_plan_slice(blob)
             stage = time.perf_counter()
             tracer = HopByHopTracer(campaign)
             with tracer_spans.span("phase2"):
@@ -282,7 +311,7 @@ def _shard_worker(conn, config: ExperimentConfig, shard_index: int,
             )
             campaign.analysis.observe_locations(locations)
             campaign.analysis.set_log_entries(len(eco.deployment.log))
-            send(("final", ShardFinalPayload(
+            final_payload = ShardFinalPayload(
                 shard_index=shard_index,
                 records=_ledger_snapshot(campaign, phase1_records),
                 log_entries=list(eco.deployment.log)[phase1_log_len:],
@@ -312,7 +341,8 @@ def _shard_worker(conn, config: ExperimentConfig, shard_index: int,
                 correlation=shard_correlation(full_result,
                                               eco.deployment.log),
                 analysis=campaign.analysis.snapshot(),
-            )))
+            )
+            send(("final", encode_final_payload(final_payload, phase1_payload)))
     except BaseException:
         try:
             send(("error", traceback.format_exc()))
@@ -325,6 +355,10 @@ def _shard_worker(conn, config: ExperimentConfig, shard_index: int,
 
 class _WorkerDied(Exception):
     """A shard worker stopped responding — recoverable by respawn."""
+
+    def __init__(self, shard_index: int, reason: str):
+        super().__init__(reason)
+        self.shard_index = shard_index
 
 
 def _phase1_fingerprint(payload: ShardPhase1Payload) -> str:
@@ -359,17 +393,21 @@ class _WorkerHandle:
     shard_index: int
     process: multiprocessing.process.BaseProcess
     conn: object
-    phase2_sent: bool = False
+    deadline: float = 0.0
+    """Monotonic liveness deadline, refreshed by every heartbeat and
+    payload; a silent worker past it is declared dead."""
 
 
 class _ShardSupervisor:
     """Spawns, watches, and respawns the shard worker fleet.
 
-    All protocol receives go through :meth:`_await`, which drains
-    heartbeats, refreshes the liveness deadline, and converts both a dead
-    process and a stale heartbeat into :class:`_WorkerDied` — callers
-    respond by replaying the shard in a fresh process (bounded by
-    ``policy.max_respawns``).
+    All protocol receives go through :meth:`next_payload`, which waits on
+    *every* worker the caller is still expecting a payload from and
+    returns blobs in arrival order — no per-shard fan-in barrier.  It
+    drains heartbeats, refreshes per-worker liveness deadlines, and
+    converts both a dead process and a stale heartbeat into
+    :class:`_WorkerDied` — callers respond by replaying the shard in a
+    fresh process (bounded by ``policy.max_respawns``).
     """
 
     def __init__(self, config: ExperimentConfig, shard_count: int,
@@ -394,6 +432,7 @@ class _ShardSupervisor:
         child_conn.close()
         self._handles[shard_index] = _WorkerHandle(
             shard_index=shard_index, process=process, conn=parent_conn,
+            deadline=time.monotonic() + self._policy.worker_timeout,
         )
 
     def kill(self, shard_index: int) -> None:
@@ -402,7 +441,7 @@ class _ShardSupervisor:
         handle.process.kill()
         handle.process.join()
 
-    def _respawn(self, shard_index: int) -> None:
+    def respawn(self, shard_index: int) -> None:
         used = self._respawns.get(shard_index, 0)
         if used >= self._policy.max_respawns:
             raise RuntimeError(
@@ -426,23 +465,35 @@ class _ShardSupervisor:
     def respawn_count(self) -> int:
         return sum(self._respawns.values())
 
-    def _await(self, handle: _WorkerHandle, expected: str):
-        deadline = time.monotonic() + self._policy.worker_timeout
+    def next_payload(self, waiting: Dict[int, str]) -> Tuple[int, bytes]:
+        """Block until any waiting worker delivers its expected payload.
+
+        ``waiting`` maps shard index -> expected tag ("phase1"/"final").
+        Returns ``(shard_index, blob)`` for the first arrival; buffered
+        payloads from a since-dead worker are still drained (a worker
+        that finished its send and exited did its job).
+        """
+        timeout = self._policy.worker_timeout
         while True:
+            handles = [self._handles[index] for index in waiting]
+            by_conn = {handle.conn: handle for handle in handles}
             try:
-                ready = handle.conn.poll(0.25)
-            except (BrokenPipeError, OSError):
-                raise _WorkerDied(f"shard {handle.shard_index} pipe closed")
-            if ready:
+                ready = _connection_wait(list(by_conn), timeout=0.25)
+            except OSError:
+                ready = []
+            for conn in ready:
+                handle = by_conn[conn]
+                expected = waiting[handle.shard_index]
                 try:
-                    tag, payload = handle.conn.recv()
+                    tag, payload = conn.recv()
                 except (EOFError, OSError):
                     raise _WorkerDied(
+                        handle.shard_index,
                         f"shard {handle.shard_index} pipe closed before "
-                        f"{expected!r}"
+                        f"{expected!r}",
                     )
                 if tag == "heartbeat":
-                    deadline = time.monotonic() + self._policy.worker_timeout
+                    handle.deadline = time.monotonic() + timeout
                     continue
                 if tag == "error":
                     raise RuntimeError(
@@ -453,73 +504,43 @@ class _ShardSupervisor:
                         f"shard {handle.shard_index} protocol error: "
                         f"expected {expected!r}, got {tag!r}"
                     )
-                return payload
-            if not handle.process.is_alive():
-                raise _WorkerDied(
-                    f"shard {handle.shard_index} worker died with exit "
-                    f"code {handle.process.exitcode} before {expected!r}"
-                )
-            if time.monotonic() > deadline:
-                handle.process.kill()
-                handle.process.join()
-                raise _WorkerDied(
-                    f"shard {handle.shard_index} heartbeat stale for "
-                    f"{self._policy.worker_timeout:.0f}s"
-                )
+                handle.deadline = time.monotonic() + timeout
+                return handle.shard_index, payload
+            now = time.monotonic()
+            for handle in handles:
+                try:
+                    buffered = handle.conn.poll()
+                except (BrokenPipeError, OSError):
+                    buffered = False
+                if not handle.process.is_alive() and not buffered:
+                    raise _WorkerDied(
+                        handle.shard_index,
+                        f"shard {handle.shard_index} worker died with exit "
+                        f"code {handle.process.exitcode} before "
+                        f"{waiting[handle.shard_index]!r}",
+                    )
+                if now > handle.deadline:
+                    handle.process.kill()
+                    handle.process.join()
+                    raise _WorkerDied(
+                        handle.shard_index,
+                        f"shard {handle.shard_index} heartbeat stale for "
+                        f"{self._policy.worker_timeout:.0f}s",
+                    )
 
-    def phase1_payload(self, shard_index: int) -> ShardPhase1Payload:
-        """Receive a shard's Phase I payload, respawning through deaths."""
-        while True:
-            try:
-                return self._await(self._handles[shard_index], "phase1")
-            except _WorkerDied:
-                self._respawn(shard_index)
+    def dispatch_phase2(self, shard_index: int, blob: bytes) -> bool:
+        """Send a shard its encoded Phase II slice without blocking.
 
-    def dispatch_phase2(self, shard_index: int,
-                        plan_slice: List[Phase2PlanEntry]) -> None:
-        """Send a shard its Phase II slice without blocking on the reply.
-
-        Dispatch to every shard first so Phase II runs in parallel; a
-        send into a dead worker is swallowed here (``phase2_sent`` stays
-        False) and :meth:`final_payload` replays the shard.
+        Returns False when the worker is already dead (pipe closed) —
+        the caller respawns it and replays Phase I first.
         """
         handle = self._handles[shard_index]
         try:
-            handle.conn.send(("phase2", plan_slice))
-            handle.phase2_sent = True
+            handle.conn.send(("phase2", blob))
         except (BrokenPipeError, OSError):
-            pass
-
-    def final_payload(self, shard_index: int,
-                      plan_slice: List[Phase2PlanEntry],
-                      phase1_print: str) -> ShardFinalPayload:
-        """Dispatch a shard's Phase II slice and receive its final payload.
-
-        On a death anywhere in the round trip, respawn and replay: the
-        fresh worker re-runs build + Phase I, its payload is verified
-        against ``phase1_print``, and the same slice is re-dispatched.
-        """
-        while True:
-            handle = self._handles[shard_index]
-            try:
-                if not handle.phase2_sent:
-                    try:
-                        handle.conn.send(("phase2", plan_slice))
-                    except (BrokenPipeError, OSError):
-                        raise _WorkerDied(
-                            f"shard {shard_index} died before phase2 dispatch"
-                        )
-                    handle.phase2_sent = True
-                return self._await(handle, "final")
-            except _WorkerDied:
-                self._respawn(shard_index)
-                replayed = self.phase1_payload(shard_index)
-                if _phase1_fingerprint(replayed) != phase1_print:
-                    raise RuntimeError(
-                        f"shard {shard_index} replay diverged from its "
-                        "original Phase I payload — the shard simulation "
-                        "is not deterministic"
-                    )
+            return False
+        handle.deadline = time.monotonic() + self._policy.worker_timeout
+        return True
 
     def shutdown(self) -> None:
         for handle in self._handles.values():
@@ -573,12 +594,14 @@ def run_sharded(config: Optional[ExperimentConfig] = None, *,
     :func:`result_digest`) — including runs where workers died and were
     respawned mid-protocol, and runs resumed from a checkpoint.
 
-    ``checkpoint_dir`` flushes each shard payload to disk as it arrives;
-    ``resume_dir`` reopens such a directory, loads the config (when
-    ``config`` is None) and every completed shard's payloads, and only
-    simulates the shards that never finished.  ``supervision`` tunes
+    ``checkpoint_dir`` flushes each shard payload's wire blob to disk as
+    it arrives; ``resume_dir`` reopens such a directory, loads the config
+    (when ``config`` is None) and every completed shard's payloads, and
+    only simulates the shards that never finished.  ``supervision`` tunes
     heartbeat/timeout/respawn behaviour (defaults are production-safe).
     """
+    from repro.analysis.streaming import AnalysisState
+
     supervision = supervision if supervision is not None else SupervisorPolicy()
     checkpoints: Optional[CheckpointStore] = None
     cached_phase1: Dict[int, ShardPhase1Payload] = {}
@@ -615,7 +638,8 @@ def run_sharded(config: Optional[ExperimentConfig] = None, *,
                         "Phase I checkpoint; the directory is corrupt"
                     )
                 cached_phase1[index] = checkpoints.load_phase1(index)
-                cached_final[index] = checkpoints.load_final(index)
+                cached_final[index] = checkpoints.load_final(
+                    index, cached_phase1[index])
             cached_slices = checkpoints.load_phase2_plan()
         checkpoints.save_run(config, shard_count)
     started = time.perf_counter()
@@ -636,15 +660,94 @@ def run_sharded(config: Optional[ExperimentConfig] = None, *,
     live = [index for index in range(shard_count)
             if index not in cached_final]
     phase1_by_shard: Dict[int, ShardPhase1Payload] = dict(cached_phase1)
+    wire_bytes = {"phase1": 0, "dispatch": 0, "final": 0}
+
+    # Pairwise interim accumulators, fed on arrival: the Phase II plan
+    # needs the merged Phase I correlation, and checkpointed runs persist
+    # the merged interim analysis.  Both merges are order-independent, so
+    # arrival order (which varies run to run) cannot leak into results.
+    need_plan = cached_slices is None
+    interim_correlations = PairwiseMerger(
+        lambda a, b: a.merge(b)) if need_plan else None
+    interim_analyses = PairwiseMerger(
+        lambda a, b: a.merge(b)) if checkpoints is not None else None
+    all_interim_correlations = True
+    all_interim_analyses = True
+
+    def note_phase1(payload: ShardPhase1Payload) -> None:
+        nonlocal all_interim_correlations, all_interim_analyses
+        if payload.correlation is None:
+            all_interim_correlations = False
+        elif interim_correlations is not None:
+            interim_correlations.push(
+                CorrelationMerger().add(payload.correlation,
+                                        payload.shard_index))
+        if payload.analysis is None:
+            all_interim_analyses = False
+        elif interim_analyses is not None:
+            interim_analyses.push(AnalysisState.from_snapshot(payload.analysis))
+
+    # Final accumulators, also fed on arrival (including from cache).
+    final_correlations = PairwiseMerger(lambda a, b: a.merge(b))
+    final_analyses = PairwiseMerger(lambda a, b: a.merge(b))
+    all_final_correlations = True
+    all_final_analyses = True
+
+    def note_final(payload: ShardFinalPayload) -> None:
+        nonlocal all_final_correlations, all_final_analyses
+        if payload.correlation is None:
+            all_final_correlations = False
+        else:
+            final_correlations.push(
+                CorrelationMerger().add(payload.correlation,
+                                        payload.shard_index))
+        if payload.analysis is None:
+            all_final_analyses = False
+        else:
+            final_analyses.push(AnalysisState.from_snapshot(payload.analysis))
+
+    # Parent-side ledger registration of the Phase I records, deferred
+    # until after Phase II dispatch (the streaming plan path needs only
+    # the merged correlation, not the parent ledger) but idempotent so
+    # the fallback interim-correlate path can pull it forward.
+    interim_registered = False
+
+    def register_interim() -> None:
+        nonlocal interim_registered
+        if interim_registered:
+            return
+        interim_registered = True
+        for key, record in sorted(
+            (pair for payload in phase1_payloads for pair in payload.records),
+            key=lambda pair: pair[0],
+        ):
+            campaign.ledger.register(record)
+            campaign._ledger_keys[record.domain] = key
+
+    for payload in cached_phase1.values():
+        note_phase1(payload)
+    for payload in cached_final.values():
+        note_final(payload)
+
     try:
         with spans.span("phase1"):
+            waiting: Dict[int, str] = {}
             for shard_index in live:
                 supervisor.spawn(shard_index)
-            for shard_index in live:
-                payload = supervisor.phase1_payload(shard_index)
+                waiting[shard_index] = "phase1"
+            while waiting:
+                try:
+                    shard_index, blob = supervisor.next_payload(waiting)
+                except _WorkerDied as death:
+                    supervisor.respawn(death.shard_index)
+                    continue
+                wire_bytes["phase1"] += len(blob)
+                payload = decode_phase1_payload(blob)
                 phase1_by_shard[shard_index] = payload
+                note_phase1(payload)
                 if checkpoints is not None:
-                    checkpoints.save_phase1(payload)
+                    checkpoints.save_phase1_blob(shard_index, blob)
+                del waiting[shard_index]
             phase1_payloads = [phase1_by_shard[index]
                                for index in range(shard_count)]
             _check_consistent(phase1_payloads, campaign)
@@ -654,34 +757,27 @@ def run_sharded(config: Optional[ExperimentConfig] = None, *,
         if (supervision.kill_after_phase1 is not None
                 and supervision.kill_after_phase1 in live):
             # Fault injection: this worker is dead before Phase II
-            # dispatch, so final_payload() must respawn it and replay
-            # its partition — the path a real mid-run crash exercises.
+            # dispatch, so the final-collection loop must respawn it and
+            # replay its partition — the path a real mid-run crash
+            # exercises.
             supervisor.kill(supervision.kill_after_phase1)
 
-        # Interim merge: the Phase II plan needs per-destination quotas
-        # applied to the *globally merged* Phase I correlation.
+        # Interim merge, part one: just enough to compute the plan.  The
+        # streaming path consumes the already-merged pairwise partials;
+        # only pre-streaming checkpoint payloads force a parent-side
+        # re-correlation of the merged interim log.
         with spans.span("merge_interim"):
-            interim_records = sorted(
-                (pair for payload in phase1_payloads for pair in payload.records),
-                key=lambda pair: pair[0],
-            )
-            for key, record in interim_records:
-                campaign.ledger.register(record)
-                campaign._ledger_keys[record.domain] = key
-            correlator = Correlator(campaign.ledger, zone=config.zone)
             if cached_slices is not None:
                 slices = cached_slices
             else:
-                shard_results = [payload.correlation
-                                 for payload in phase1_payloads]
-                if all(result is not None for result in shard_results):
-                    # O(events) merge of the workers' own correlations —
-                    # the parent never materializes the interim log.
-                    phase1_interim = merge_shard_correlations(shard_results)
-                else:  # payloads from a pre-streaming checkpoint
+                if all_interim_correlations:
+                    phase1_interim = interim_correlations.result().result()
+                else:  # payloads from a pre-streaming shard build
+                    register_interim()
                     interim_log = LogStore.merged(
                         [payload.log_entries for payload in phase1_payloads]
                     )
+                    correlator = Correlator(campaign.ledger, zone=config.zone)
                     phase1_interim = correlator.correlate(interim_log, phase=1)
                 entries = plan_phase2(eco, phase1_interim, config)
                 slices = [[] for _ in range(shard_count)]
@@ -689,31 +785,78 @@ def run_sharded(config: Optional[ExperimentConfig] = None, *,
                     owner = pair_shard(entry.vp_address,
                                        entry.destination_address, shard_count)
                     slices[owner].append(entry)
+            slice_blobs = [encode_plan_slice(plan_slice)
+                           for plan_slice in slices]
+
+        # Dispatch before bookkeeping: Phase II simulation starts in the
+        # workers while the parent registers the interim ledger and
+        # writes checkpoints.
+        with spans.span("phase2"):
+            for shard_index in live:
+                wire_bytes["dispatch"] += len(slice_blobs[shard_index])
+                if supervisor.dispatch_phase2(shard_index,
+                                              slice_blobs[shard_index]):
+                    waiting[shard_index] = "final"
+                else:
+                    supervisor.respawn(shard_index)
+                    waiting[shard_index] = "phase1"
+
+        # Interim merge, part two: parent-side bookkeeping overlapped
+        # with worker Phase II.
+        with spans.span("merge_interim"):
+            register_interim()
             if checkpoints is not None:
                 checkpoints.save_phase2_plan(slices)
-                interim_snapshots = [payload.analysis
-                                     for payload in phase1_payloads]
-                if all(snap is not None for snap in interim_snapshots):
-                    from repro.analysis.streaming import AnalysisState
-                    checkpoints.save_analysis(AnalysisState.merged([
-                        AnalysisState.from_snapshot(snap)
-                        for snap in interim_snapshots
-                    ]).snapshot())
+                if all_interim_analyses and len(interim_analyses):
+                    checkpoints.save_analysis(
+                        interim_analyses.result().snapshot())
 
         with spans.span("phase2"):
             final_by_shard: Dict[int, ShardFinalPayload] = dict(cached_final)
-            for shard_index in live:
-                supervisor.dispatch_phase2(shard_index, slices[shard_index])
-            for shard_index in live:
-                payload = supervisor.final_payload(
-                    shard_index, slices[shard_index],
-                    phase1_prints[shard_index],
-                )
+            while waiting:
+                try:
+                    shard_index, blob = supervisor.next_payload(waiting)
+                except _WorkerDied as death:
+                    supervisor.respawn(death.shard_index)
+                    waiting[death.shard_index] = "phase1"
+                    continue
+                if waiting[shard_index] == "phase1":
+                    # Respawn replay: verify the fresh Phase I payload is
+                    # content-identical, adopt it as the shard's delta
+                    # decode context, and re-dispatch the same slice.
+                    wire_bytes["phase1"] += len(blob)
+                    payload = decode_phase1_payload(blob)
+                    if _phase1_fingerprint(payload) != phase1_prints[shard_index]:
+                        raise RuntimeError(
+                            f"shard {shard_index} replay diverged from its "
+                            "original Phase I payload — the shard simulation "
+                            "is not deterministic"
+                        )
+                    phase1_by_shard[shard_index] = payload
+                    if checkpoints is not None:
+                        checkpoints.save_phase1_blob(shard_index, blob)
+                    wire_bytes["dispatch"] += len(slice_blobs[shard_index])
+                    if supervisor.dispatch_phase2(shard_index,
+                                                  slice_blobs[shard_index]):
+                        waiting[shard_index] = "final"
+                    else:
+                        supervisor.respawn(shard_index)
+                        waiting[shard_index] = "phase1"
+                    continue
+                wire_bytes["final"] += len(blob)
+                payload = decode_final_payload(blob,
+                                               phase1_by_shard[shard_index])
                 final_by_shard[shard_index] = payload
+                note_final(payload)
                 if checkpoints is not None:
-                    checkpoints.save_final(payload)
+                    checkpoints.save_final_blob(shard_index, blob)
+                del waiting[shard_index]
             final_payloads = [final_by_shard[index]
                               for index in range(shard_count)]
+            # Replays re-decode Phase I; keep the list in step with the
+            # decode contexts the final payloads were resolved against.
+            phase1_payloads = [phase1_by_shard[index]
+                               for index in range(shard_count)]
     finally:
         supervisor.shutdown()
 
@@ -791,7 +934,9 @@ def run_sharded(config: Optional[ExperimentConfig] = None, *,
         # ("same"-policy) vetting counters plus zeros on everything the
         # workers executed; each worker snapshot holds its shard's slice
         # of the partitioned work.  Counter sums and bucket-wise histogram
-        # adds therefore reproduce the serial totals exactly.
+        # adds therefore reproduce the serial totals exactly.  Folded in
+        # shard order (cheap — snapshots are small) so the merged registry
+        # never depends on payload arrival order.
         if config.telemetry:
             merged_metrics = MetricsRegistry()
             merged_metrics.merge_from(eco.telemetry)
@@ -801,25 +946,22 @@ def run_sharded(config: Optional[ExperimentConfig] = None, *,
             eco.telemetry = merged_metrics
 
     with spans.span("correlate"):
-        final_results = [payload.correlation for payload in final_payloads]
-        if all(result is not None for result in final_results):
-            # Merge the workers' full-log correlations (exact — shard
-            # locality) and phase-split against the merged ledger, instead
-            # of re-scanning the merged log twice.
-            merged_correlation = merge_shard_correlations(final_results)
+        if all_final_correlations:
+            # Fold of the workers' full-log correlations (exact — shard
+            # locality, already pairwise-merged on arrival) phase-split
+            # against the merged ledger, instead of re-scanning the
+            # merged log twice.
+            merged_correlation = final_correlations.result().result()
             phase1 = split_correlation(merged_correlation, campaign.ledger, 1)
             phase2 = split_correlation(merged_correlation, campaign.ledger, 2)
-        else:  # payloads from a pre-streaming checkpoint
+        else:  # payloads from a pre-streaming shard build
+            correlator = Correlator(campaign.ledger, zone=config.zone)
             phase1 = correlator.correlate(merged_log, phase=1)
             phase2 = correlator.correlate(merged_log, phase=2)
 
     analysis = None
-    analysis_snapshots = [payload.analysis for payload in final_payloads]
-    if all(snap is not None for snap in analysis_snapshots):
-        from repro.analysis.streaming import AnalysisState
-        analysis = AnalysisState.merged([
-            AnalysisState.from_snapshot(snap) for snap in analysis_snapshots
-        ])
+    if all_final_analyses and len(final_analyses):
+        analysis = final_analyses.result()
 
     merged_spans = merge_spans(
         [spans.spans] + [payload.spans for payload in final_payloads])
@@ -834,6 +976,9 @@ def run_sharded(config: Optional[ExperimentConfig] = None, *,
     timings["shard_phase2_wall_max"] = max(
         payload.wall_seconds for payload in final_payloads
     )
+    timings["wire_phase1_bytes"] = float(wire_bytes["phase1"])
+    timings["wire_dispatch_bytes"] = float(wire_bytes["dispatch"])
+    timings["wire_final_bytes"] = float(wire_bytes["final"])
 
     return ExperimentResult(
         config=config,

@@ -1,0 +1,1039 @@
+"""Compact, versioned wire format for the worker↔supervisor data plane.
+
+The sharded executor used to pickle-the-world: every payload shipped full
+``DecoyRecord``/``LoggedRequest`` object graphs, and the final payload
+re-shipped the complete correlation, telemetry, and analysis state the
+supervisor already held from Phase I.  At 4 workers the transport alone
+cost more than the parallelism saved (BENCH_campaign.json recorded 0.6x
+serial).  This module replaces it with a purpose-built binary encoding:
+
+* **String interning.**  Domains, addresses, VP ids, countries, protocol
+  labels, and metric-like strings repeat across thousands of records; each
+  payload carries one deduplicated string table and every record field is
+  a varint reference into it.
+* **Struct packing.**  Fixed-width floats use an 8-byte IEEE double
+  (exact round trip); counts, indexes, and small integers are LEB128
+  varints (zigzag where negatives occur); booleans are single bytes.
+* **Cross-references, not copies.**  A ``ShadowingEvent`` is three
+  varints — (record index, log index, combo ref) — instead of a re-pickled
+  record+request pair, so the correlation section costs bytes proportional
+  to the *events*, not to the objects they mention.
+* **Delta shipping.**  The final payload encodes only what changed since
+  the Phase I snapshot: ledger/log tails (high-water marks), correlation
+  events whose request arrived after the Phase I log boundary, and
+  structural JSON diffs of the telemetry/analysis snapshots.  Decoding
+  takes the Phase I payload as context and reconstructs the full state
+  exactly.
+
+Every blob is framed ``MAGIC | version | kind | string table | body |
+crc32`` and decoding is strict: truncation, trailing garbage, a bad
+checksum, or an unknown version raises :class:`WireError` naming the
+format version — never a silently wrong payload.
+
+The wire format is a serialization of already-deterministic values, so
+the digest contract of :mod:`repro.core.shard` is untouched: a payload
+that round-trips through ``encode``/``decode`` merges into byte-identical
+results (pinned by ``tests/test_wire.py``).
+"""
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.correlate import (
+    DecoyRecord,
+    ShadowingEvent,
+    ShardCorrelation,
+)
+from repro.core.identifier import DecoyIdentity
+from repro.core.phase2 import ObserverLocation
+from repro.honeypot.logstore import LoggedRequest
+from repro.observers.exhibitor import ObservationRecord
+from repro.telemetry.spans import Span
+
+WIRE_VERSION = 1
+_MAGIC = b"RWIR"
+
+_KIND_PHASE1 = 1
+_KIND_FINAL = 2
+_KIND_PLAN = 3
+
+_F64 = struct.Struct("<d")
+_U32 = struct.Struct("<I")
+
+LedgerKey = Tuple[float, int, int, int]
+
+
+class WireError(ValueError):
+    """A blob is not a decodable wire-format payload of this version."""
+
+    def __init__(self, message: str):
+        super().__init__(f"wire format v{WIRE_VERSION}: {message}")
+
+
+# -- payloads --------------------------------------------------------------
+#
+# The payload dataclasses live here because the wire format *is* their
+# schema; :mod:`repro.core.shard` re-exports them under their historical
+# names.  Correlation, telemetry, and analysis fields always hold the
+# FULL state after decoding — delta reconstruction is this module's
+# private concern, invisible to the merge code.
+
+
+@dataclass
+class ShardPhase1Payload:
+    """Everything one shard produced during Phase I."""
+
+    shard_index: int
+    records: List[Tuple[LedgerKey, DecoyRecord]]
+    log_entries: List[LoggedRequest]
+    sends_planned: int
+    sends_scheduled: int
+    last_send_time: float
+    virtual_now: float
+    vetting_kept: int
+    vetting_removed_ttl: int
+    vetting_removed_intercepted: int
+    wall_seconds: float
+    correlation: Optional[ShardCorrelation] = None
+    """This shard's Phase I correlation, packaged for exact merging —
+    the supervisor plans Phase II from the merged accumulation of these
+    instead of re-correlating the merged interim log."""
+    analysis: Optional[dict] = None
+    """Snapshot of the shard's interim
+    :class:`~repro.analysis.streaming.AnalysisState` at the Phase I
+    boundary (decoys + correlated events so far)."""
+    telemetry: Optional[dict] = None
+    """Interim :meth:`MetricsRegistry.snapshot` at the Phase I boundary;
+    the final payload ships only a structural diff against this."""
+
+
+@dataclass
+class ShardFinalPayload:
+    """Phase II deltas plus final counters from one shard."""
+
+    shard_index: int
+    records: List[Tuple[LedgerKey, DecoyRecord]]
+    log_entries: List[LoggedRequest]
+    """Entries appended after the Phase I snapshot."""
+    locations: List[Tuple[int, ObserverLocation]]
+    """(plan index, location) for traceroutes this shard ran."""
+    ground_truth: List[Tuple[float, ObservationRecord]]
+    label_counts: Dict[str, int]
+    processed: int
+    exhibitor_counts: Dict[str, Tuple[int, int]]
+    """Exhibitor name -> (observed_count, leveraged_count)."""
+    resolver_received: Dict[str, int]
+    """Destination address -> decoys_received."""
+    emitter_emitted: int
+    virtual_now: float
+    wall_seconds: float
+    telemetry: Dict[str, dict] = field(default_factory=dict)
+    """The shard's full registry snapshot (both phases); shipped as a
+    diff against the Phase I payload's ``telemetry``."""
+    spans: List[Span] = field(default_factory=list)
+    """Per-shard stage spans, tagged with the shard index."""
+    correlation: Optional[ShardCorrelation] = None
+    """Full-log (both phases) correlation of this shard; shipped as the
+    Phase II delta and reconstructed against the Phase I correlation."""
+    analysis: Optional[dict] = None
+    """The shard's final AnalysisState snapshot; shipped as a diff
+    against the Phase I payload's ``analysis``."""
+
+
+# -- primitive writer / reader ---------------------------------------------
+
+
+class _Writer:
+    """Appends wire primitives to a growing byte buffer."""
+
+    __slots__ = ("buf",)
+
+    def __init__(self):
+        self.buf = bytearray()
+
+    def varint(self, value: int) -> None:
+        if value < 0:
+            raise WireError(f"varint cannot encode negative value {value}")
+        buf = self.buf
+        while value > 0x7F:
+            buf.append((value & 0x7F) | 0x80)
+            value >>= 7
+        buf.append(value)
+
+    def zigzag(self, value: int) -> None:
+        self.varint(value * 2 if value >= 0 else -value * 2 - 1)
+
+    def f64(self, value: float) -> None:
+        self.buf += _F64.pack(value)
+
+    def flag(self, value: bool) -> None:
+        self.buf.append(1 if value else 0)
+
+    def blob(self, data: bytes) -> None:
+        self.varint(len(data))
+        self.buf += data
+
+
+class _Reader:
+    """Strict sequential reader; every overrun is a :class:`WireError`."""
+
+    __slots__ = ("data", "pos", "end")
+
+    def __init__(self, data: bytes, start: int = 0, end: Optional[int] = None):
+        self.data = data
+        self.pos = start
+        self.end = len(data) if end is None else end
+
+    def varint(self) -> int:
+        data, pos, end = self.data, self.pos, self.end
+        result = 0
+        shift = 0
+        while True:
+            if pos >= end:
+                raise WireError("truncated varint")
+            byte = data[pos]
+            pos += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+            if shift > 63:
+                raise WireError("varint overflow")
+        self.pos = pos
+        return result
+
+    def zigzag(self) -> int:
+        value = self.varint()
+        return value // 2 if value % 2 == 0 else -(value + 1) // 2
+
+    def f64(self) -> float:
+        pos = self.pos
+        if pos + 8 > self.end:
+            raise WireError("truncated float")
+        self.pos = pos + 8
+        return _F64.unpack_from(self.data, pos)[0]
+
+    def flag(self) -> bool:
+        pos = self.pos
+        if pos >= self.end:
+            raise WireError("truncated flag")
+        self.pos = pos + 1
+        return self.data[pos] != 0
+
+    def blob(self) -> bytes:
+        length = self.varint()
+        pos = self.pos
+        if pos + length > self.end:
+            raise WireError("truncated byte section")
+        self.pos = pos + length
+        return bytes(self.data[pos:pos + length])
+
+    def done(self) -> bool:
+        return self.pos == self.end
+
+
+# -- string interning ------------------------------------------------------
+
+
+class _Encoder:
+    """Body writer plus the payload-wide string table it populates.
+
+    References are assigned in first-use order while the body is written;
+    :meth:`frame` then emits ``MAGIC | version | kind | table | body |
+    crc32`` so the decoder can materialize every string up front.
+    """
+
+    __slots__ = ("body", "_ids", "_strings")
+
+    def __init__(self):
+        self.body = _Writer()
+        self._ids: Dict[str, int] = {}
+        self._strings: List[str] = []
+
+    def ref(self, value: str) -> None:
+        ident = self._ids.get(value)
+        if ident is None:
+            ident = len(self._strings)
+            self._ids[value] = ident
+            self._strings.append(value)
+        self.body.varint(ident)
+
+    def opt_ref(self, value: Optional[str]) -> None:
+        if value is None:
+            self.body.varint(0)
+        else:
+            ident = self._ids.get(value)
+            if ident is None:
+                ident = len(self._strings)
+                self._ids[value] = ident
+                self._strings.append(value)
+            self.body.varint(ident + 1)
+
+    def frame(self, kind: int) -> bytes:
+        head = _Writer()
+        head.buf += _MAGIC
+        head.buf.append(WIRE_VERSION)
+        head.buf.append(kind)
+        head.varint(len(self._strings))
+        for value in self._strings:
+            head.blob(value.encode("utf-8"))
+        head.buf += self.body.buf
+        head.buf += _U32.pack(zlib.crc32(head.buf))
+        return bytes(head.buf)
+
+
+class _Decoder(_Reader):
+    """Reader with the payload's string table pre-materialized."""
+
+    __slots__ = ("strings",)
+
+    def __init__(self, data: bytes, start: int, end: int):
+        super().__init__(data, start, end)
+        count = self.varint()
+        strings = []
+        for _ in range(count):
+            try:
+                strings.append(self.blob().decode("utf-8"))
+            except UnicodeDecodeError as exc:
+                raise WireError(f"malformed string table entry: {exc}") from None
+        self.strings = strings
+
+    def ref(self) -> str:
+        ident = self.varint()
+        try:
+            return self.strings[ident]
+        except IndexError:
+            raise WireError(f"string reference {ident} out of table") from None
+
+    def opt_ref(self) -> Optional[str]:
+        ident = self.varint()
+        if ident == 0:
+            return None
+        try:
+            return self.strings[ident - 1]
+        except IndexError:
+            raise WireError(f"string reference {ident - 1} out of table") from None
+
+
+def _open(blob: bytes, kind: int) -> _Decoder:
+    if len(blob) < 10:
+        raise WireError(f"blob of {len(blob)} bytes is too short to frame")
+    if blob[:4] != _MAGIC:
+        raise WireError(f"bad magic {bytes(blob[:4])!r}")
+    if blob[4] != WIRE_VERSION:
+        raise WireError(
+            f"blob is wire version {blob[4]}; this build decodes version "
+            f"{WIRE_VERSION}"
+        )
+    if _U32.unpack_from(blob, len(blob) - 4)[0] != zlib.crc32(blob[:-4]):
+        raise WireError("checksum mismatch — blob is corrupt or truncated")
+    if blob[5] != kind:
+        raise WireError(f"expected payload kind {kind}, got {blob[5]}")
+    return _Decoder(blob, 6, len(blob) - 4)
+
+
+# -- field-group codecs ----------------------------------------------------
+
+
+def _write_record(enc: _Encoder, key: LedgerKey, record: DecoyRecord) -> None:
+    w = enc.body
+    w.f64(key[0])
+    w.varint(key[1])
+    w.zigzag(key[2])
+    w.zigzag(key[3])
+    identity = record.identity
+    w.varint(identity.sent_at)
+    enc.ref(identity.vp_address)
+    enc.ref(identity.dst_address)
+    w.varint(identity.ttl)
+    w.varint(identity.sequence)
+    enc.ref(record.domain)
+    enc.ref(record.protocol)
+    enc.ref(record.vp_id)
+    enc.ref(record.vp_country)
+    enc.opt_ref(record.vp_province)
+    enc.ref(record.destination_address)
+    enc.ref(record.destination_name)
+    enc.ref(record.destination_kind)
+    enc.ref(record.destination_country)
+    enc.ref(record.instance_country)
+    w.varint(record.path_length)
+    w.f64(record.sent_at)
+    w.varint(record.phase)
+    w.flag(record.delivered)
+    w.varint(record.round_index)
+
+
+def _read_record(dec: _Decoder) -> Tuple[LedgerKey, DecoyRecord]:
+    key = (dec.f64(), dec.varint(), dec.zigzag(), dec.zigzag())
+    identity = DecoyIdentity(
+        sent_at=dec.varint(),
+        vp_address=dec.ref(),
+        dst_address=dec.ref(),
+        ttl=dec.varint(),
+        sequence=dec.varint(),
+    )
+    record = DecoyRecord(
+        identity=identity,
+        domain=dec.ref(),
+        protocol=dec.ref(),
+        vp_id=dec.ref(),
+        vp_country=dec.ref(),
+        vp_province=dec.opt_ref(),
+        destination_address=dec.ref(),
+        destination_name=dec.ref(),
+        destination_kind=dec.ref(),
+        destination_country=dec.ref(),
+        instance_country=dec.ref(),
+        path_length=dec.varint(),
+        sent_at=dec.f64(),
+        phase=dec.varint(),
+        delivered=dec.flag(),
+        round_index=dec.varint(),
+    )
+    return key, record
+
+
+def _write_records(enc: _Encoder,
+                   records: Sequence[Tuple[LedgerKey, DecoyRecord]]) -> None:
+    enc.body.varint(len(records))
+    for key, record in records:
+        _write_record(enc, key, record)
+
+
+def _read_records(dec: _Decoder) -> List[Tuple[LedgerKey, DecoyRecord]]:
+    return [_read_record(dec) for _ in range(dec.varint())]
+
+
+def _write_log_entry(enc: _Encoder, entry: LoggedRequest) -> None:
+    w = enc.body
+    w.f64(entry.time)
+    enc.ref(entry.site)
+    enc.ref(entry.protocol)
+    enc.ref(entry.src_address)
+    enc.ref(entry.domain)
+    enc.opt_ref(entry.path)
+    w.varint(0 if entry.qtype is None else entry.qtype + 1)
+    enc.opt_ref(entry.user_agent)
+
+
+def _read_log_entry(dec: _Decoder) -> LoggedRequest:
+    time = dec.f64()
+    site = dec.ref()
+    protocol = dec.ref()
+    src_address = dec.ref()
+    domain = dec.ref()
+    path = dec.opt_ref()
+    qtype = dec.varint()
+    user_agent = dec.opt_ref()
+    return LoggedRequest(
+        time=time, site=site, protocol=protocol, src_address=src_address,
+        domain=domain, path=path,
+        qtype=None if qtype == 0 else qtype - 1,
+        user_agent=user_agent,
+    )
+
+
+def _write_log(enc: _Encoder, entries: Sequence[LoggedRequest]) -> None:
+    enc.body.varint(len(entries))
+    for entry in entries:
+        _write_log_entry(enc, entry)
+
+
+def _read_log(dec: _Decoder) -> List[LoggedRequest]:
+    return [_read_log_entry(dec) for _ in range(dec.varint())]
+
+
+def _write_events(enc: _Encoder, events: Sequence[ShadowingEvent],
+                  record_index: Dict[str, int],
+                  log_index: Dict[int, int]) -> None:
+    enc.body.varint(len(events))
+    for event in events:
+        enc.body.varint(record_index[event.decoy.domain])
+        enc.body.varint(log_index[id(event.request)])
+        enc.ref(event.combo)
+
+
+def _read_events(dec: _Decoder, records: Sequence[DecoyRecord],
+                 entries: Sequence[LoggedRequest]) -> List[ShadowingEvent]:
+    events = []
+    for _ in range(dec.varint()):
+        record_ref = dec.varint()
+        entry_ref = dec.varint()
+        combo = dec.ref()
+        try:
+            events.append(ShadowingEvent(
+                decoy=records[record_ref],
+                request=entries[entry_ref],
+                combo=combo,
+            ))
+        except IndexError:
+            raise WireError(
+                f"event references record {record_ref}/log {entry_ref} "
+                "outside the payload"
+            ) from None
+    return events
+
+
+def _write_correlation(enc: _Encoder, correlation: ShardCorrelation,
+                       record_index: Dict[str, int],
+                       log_index: Dict[int, int],
+                       firsts_skip: int = 0,
+                       unknown_skip: int = 0) -> None:
+    w = enc.body
+    firsts = correlation.firsts[firsts_skip:]
+    w.varint(len(firsts))
+    for time, index, domain in firsts:
+        w.f64(time)
+        w.varint(index)
+        enc.ref(domain)
+    w.varint(len(correlation.events))
+    for domain, events in correlation.events.items():
+        enc.ref(domain)
+        _write_events(enc, events, record_index, log_index)
+    w.varint(len(correlation.initial_arrivals))
+    for domain, entry in correlation.initial_arrivals.items():
+        enc.ref(domain)
+        w.varint(log_index[id(entry)])
+    unknown = correlation.unknown_domains[unknown_skip:]
+    w.varint(len(unknown))
+    for domain in unknown:
+        enc.ref(domain)
+
+
+def _read_correlation(dec: _Decoder, records: Sequence[DecoyRecord],
+                      entries: Sequence[LoggedRequest]) -> ShardCorrelation:
+    firsts = [(dec.f64(), dec.varint(), dec.ref())
+              for _ in range(dec.varint())]
+    events: Dict[str, List[ShadowingEvent]] = {}
+    for _ in range(dec.varint()):
+        domain = dec.ref()
+        events[domain] = _read_events(dec, records, entries)
+    arrivals: Dict[str, LoggedRequest] = {}
+    for _ in range(dec.varint()):
+        domain = dec.ref()
+        entry_ref = dec.varint()
+        try:
+            arrivals[domain] = entries[entry_ref]
+        except IndexError:
+            raise WireError(
+                f"initial arrival references log entry {entry_ref} "
+                "outside the payload"
+            ) from None
+    unknown = [dec.ref() for _ in range(dec.varint())]
+    return ShardCorrelation(firsts=firsts, events=events,
+                            initial_arrivals=arrivals,
+                            unknown_domains=unknown)
+
+
+def _write_spans(enc: _Encoder, spans: Sequence[Span]) -> None:
+    enc.body.varint(len(spans))
+    for span in spans:
+        enc.ref(span.name)
+        enc.body.f64(span.wall_seconds)
+        enc.body.f64(span.virtual_start)
+        enc.body.f64(span.virtual_end)
+        enc.body.zigzag(span.shard)
+
+
+def _read_spans(dec: _Decoder) -> List[Span]:
+    return [
+        Span(name=dec.ref(), wall_seconds=dec.f64(), virtual_start=dec.f64(),
+             virtual_end=dec.f64(), shard=dec.zigzag())
+        for _ in range(dec.varint())
+    ]
+
+
+def _write_location(enc: _Encoder, location: ObserverLocation) -> None:
+    w = enc.body
+    enc.ref(location.vp_id)
+    enc.ref(location.vp_country)
+    enc.ref(location.destination_address)
+    enc.ref(location.destination_name)
+    enc.ref(location.protocol)
+    w.varint(location.path_length)
+    w.varint(0 if location.trigger_ttl is None else location.trigger_ttl + 1)
+    enc.opt_ref(location.observer_address)
+    w.varint(0 if location.observer_asn is None else location.observer_asn + 1)
+    enc.opt_ref(location.observer_country)
+
+
+def _read_location(dec: _Decoder) -> ObserverLocation:
+    vp_id = dec.ref()
+    vp_country = dec.ref()
+    destination_address = dec.ref()
+    destination_name = dec.ref()
+    protocol = dec.ref()
+    path_length = dec.varint()
+    trigger_ttl = dec.varint()
+    observer_address = dec.opt_ref()
+    observer_asn = dec.varint()
+    observer_country = dec.opt_ref()
+    return ObserverLocation(
+        vp_id=vp_id, vp_country=vp_country,
+        destination_address=destination_address,
+        destination_name=destination_name, protocol=protocol,
+        path_length=path_length,
+        trigger_ttl=None if trigger_ttl == 0 else trigger_ttl - 1,
+        observer_address=observer_address,
+        observer_asn=None if observer_asn == 0 else observer_asn - 1,
+        observer_country=observer_country,
+    )
+
+
+def _write_str_int_map(enc: _Encoder, mapping: Dict[str, int]) -> None:
+    enc.body.varint(len(mapping))
+    for key, value in mapping.items():
+        enc.ref(key)
+        enc.body.varint(value)
+
+
+def _read_str_int_map(dec: _Decoder) -> Dict[str, int]:
+    return {dec.ref(): dec.varint() for _ in range(dec.varint())}
+
+
+def _write_json(enc: _Encoder, value) -> None:
+    """A canonical-JSON section: telemetry/analysis snapshots and their
+    structural diffs are tree-shaped dicts the registry/accumulator code
+    already round-trips through JSON (checkpoints, bundles)."""
+    if value is None:
+        enc.body.flag(False)
+        return
+    enc.body.flag(True)
+    enc.body.blob(json.dumps(value, sort_keys=True,
+                             separators=(",", ":")).encode("utf-8"))
+
+
+def _read_json(dec: _Decoder):
+    if not dec.flag():
+        return None
+    try:
+        return json.loads(dec.blob().decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"malformed JSON section: {exc}") from None
+
+
+# -- snapshot deltas -------------------------------------------------------
+#
+# Telemetry and analysis snapshots are JSON trees whose Phase II versions
+# mostly extend their Phase I versions: counters grow, histogram buckets
+# fill, accumulator lists append.  A structural diff ships O(changes)
+# instead of O(state); application is exact (``apply == new``) for any
+# pair of JSON values, so exactness never depends on which parts changed.
+
+_SD_REPLACE = "r"
+_SD_DICT = "d"
+_SD_APPEND = "a"
+_SD_SAME = "="
+
+
+def snapshot_delta(old, new):
+    """Structural diff of two JSON-able values; see
+    :func:`apply_snapshot_delta` for the inverse."""
+    if old == new:
+        return [_SD_SAME]
+    if isinstance(old, dict) and isinstance(new, dict):
+        changed = {}
+        for key, value in new.items():
+            if key not in old:
+                changed[key] = [_SD_REPLACE, value]
+            elif old[key] != value:
+                changed[key] = snapshot_delta(old[key], value)
+        removed = sorted(key for key in old if key not in new)
+        return [_SD_DICT, changed, removed]
+    if (isinstance(old, list) and isinstance(new, list)
+            and len(new) >= len(old) and new[:len(old)] == old):
+        return [_SD_APPEND, new[len(old):]]
+    return [_SD_REPLACE, new]
+
+
+def apply_snapshot_delta(old, delta):
+    """Reconstruct ``new`` from ``old`` and ``snapshot_delta(old, new)``."""
+    try:
+        tag = delta[0]
+        if tag == _SD_SAME:
+            return old
+        if tag == _SD_REPLACE:
+            return delta[1]
+        if tag == _SD_APPEND:
+            return list(old) + list(delta[1])
+        if tag == _SD_DICT:
+            _, changed, removed = delta
+            result = {key: value for key, value in old.items()
+                      if key not in removed}
+            for key, child in changed.items():
+                result[key] = (apply_snapshot_delta(old[key], child)
+                               if key in old else child[1])
+            return result
+    except (TypeError, KeyError, IndexError, AttributeError) as exc:
+        raise WireError(f"malformed snapshot delta: {exc}") from None
+    raise WireError(f"unknown snapshot delta tag {tag!r}")
+
+
+def _normalize_json(value):
+    """The JSON image of a snapshot (tuples -> lists, int keys -> str).
+
+    Deltas are computed and applied in this space so the worker's
+    in-memory snapshot and the supervisor's decoded copy agree exactly.
+    """
+    return json.loads(json.dumps(value, sort_keys=True,
+                                 separators=(",", ":")))
+
+
+# -- payload codecs --------------------------------------------------------
+
+
+def _record_index(records: Sequence[Tuple[LedgerKey, DecoyRecord]],
+                  base: int = 0,
+                  into: Optional[Dict[str, int]] = None) -> Dict[str, int]:
+    index = {} if into is None else into
+    for position, (_, record) in enumerate(records, base):
+        index[record.domain] = position
+    return index
+
+
+def _log_identity_index(entries: Sequence[LoggedRequest],
+                        base: int = 0,
+                        into: Optional[Dict[int, int]] = None) -> Dict[int, int]:
+    index = {} if into is None else into
+    for position, entry in enumerate(entries, base):
+        index[id(entry)] = position
+    return index
+
+
+def encode_phase1_payload(payload: ShardPhase1Payload) -> bytes:
+    enc = _Encoder()
+    w = enc.body
+    w.varint(payload.shard_index)
+    w.varint(payload.sends_planned)
+    w.varint(payload.sends_scheduled)
+    w.f64(payload.last_send_time)
+    w.f64(payload.virtual_now)
+    w.varint(payload.vetting_kept)
+    w.varint(payload.vetting_removed_ttl)
+    w.varint(payload.vetting_removed_intercepted)
+    w.f64(payload.wall_seconds)
+    _write_records(enc, payload.records)
+    _write_log(enc, payload.log_entries)
+    if payload.correlation is None:
+        w.flag(False)
+    else:
+        w.flag(True)
+        _write_correlation(enc, payload.correlation,
+                           _record_index(payload.records),
+                           _log_identity_index(payload.log_entries))
+    _write_json(enc, payload.analysis)
+    _write_json(enc, payload.telemetry)
+    return enc.frame(_KIND_PHASE1)
+
+
+def decode_phase1_payload(blob: bytes) -> ShardPhase1Payload:
+    dec = _open(blob, _KIND_PHASE1)
+    shard_index = dec.varint()
+    sends_planned = dec.varint()
+    sends_scheduled = dec.varint()
+    last_send_time = dec.f64()
+    virtual_now = dec.f64()
+    vetting_kept = dec.varint()
+    vetting_removed_ttl = dec.varint()
+    vetting_removed_intercepted = dec.varint()
+    wall_seconds = dec.f64()
+    records = _read_records(dec)
+    log_entries = _read_log(dec)
+    correlation = None
+    if dec.flag():
+        correlation = _read_correlation(
+            dec, [record for _, record in records], log_entries)
+    analysis = _read_json(dec)
+    telemetry = _read_json(dec)
+    if not dec.done():
+        raise WireError("trailing bytes after phase1 payload")
+    return ShardPhase1Payload(
+        shard_index=shard_index, records=records, log_entries=log_entries,
+        sends_planned=sends_planned, sends_scheduled=sends_scheduled,
+        last_send_time=last_send_time, virtual_now=virtual_now,
+        vetting_kept=vetting_kept, vetting_removed_ttl=vetting_removed_ttl,
+        vetting_removed_intercepted=vetting_removed_intercepted,
+        wall_seconds=wall_seconds, correlation=correlation,
+        analysis=analysis, telemetry=telemetry,
+    )
+
+
+def encode_final_payload(payload: ShardFinalPayload,
+                         base: ShardPhase1Payload) -> bytes:
+    """Encode the Phase II payload as deltas against the Phase I payload.
+
+    ``payload`` holds the shard's FULL correlation/telemetry/analysis (as
+    the merge code consumes them); the encoder derives the shipped deltas
+    here so the worker never maintains parallel delta state.
+    """
+    enc = _Encoder()
+    w = enc.body
+    w.varint(payload.shard_index)
+    w.varint(payload.processed)
+    w.varint(payload.emitter_emitted)
+    w.f64(payload.virtual_now)
+    w.f64(payload.wall_seconds)
+    _write_records(enc, payload.records)
+    _write_log(enc, payload.log_entries)
+
+    w.varint(len(payload.locations))
+    for plan_index, location in payload.locations:
+        w.zigzag(plan_index)
+        _write_location(enc, location)
+
+    w.varint(len(payload.ground_truth))
+    for _, observation in payload.ground_truth:
+        enc.ref(observation.exhibitor)
+        enc.ref(observation.domain)
+        w.f64(observation.observed_at)
+        enc.ref(observation.observed_from)
+        w.flag(observation.leveraged)
+        w.varint(observation.scheduled_requests)
+
+    _write_str_int_map(enc, payload.label_counts)
+    w.varint(len(payload.exhibitor_counts))
+    for name, (observed, leveraged) in payload.exhibitor_counts.items():
+        enc.ref(name)
+        w.varint(observed)
+        w.varint(leveraged)
+    _write_str_int_map(enc, payload.resolver_received)
+    _write_spans(enc, payload.spans)
+
+    # Correlation delta: only events whose triggering request arrived
+    # after the Phase I log boundary, plus the firsts/unknown tails and
+    # arrivals for domains Phase I had none for.  Indexes are global —
+    # base records/log first, then this payload's deltas.
+    if payload.correlation is None or base.correlation is None:
+        w.flag(False)
+        if payload.correlation is not None:
+            raise WireError(
+                "final payload has a correlation but the phase1 payload "
+                "does not; delta encoding needs both"
+            )
+    else:
+        w.flag(True)
+        record_index = _record_index(base.records)
+        _record_index(payload.records, base=len(base.records),
+                      into=record_index)
+        log_index = _log_identity_index(base.log_entries)
+        _log_identity_index(payload.log_entries, base=len(base.log_entries),
+                            into=log_index)
+        base_len = len(base.log_entries)
+        base_corr = base.correlation
+        full = payload.correlation
+        new_events: Dict[str, List[ShadowingEvent]] = {}
+        for domain, events in full.events.items():
+            tail = [event for event in events
+                    if log_index[id(event.request)] >= base_len]
+            if tail:
+                new_events[domain] = tail
+        new_arrivals = {
+            domain: entry
+            for domain, entry in full.initial_arrivals.items()
+            if domain not in base_corr.initial_arrivals
+        }
+        delta = ShardCorrelation(
+            firsts=full.firsts, events=new_events,
+            initial_arrivals=new_arrivals,
+            unknown_domains=full.unknown_domains,
+        )
+        _write_correlation(enc, delta, record_index, log_index,
+                           firsts_skip=len(base_corr.firsts),
+                           unknown_skip=len(base_corr.unknown_domains))
+
+    if payload.telemetry and base.telemetry is not None:
+        w.flag(True)
+        _write_json(enc, snapshot_delta(_normalize_json(base.telemetry),
+                                        _normalize_json(payload.telemetry)))
+    else:
+        w.flag(False)
+        _write_json(enc, _normalize_json(payload.telemetry)
+                    if payload.telemetry else payload.telemetry or {})
+
+    if payload.analysis is not None and base.analysis is not None:
+        w.flag(True)
+        _write_json(enc, snapshot_delta(_normalize_json(base.analysis),
+                                        _normalize_json(payload.analysis)))
+    else:
+        w.flag(False)
+        _write_json(enc, payload.analysis)
+    return enc.frame(_KIND_FINAL)
+
+
+def decode_final_payload(blob: bytes,
+                         base: ShardPhase1Payload) -> ShardFinalPayload:
+    """Decode a final payload, reconstructing full state from deltas.
+
+    ``base`` must be the (decoded) Phase I payload of the same shard —
+    the supervisor holds it from round one, and the checkpoint store
+    loads it before any final payload.
+    """
+    dec = _open(blob, _KIND_FINAL)
+    shard_index = dec.varint()
+    if shard_index != base.shard_index:
+        raise WireError(
+            f"final payload is for shard {shard_index} but the phase1 "
+            f"context is for shard {base.shard_index}"
+        )
+    processed = dec.varint()
+    emitter_emitted = dec.varint()
+    virtual_now = dec.f64()
+    wall_seconds = dec.f64()
+    records = _read_records(dec)
+    log_entries = _read_log(dec)
+    locations = [(dec.zigzag(), _read_location(dec))
+                 for _ in range(dec.varint())]
+    ground_truth = []
+    for _ in range(dec.varint()):
+        observation = ObservationRecord(
+            exhibitor=dec.ref(), domain=dec.ref(), observed_at=dec.f64(),
+            observed_from=dec.ref(), leveraged=dec.flag(),
+            scheduled_requests=dec.varint(),
+        )
+        ground_truth.append((observation.observed_at, observation))
+    label_counts = _read_str_int_map(dec)
+    exhibitor_counts = {}
+    for _ in range(dec.varint()):
+        name = dec.ref()
+        exhibitor_counts[name] = (dec.varint(), dec.varint())
+    resolver_received = _read_str_int_map(dec)
+    spans = _read_spans(dec)
+
+    correlation = None
+    if dec.flag():
+        if base.correlation is None:
+            raise WireError(
+                "final payload carries a correlation delta but the phase1 "
+                "context has no correlation to apply it to"
+            )
+        all_records = [record for _, record in base.records]
+        all_records += [record for _, record in records]
+        all_entries = base.log_entries + log_entries
+        delta = _read_correlation(dec, all_records, all_entries)
+        correlation = _apply_correlation_delta(base.correlation, delta)
+
+    telemetry_is_delta = dec.flag()
+    telemetry_section = _read_json(dec)
+    if telemetry_is_delta:
+        telemetry = apply_snapshot_delta(_normalize_json(base.telemetry),
+                                         telemetry_section)
+    else:
+        telemetry = telemetry_section if telemetry_section is not None else {}
+
+    analysis_is_delta = dec.flag()
+    analysis_section = _read_json(dec)
+    if analysis_is_delta:
+        analysis = apply_snapshot_delta(_normalize_json(base.analysis),
+                                        analysis_section)
+    else:
+        analysis = analysis_section
+    if not dec.done():
+        raise WireError("trailing bytes after final payload")
+    return ShardFinalPayload(
+        shard_index=shard_index, records=records, log_entries=log_entries,
+        locations=locations, ground_truth=ground_truth,
+        label_counts=label_counts, processed=processed,
+        exhibitor_counts=exhibitor_counts,
+        resolver_received=resolver_received,
+        emitter_emitted=emitter_emitted, virtual_now=virtual_now,
+        wall_seconds=wall_seconds, telemetry=telemetry, spans=spans,
+        correlation=correlation, analysis=analysis,
+    )
+
+
+def _apply_correlation_delta(base: ShardCorrelation,
+                             delta: ShardCorrelation) -> ShardCorrelation:
+    """Rebuild the full-log shard correlation from Phase I + delta.
+
+    Per-domain event order must match what a fresh full-log correlation
+    pass would emit: events grouped by the *logged* domain that carried
+    them (``event.request.domain``), groups ordered by that domain's
+    first appearance in the log, arrivals in order within each group.
+    Phase I events for a logged domain all precede its Phase II events,
+    so a stable sort of (base + new) on the first-appearance index is
+    exact.  (Multiple logged domains — aliases — can map onto one
+    canonical decoy domain, which is why concatenation alone is not
+    enough.)
+    """
+    firsts = base.firsts + delta.firsts
+    first_position: Dict[str, int] = {}
+    for _, index, domain in firsts:
+        if domain not in first_position:
+            first_position[domain] = index
+    events = {domain: entries for domain, entries in base.events.items()}
+    for domain, new_events in delta.events.items():
+        combined = events.get(domain, []) + new_events
+        try:
+            combined.sort(key=lambda event:
+                          first_position[event.request.domain])
+        except KeyError as exc:
+            raise WireError(
+                f"correlation delta event references logged domain {exc} "
+                "absent from the firsts table"
+            ) from None
+        events[domain] = combined
+    arrivals = dict(base.initial_arrivals)
+    arrivals.update(delta.initial_arrivals)
+    return ShardCorrelation(
+        firsts=firsts, events=events, initial_arrivals=arrivals,
+        unknown_domains=base.unknown_domains + delta.unknown_domains,
+    )
+
+
+# -- phase II plan slices --------------------------------------------------
+
+
+def encode_plan_slices(slices: Sequence[Sequence]) -> bytes:
+    """Encode a list of per-shard Phase II plan slices."""
+    enc = _Encoder()
+    enc.body.varint(len(slices))
+    for plan_slice in slices:
+        enc.body.varint(len(plan_slice))
+        for entry in plan_slice:
+            enc.body.varint(entry.index)
+            enc.ref(entry.vp_id)
+            enc.ref(entry.vp_address)
+            enc.ref(entry.destination_address)
+            enc.ref(entry.destination_country)
+            enc.ref(entry.destination_name)
+            enc.ref(entry.protocol)
+    return enc.frame(_KIND_PLAN)
+
+
+def decode_plan_slices(blob: bytes) -> List[List]:
+    from repro.core.experiment import Phase2PlanEntry
+
+    dec = _open(blob, _KIND_PLAN)
+    slices = []
+    for _ in range(dec.varint()):
+        plan_slice = []
+        for _ in range(dec.varint()):
+            plan_slice.append(Phase2PlanEntry(
+                index=dec.varint(),
+                vp_id=dec.ref(),
+                vp_address=dec.ref(),
+                destination_address=dec.ref(),
+                destination_country=dec.ref(),
+                destination_name=dec.ref(),
+                protocol=dec.ref(),
+            ))
+        slices.append(plan_slice)
+    if not dec.done():
+        raise WireError("trailing bytes after plan payload")
+    return slices
+
+
+def encode_plan_slice(plan_slice: Sequence) -> bytes:
+    """One shard's slice, for Phase II dispatch over the pipe."""
+    return encode_plan_slices([plan_slice])
+
+
+def decode_plan_slice(blob: bytes) -> List:
+    slices = decode_plan_slices(blob)
+    if len(slices) != 1:
+        raise WireError(f"expected one plan slice, got {len(slices)}")
+    return slices[0]

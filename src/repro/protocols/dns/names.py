@@ -5,6 +5,7 @@ QNAMEs, so the label-length limits here (63 bytes per label, 255 per name)
 constrain the identifier codec in :mod:`repro.core.identifier`.
 """
 
+from functools import lru_cache
 from typing import Tuple
 
 MAX_LABEL_LENGTH = 63
@@ -32,11 +33,15 @@ def is_subdomain_of(name: str, zone: str) -> bool:
     return name == zone or name.endswith("." + zone)
 
 
+@lru_cache(maxsize=65536)
 def encode_name(name: str) -> bytes:
     """Serialize a domain name as a sequence of length-prefixed labels.
 
     Compression is applied only on full-message encoding (see
     :meth:`~repro.protocols.dns.message.DnsMessage.encode`), not here.
+    Memoized: each decoy domain is encoded once per send but appears in
+    queries, responses, and honeypot answers many times over, and
+    ``decode_name`` re-encodes every decoded name for its length check.
     """
     name = normalize_name(name)
     if name == "":

@@ -35,6 +35,34 @@ def render_spans(spans: List[Span], title: str = "Stage spans") -> str:
         rows, title)
 
 
+def render_profile(spans: List[Span],
+                   title: str = "Stage profile (cumulative wall time)") -> str:
+    """Per-stage cumulative time across all shards — the ``--profile`` view.
+
+    Aggregates repeated spans (the supervisor opens ``phase2`` and
+    ``merge_interim`` twice to bracket the overlapped dispatch) and all
+    shards' copies of a stage into one row, so the output answers "where
+    did the run spend its time" rather than listing every span.  Shares
+    are of summed wall time: with N workers overlapping, they measure
+    work, not elapsed time.
+    """
+    totals = {}
+    for span in spans:
+        stage = totals.setdefault(span.name, [0.0, 0, set()])
+        stage[0] += span.wall_seconds
+        stage[1] += 1
+        stage[2].add(span.shard)
+    grand_total = sum(wall for wall, _, _ in totals.values()) or 1.0
+    rows = [
+        (name, str(count), str(len(shards)), f"{wall:.3f}",
+         f"{100.0 * wall / grand_total:.1f}%")
+        for name, (wall, count, shards) in sorted(
+            totals.items(), key=lambda item: -item[1][0])
+    ]
+    return _render_table(
+        ("stage", "spans", "shards", "cum wall s", "share"), rows, title)
+
+
 def render_telemetry(telemetry: RunTelemetry) -> str:
     """All tables: run metadata, counters, gauges, histograms, spans."""
     sections = []

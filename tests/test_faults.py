@@ -77,8 +77,8 @@ def killed_and_resumed(tmp_path_factory):
         checkpoint_dir=checkpoint_dir,
         supervision=SupervisorPolicy(kill_after_phase1=1),
     )
-    os.remove(checkpoint_dir / "shard-02.final.pkl")
-    os.remove(checkpoint_dir / "shard-03.final.pkl")
+    os.remove(checkpoint_dir / "shard-02.final.bin")
+    os.remove(checkpoint_dir / "shard-03.final.bin")
     resumed = run_sharded(resume_dir=checkpoint_dir)
     return killed, resumed
 
