@@ -1,0 +1,119 @@
+"""Performance — always-on service ingest throughput and report cache.
+
+Replays a completed campaign through a :class:`MeasurementService` the
+way ``repro feed`` would (registration batch, then time-ordered data
+batches) and records to ``benchmarks/out/BENCH_serve.json``:
+
+* ingest throughput (honeypot log records folded per second, decoys
+  registered per second) — the daemon's hot path;
+* report-cache behavior: cold-render latency vs cached-hit latency,
+  and the hit ratio over a polling-reader access pattern;
+* the digest cross-check proving live ingest reproduced the batch
+  analysis exactly (the numbers are only meaningful if it did).
+
+The ingest-rate and cache-hit-ratio figures mirror what the daemon's
+``/campaigns/<id>/telemetry`` endpoint exposes at runtime — the
+artifact pins the same counters at bench scale.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``): the tiny config, proving the
+bench executes end to end.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import Experiment
+from repro.serve.feed import feed_batches_from_result
+from repro.serve.service import MeasurementService
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+ARTIFACT = OUT_DIR / "BENCH_serve.json"
+
+BENCH_SEED = 20240301
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+BATCH_SIZE = 500
+POLL_READS = 200
+"""Report reads issued against the settled service — a polling reader's
+access pattern, so all but the first read of each version are hits."""
+
+
+def _config() -> ExperimentConfig:
+    if SMOKE:
+        return ExperimentConfig.tiny(seed=BENCH_SEED)
+    return ExperimentConfig.medium(seed=BENCH_SEED)
+
+
+def test_serve_ingest_throughput_and_cache():
+    result = Experiment(_config()).run()
+    campaign = "bench"
+    batches = list(feed_batches_from_result(result, campaign,
+                                            batch_size=BATCH_SIZE))
+
+    service = MeasurementService()
+    started = time.perf_counter()
+    for batch in batches:
+        service.ingest(batch)
+    ingest_seconds = time.perf_counter() - started
+    session = service.session(campaign)
+
+    # The throughput number is only meaningful if live ingest computed
+    # the batch analysis exactly.
+    assert session.digest() == result.analysis.digest(), \
+        "live-ingested state diverged from the batch analysis"
+
+    cold_start = time.perf_counter()
+    _, _, version = session.report()
+    cold_seconds = time.perf_counter() - cold_start
+    assert version == 1
+
+    hit_start = time.perf_counter()
+    for _ in range(POLL_READS):
+        _, _, version = session.report()
+    hit_seconds = (time.perf_counter() - hit_start) / POLL_READS
+    assert version == 1, "cached reads must not re-render"
+
+    telemetry = service.telemetry(campaign)
+    assert telemetry["report"]["cache_hits"] == POLL_READS
+    assert telemetry["report"]["cache_misses"] == 1
+
+    log_records = len(result.log)
+    decoys = len(result.ledger)
+    artifact = {
+        "bench": "serve_ingest",
+        "mode": "smoke" if SMOKE else "medium",
+        "seed": BENCH_SEED,
+        "cpu_count": os.cpu_count(),
+        "digest": session.digest(),
+        "ingest": {
+            "batches": len(batches),
+            "batch_size": BATCH_SIZE,
+            "decoys": decoys,
+            "log_records": log_records,
+            "locations": len(result.locations),
+            "seconds": round(ingest_seconds, 3),
+            "records_per_sec": round(log_records / ingest_seconds, 1),
+            "decoys_per_sec": round(decoys / ingest_seconds, 1),
+            "telemetry_records_per_sec": round(
+                telemetry["ingest"]["records_per_second"], 1),
+        },
+        "report_cache": {
+            "cold_render_seconds": round(cold_seconds, 6),
+            "cache_hit_seconds": round(hit_seconds, 9),
+            "hit_vs_cold_speedup": round(cold_seconds / hit_seconds, 1)
+            if hit_seconds > 0 else None,
+            "hits": telemetry["report"]["cache_hits"],
+            "misses": telemetry["report"]["cache_misses"],
+            "hit_ratio": round(telemetry["report"]["cache_hit_ratio"], 4),
+        },
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    ARTIFACT.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+
+    print(f"\nserve ingest: {artifact['ingest']['records_per_sec']:,} "
+          f"records/s over {len(batches)} batches; report cache hit "
+          f"{artifact['report_cache']['cache_hit_seconds'] * 1e6:.1f}us vs "
+          f"{artifact['report_cache']['cold_render_seconds'] * 1e3:.1f}ms "
+          f"cold ({artifact['report_cache']['hit_ratio']:.1%} hit ratio)")

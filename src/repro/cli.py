@@ -9,6 +9,9 @@ Commands:
   running a campaign.
 * ``telemetry`` — render a telemetry capture written by ``run --telemetry``
   as human-readable tables (see docs/OBSERVABILITY.md).
+* ``serve``   — run the always-on measurement daemon: live ingest over a
+  socket feed, watermark checkpoints, HTTP report API (docs/SERVICE.md).
+* ``feed``    — replay an exported bundle into a running daemon.
 """
 
 import argparse
@@ -98,6 +101,45 @@ def _build_parser() -> argparse.ArgumentParser:
                              "uses streaming when analysis.json exists. "
                              "Both engines produce byte-identical reports.")
     report.add_argument("--output", metavar="FILE")
+    report.add_argument("--title",
+                        help="override the report title (default names the "
+                             "bundle; pass the serve default to byte-compare "
+                             "against a live-served report.txt)")
+
+    serve = commands.add_parser(
+        "serve", help="run the always-on measurement daemon")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address for both servers (default loopback)")
+    serve.add_argument("--port", type=int, default=0, metavar="PORT",
+                       help="HTTP API port (default 0 = ephemeral)")
+    serve.add_argument("--feed-port", type=int, default=0, metavar="PORT",
+                       help="record-feed socket port (default 0 = ephemeral)")
+    serve.add_argument("--checkpoint", metavar="DIR",
+                       help="continuously checkpoint campaign state to DIR "
+                            "and restore from it on startup")
+    serve.add_argument("--watermark-records", type=int, default=256,
+                       metavar="N",
+                       help="flush a campaign after N un-checkpointed log "
+                            "records (default 256)")
+    serve.add_argument("--watermark-seconds", type=float, default=5.0,
+                       metavar="S",
+                       help="flush a campaign whose un-checkpointed tail is "
+                            "older than S seconds (default 5)")
+    serve.add_argument("--ready-file", metavar="FILE",
+                       help="write bound ports + pid to FILE once listening "
+                            "(for harnesses using ephemeral ports)")
+
+    feed = commands.add_parser(
+        "feed", help="replay an exported bundle into a running daemon")
+    feed.add_argument("bundle", help="directory written by 'run --export'")
+    feed.add_argument("--campaign", default="default", metavar="ID",
+                      help="campaign id to register/ingest as (default "
+                           "'default')")
+    feed.add_argument("--host", default="127.0.0.1")
+    feed.add_argument("--port", type=int, required=True, metavar="PORT",
+                      help="the daemon's feed port (see its ready file)")
+    feed.add_argument("--batch-size", type=int, default=500, metavar="N",
+                      help="records per feed batch (default 500)")
 
     platform = commands.add_parser("platform",
                                    help="summarize the VPN platform (Table 1)")
@@ -182,7 +224,7 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_report(args: argparse.Namespace) -> int:
-    title = f"Report (reloaded from {args.bundle})"
+    title = args.title or f"Report (reloaded from {args.bundle})"
     engine = args.engine
     if engine in ("auto", "streaming"):
         from repro.core.persist import load_analysis_state
@@ -196,6 +238,48 @@ def _command_report(args: argparse.Namespace) -> int:
             return 2
     bundle = load_bundle(args.bundle)
     _emit(full_report(bundle, title=title), args.output)
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serve.daemon import ServeConfig, ServeDaemon
+
+    daemon = ServeDaemon(ServeConfig(
+        host=args.host,
+        http_port=args.port,
+        feed_port=args.feed_port,
+        checkpoint_dir=args.checkpoint,
+        watermark_records=args.watermark_records,
+        watermark_seconds=args.watermark_seconds,
+        ready_file=args.ready_file,
+    ))
+    print(f"repro serve: http on {args.host}:{daemon.http.port}, "
+          f"feed on {args.host}:{daemon.feed.port}"
+          + (f", checkpoints in {args.checkpoint}" if args.checkpoint else ""),
+          file=sys.stderr)
+    daemon.run_forever()
+    return 0
+
+
+def _command_feed(args: argparse.Namespace) -> int:
+    from repro.serve.feed import FeedClient, FeedError, feed_batches_from_bundle
+
+    try:
+        with FeedClient(host=args.host, port=args.port) as client:
+            ack = None
+            batches = 0
+            for batch in feed_batches_from_bundle(
+                    args.bundle, args.campaign, batch_size=args.batch_size):
+                ack = client.send(batch)
+                batches += 1
+    except (FeedError, OSError) as error:
+        print(f"feed failed: {error}", file=sys.stderr)
+        return 2
+    summary = (f"fed {batches} batches as campaign {args.campaign!r}"
+               + (f"; daemon at seq {ack['seq']} with "
+                  f"{ack['log_records']} log records" if ack
+                  and "log_records" in ack else ""))
+    print(summary, file=sys.stderr)
     return 0
 
 
@@ -226,6 +310,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "run": _command_run,
         "report": _command_report,
+        "serve": _command_serve,
+        "feed": _command_feed,
         "platform": _command_platform,
         "telemetry": _command_telemetry,
     }

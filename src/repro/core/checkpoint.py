@@ -40,11 +40,16 @@ _CONFIG = "config.pkl"
 _PLAN = "phase2_plan.bin"
 _ANALYSIS = "analysis.json"
 
-CHECKPOINT_FORMAT = 3
-"""Format 3 stores shard payloads and the Phase II plan as wire-format
-blobs (``*.bin``) with final payloads encoded as deltas against Phase I;
-format-2 directories hold pickles this build no longer reads, so resume
-rejects them up front instead of failing on a missing file later."""
+CHECKPOINT_FORMAT = 4
+"""Format 4 adds a ``kind`` discriminator to ``meta.json`` (``"run"``
+for phase-boundary shard checkpoints, ``"serve"`` for the continuous
+watermark checkpoints of :mod:`repro.serve`) so the two layouts cannot
+be resumed into each other.  Format 3 stored the same run payloads but
+no kind; as with every bump, older directories are rejected up front
+instead of failing on a missing file later."""
+
+KIND_RUN = "run"
+KIND_SERVE = "serve"
 
 
 class CheckpointError(RuntimeError):
@@ -78,12 +83,15 @@ class CheckpointStore:
 
     # -- run identity ------------------------------------------------------
 
+    KIND = KIND_RUN
+
     def save_run(self, config, shard_count: int) -> None:
         self._write_pickle(_CONFIG, config)
         self._write_bytes(_META, json.dumps({
             "seed": config.seed,
             "shard_count": shard_count,
             "format": CHECKPOINT_FORMAT,
+            "kind": self.KIND,
         }, indent=2).encode())
 
     def load_meta(self) -> Dict:
@@ -98,6 +106,11 @@ class CheckpointStore:
                 f"{meta.get('format')!r}; this build reads format "
                 f"{CHECKPOINT_FORMAT} — re-run the campaign instead of "
                 "resuming"
+            )
+        if meta.get("kind", KIND_RUN) != self.KIND:
+            raise CheckpointError(
+                f"{self.directory} holds {meta.get('kind')!r} checkpoints; "
+                f"this store reads {self.KIND!r} checkpoints"
             )
         return meta
 
@@ -177,3 +190,79 @@ class CheckpointStore:
     def completed_shards(self, shard_count: int) -> List[int]:
         """Shards whose final payload is already flushed."""
         return [index for index in range(shard_count) if self.has_final(index)]
+
+
+class ServeCheckpointStore(CheckpointStore):
+    """Continuous watermark checkpoints for the always-on service.
+
+    Layout under one directory (all writes atomic, same discipline as
+    the run store):
+
+    * ``meta.json`` — format + ``kind: "serve"``;
+    * ``campaign-<id>.context.bin`` — the campaign's registration
+      :class:`~repro.core.wire.FeedBatch` blob, stored **verbatim** as
+      received (written once, at registration);
+    * ``campaign-<id>.state.bin`` — the latest
+      :class:`~repro.core.wire.ServeCampaignState` blob, rewritten at
+      every record-count/wall-clock watermark and on graceful shutdown.
+
+    A kill between watermarks loses at most the un-flushed tail; the
+    feed protocol's idempotent sequence numbers let a feeder resend from
+    its last acknowledged batch (see docs/SERVICE.md).
+    """
+
+    KIND = KIND_SERVE
+
+    _CONTEXT_SUFFIX = ".context.bin"
+    _STATE_SUFFIX = ".state.bin"
+
+    def save_meta(self) -> None:
+        self._write_bytes(_META, json.dumps({
+            "format": CHECKPOINT_FORMAT,
+            "kind": self.KIND,
+        }, indent=2).encode())
+
+    @staticmethod
+    def _campaign_file(campaign_id: str, suffix: str) -> str:
+        return f"campaign-{campaign_id}{suffix}"
+
+    def save_context_blob(self, campaign_id: str, blob: bytes) -> None:
+        self._write_bytes(self._campaign_file(campaign_id,
+                                              self._CONTEXT_SUFFIX), blob)
+
+    def load_context(self, campaign_id: str):
+        from repro.core.wire import WireError, decode_feed_batch
+
+        name = self._campaign_file(campaign_id, self._CONTEXT_SUFFIX)
+        try:
+            return decode_feed_batch(self._read_bytes(name))
+        except FileNotFoundError as exc:
+            raise CheckpointError(
+                f"{self.directory} has no registration blob for campaign "
+                f"{campaign_id!r}"
+            ) from exc
+        except WireError as exc:
+            raise CheckpointError(f"{self.directory / name}: {exc}") from exc
+
+    def save_state_blob(self, campaign_id: str, blob: bytes) -> None:
+        self._write_bytes(self._campaign_file(campaign_id,
+                                              self._STATE_SUFFIX), blob)
+
+    def load_state(self, campaign_id: str):
+        from repro.core.wire import WireError, decode_serve_state
+
+        name = self._campaign_file(campaign_id, self._STATE_SUFFIX)
+        try:
+            return decode_serve_state(self._read_bytes(name))
+        except FileNotFoundError:
+            return None
+        except WireError as exc:
+            raise CheckpointError(f"{self.directory / name}: {exc}") from exc
+
+    def campaign_ids(self) -> List[str]:
+        """Registered campaigns, by context blob, sorted for determinism."""
+        prefix, suffix = "campaign-", self._CONTEXT_SUFFIX
+        return sorted(
+            path.name[len(prefix):-len(suffix)]
+            for path in self.directory.glob(f"{prefix}*{suffix}")
+        )

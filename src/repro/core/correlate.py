@@ -209,6 +209,182 @@ class Correlator:
             ) from exc
 
 
+class IncrementalCorrelator:
+    """Record-at-a-time correlation for the always-on service.
+
+    :class:`Correlator` re-scans the whole log per call; a live daemon
+    cannot afford that.  This class applies the same Section 3 rules to
+    one :class:`~repro.honeypot.logstore.LoggedRequest` at a time —
+    classification state is per *logged domain* (its ledger resolution
+    and whether its solicited initial DNS arrival was consumed), so each
+    ingest is O(1) lookups and the full log is never revisited.
+
+    Exactness: for any log fed entry by entry, the multiset of emitted
+    events (and the initial-arrival / unknown-domain partitions) equals
+    ``Correlator.correlate(log)`` — the batch pass groups its output by
+    domain, but classifies each entry independently of every entry that
+    *follows* it, so arrival order is all the state needed.  Pinned by
+    ``tests/test_serve.py``.
+
+    With ``retain_events=True`` the correlator also keeps per-domain
+    event lists and first-appearance keys, and :meth:`result` replays
+    them through :class:`CorrelationMerger` to reproduce the batch
+    event *order* bit for bit.  ``retain_events=False`` (the service
+    default) keeps only the O(domains) classification state.
+
+    :meth:`state_snapshot` / :meth:`from_state_snapshot` round-trip that
+    classification state for daemon restarts; retained events are
+    deliberately not serialized (the analysis accumulators, not the
+    event list, are the durable product — see docs/SERVICE.md).
+    """
+
+    def __init__(self, ledger: DecoyLedger, zone: str,
+                 codec: Optional[IdentifierCodec] = None,
+                 retain_events: bool = False):
+        self._ledger = ledger
+        self._zone = zone
+        self._codec = codec if codec is not None else IdentifierCodec()
+        self._batch = Correlator(ledger, zone, codec=self._codec)
+        self._resolutions: Dict[str, Optional[Tuple[str, bool]]] = {}
+        """Logged domain -> (canonical ledger domain, aliased) or None
+        for noise.  The decode attempt runs once per distinct domain."""
+        self._initial_seen: Set[str] = set()
+        """Domains whose solicited first DNS arrival was consumed."""
+        self.event_count = 0
+        self.unknown_count = 0
+        """Distinct undecodable domains seen (matches the batch pass's
+        ``unknown_domains`` length for a phase=None correlation)."""
+        self.initial_count = 0
+        self._retain = retain_events
+        self._shard = ShardCorrelation(
+            firsts=[], events={}, initial_arrivals={}, unknown_domains=[]
+        ) if retain_events else None
+        self._log_index = 0
+
+    def _resolve(self, domain: str) -> Optional[Tuple[DecoyRecord, bool]]:
+        cached = self._resolutions.get(domain, _UNRESOLVED)
+        if cached is not _UNRESOLVED:
+            if cached is None:
+                return None
+            canonical, aliased = cached
+            record = self._ledger.lookup(canonical)
+            return (record, aliased) if record is not None else None
+        record = self._ledger.lookup(domain)
+        aliased = False
+        if record is None:
+            record = self._batch._recover_alias(domain)
+            aliased = record is not None
+        if record is not None and not aliased:
+            try:
+                self._codec.decode_domain(domain, self._zone)
+            except IdentifierError:
+                record = None
+        if record is None:
+            self._resolutions[domain] = None
+            self.unknown_count += 1
+            if self._shard is not None:
+                self._shard.unknown_domains.append(domain)
+            return None
+        self._resolutions[domain] = (record.domain, aliased)
+        return record, aliased
+
+    def ingest(self, entry: LoggedRequest) -> Optional[ShadowingEvent]:
+        """Classify one appended log entry.
+
+        Returns the :class:`ShadowingEvent` when the entry is
+        unsolicited, or ``None`` when it is the decoy's own solicited
+        initial arrival (rule iii) or undecodable noise.
+        """
+        index = self._log_index
+        self._log_index += 1
+        domain = entry.domain
+        if self._shard is not None and domain not in self._resolutions:
+            self._shard.firsts.append((entry.time, index, domain))
+        resolved = self._resolve(domain)
+        if resolved is None:
+            return None
+        record, aliased = resolved
+        if (not aliased and entry.protocol == "dns"
+                and record.protocol == "dns"
+                and domain not in self._initial_seen):
+            self._initial_seen.add(domain)
+            self.initial_count += 1
+            if self._shard is not None:
+                self._shard.initial_arrivals[domain] = entry
+            return None
+        event = ShadowingEvent(
+            decoy=record,
+            request=entry,
+            combo=Correlator.combo_label(record.protocol, entry.protocol),
+        )
+        self.event_count += 1
+        if self._shard is not None:
+            self._shard.events.setdefault(record.domain, []).append(event)
+        return event
+
+    def result(self) -> CorrelationResult:
+        """The batch-identical correlation of everything ingested so far
+        (requires ``retain_events=True``): the retained single-"shard"
+        state replayed through :class:`CorrelationMerger`, which imposes
+        the batch first-appearance domain order."""
+        if self._shard is None:
+            raise RuntimeError(
+                "this IncrementalCorrelator was built with "
+                "retain_events=False and keeps no event lists; only "
+                "counts and classification state are available"
+            )
+        return CorrelationMerger().add(self._shard, 0).result()
+
+    # -- restart support ---------------------------------------------------
+
+    def state_snapshot(self) -> dict:
+        """Canonical JSON-able classification state (no events)."""
+        return {
+            "domains": sorted(
+                [domain, None if value is None else value[0],
+                 bool(value[1]) if value is not None else False,
+                 domain in self._initial_seen]
+                for domain, value in self._resolutions.items()
+            ),
+            "log_index": self._log_index,
+            "events": self.event_count,
+            "unknown": self.unknown_count,
+            "initial": self.initial_count,
+        }
+
+    @classmethod
+    def from_state_snapshot(cls, data: dict, ledger: DecoyLedger, zone: str,
+                            codec: Optional[IdentifierCodec] = None,
+                            ) -> "IncrementalCorrelator":
+        """Rebuild classification state against a restored ledger.
+
+        The restored instance continues classifying new entries exactly
+        as the uninterrupted one would; it never retains events (the
+        pre-restart event lists were not serialized)."""
+        correlator = cls(ledger, zone, codec=codec, retain_events=False)
+        for domain, canonical, aliased, initial_seen in data["domains"]:
+            if canonical is None:
+                correlator._resolutions[domain] = None
+            else:
+                if ledger.lookup(canonical) is None:
+                    raise ValueError(
+                        f"correlator state references decoy domain "
+                        f"{canonical!r} absent from the restored ledger"
+                    )
+                correlator._resolutions[domain] = (canonical, bool(aliased))
+            if initial_seen:
+                correlator._initial_seen.add(domain)
+        correlator._log_index = data["log_index"]
+        correlator.event_count = data["events"]
+        correlator.unknown_count = data["unknown"]
+        correlator.initial_count = data["initial"]
+        return correlator
+
+
+_UNRESOLVED = object()
+"""Sentinel distinguishing "never looked up" from "resolved to noise"."""
+
+
 @dataclass
 class ShardCorrelation:
     """One shard's correlation output plus the ordering metadata the

@@ -59,6 +59,8 @@ _MAGIC = b"RWIR"
 _KIND_PHASE1 = 1
 _KIND_FINAL = 2
 _KIND_PLAN = 3
+_KIND_FEED = 4
+_KIND_SERVE_STATE = 5
 
 _F64 = struct.Struct("<d")
 _U32 = struct.Struct("<I")
@@ -108,6 +110,50 @@ class ShardPhase1Payload:
     telemetry: Optional[dict] = None
     """Interim :meth:`MetricsRegistry.snapshot` at the Phase I boundary;
     the final payload ships only a structural diff against this."""
+
+
+@dataclass
+class FeedBatch:
+    """One framed unit of the live record feed (``repro serve``).
+
+    A batch with ``context`` set is a *registration*: it announces a
+    campaign and carries the static analysis context (zone, IP
+    directory rows, blocklist) the session needs to resolve
+    observations.  Data batches ship decoy registrations, honeypot log
+    entries, and Phase II location verdicts; ``seq`` makes delivery
+    idempotent — a session skips any batch at or below its high-water
+    sequence, so a reconnecting feeder may simply resend.
+    """
+
+    campaign_id: str
+    seq: int
+    records: List[DecoyRecord] = field(default_factory=list)
+    log_entries: List[LoggedRequest] = field(default_factory=list)
+    locations: List[ObserverLocation] = field(default_factory=list)
+    context: Optional[dict] = None
+    """Registration context: ``{"zone", "directory", "blocklist",
+    "meta"}`` — JSON, written once per campaign."""
+
+
+@dataclass
+class ServeCampaignState:
+    """One campaign's full serve-side state at a checkpoint watermark.
+
+    Everything a restarted daemon needs to keep ingesting and serving
+    byte-identical reports: the ledger (registration order), the
+    incremental correlator's classification state, the analysis
+    accumulator snapshot, and the feed/log watermarks.  The static
+    context is *not* repeated here — it rides the registration batch
+    blob the checkpoint stores verbatim next to this one.
+    """
+
+    campaign_id: str
+    seq: int
+    log_records: int
+    location_count: int
+    records: List[DecoyRecord]
+    correlator: dict
+    analysis: dict
 
 
 @dataclass
@@ -344,6 +390,13 @@ def _write_record(enc: _Encoder, key: LedgerKey, record: DecoyRecord) -> None:
     w.varint(key[1])
     w.zigzag(key[2])
     w.zigzag(key[3])
+    _write_bare_record(enc, record)
+
+
+def _write_bare_record(enc: _Encoder, record: DecoyRecord) -> None:
+    """A :class:`DecoyRecord` without a ledger key — the feed/serve
+    payloads carry registration order implicitly."""
+    w = enc.body
     identity = record.identity
     w.varint(identity.sent_at)
     enc.ref(identity.vp_address)
@@ -369,6 +422,10 @@ def _write_record(enc: _Encoder, key: LedgerKey, record: DecoyRecord) -> None:
 
 def _read_record(dec: _Decoder) -> Tuple[LedgerKey, DecoyRecord]:
     key = (dec.f64(), dec.varint(), dec.zigzag(), dec.zigzag())
+    return key, _read_bare_record(dec)
+
+
+def _read_bare_record(dec: _Decoder) -> DecoyRecord:
     identity = DecoyIdentity(
         sent_at=dec.varint(),
         vp_address=dec.ref(),
@@ -394,7 +451,7 @@ def _read_record(dec: _Decoder) -> Tuple[LedgerKey, DecoyRecord]:
         delivered=dec.flag(),
         round_index=dec.varint(),
     )
-    return key, record
+    return record
 
 
 def _write_records(enc: _Encoder,
@@ -1025,6 +1082,80 @@ def decode_plan_slices(blob: bytes) -> List[List]:
     if not dec.done():
         raise WireError("trailing bytes after plan payload")
     return slices
+
+
+# -- record feed / serve state ---------------------------------------------
+
+
+def _write_bare_records(enc: _Encoder, records: Sequence[DecoyRecord]) -> None:
+    enc.body.varint(len(records))
+    for record in records:
+        _write_bare_record(enc, record)
+
+
+def _read_bare_records(dec: _Decoder) -> List[DecoyRecord]:
+    return [_read_bare_record(dec) for _ in range(dec.varint())]
+
+
+def encode_feed_batch(batch: FeedBatch) -> bytes:
+    enc = _Encoder()
+    enc.ref(batch.campaign_id)
+    enc.body.varint(batch.seq)
+    _write_bare_records(enc, batch.records)
+    _write_log(enc, batch.log_entries)
+    enc.body.varint(len(batch.locations))
+    for location in batch.locations:
+        _write_location(enc, location)
+    _write_json(enc, batch.context)
+    return enc.frame(_KIND_FEED)
+
+
+def decode_feed_batch(blob: bytes) -> FeedBatch:
+    dec = _open(blob, _KIND_FEED)
+    campaign_id = dec.ref()
+    seq = dec.varint()
+    records = _read_bare_records(dec)
+    log_entries = _read_log(dec)
+    locations = [_read_location(dec) for _ in range(dec.varint())]
+    context = _read_json(dec)
+    if not dec.done():
+        raise WireError("trailing bytes after feed batch")
+    return FeedBatch(campaign_id=campaign_id, seq=seq, records=records,
+                     log_entries=log_entries, locations=locations,
+                     context=context)
+
+
+def encode_serve_state(state: ServeCampaignState) -> bytes:
+    enc = _Encoder()
+    enc.ref(state.campaign_id)
+    enc.body.varint(state.seq)
+    enc.body.varint(state.log_records)
+    enc.body.varint(state.location_count)
+    _write_bare_records(enc, state.records)
+    _write_json(enc, state.correlator)
+    _write_json(enc, state.analysis)
+    return enc.frame(_KIND_SERVE_STATE)
+
+
+def decode_serve_state(blob: bytes) -> ServeCampaignState:
+    dec = _open(blob, _KIND_SERVE_STATE)
+    campaign_id = dec.ref()
+    seq = dec.varint()
+    log_records = dec.varint()
+    location_count = dec.varint()
+    records = _read_bare_records(dec)
+    correlator = _read_json(dec)
+    analysis = _read_json(dec)
+    if not dec.done():
+        raise WireError("trailing bytes after serve state")
+    if correlator is None or analysis is None:
+        raise WireError("serve state is missing its correlator/analysis "
+                        "sections")
+    return ServeCampaignState(
+        campaign_id=campaign_id, seq=seq, log_records=log_records,
+        location_count=location_count, records=records,
+        correlator=correlator, analysis=analysis,
+    )
 
 
 def encode_plan_slice(plan_slice: Sequence) -> bytes:

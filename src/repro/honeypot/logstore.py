@@ -47,6 +47,9 @@ class LogStore:
     def __init__(self, metrics=None):
         self._entries: List[LoggedRequest] = []
         self._by_domain: Dict[str, List[int]] = {}
+        self._by_protocol: Dict[str, List[int]] = {}
+        """Entry indexes per protocol — maintained on append so
+        :meth:`by_protocol` selects without a full scan."""
         self._times: List[float] = []
         """Entry times, parallel to ``_entries`` — maintained on append so
         :meth:`between` bisects without rebuilding the list per query."""
@@ -92,6 +95,7 @@ class LogStore:
                 f"{self._entries[-1].time}"
             )
         self._by_domain.setdefault(entry.domain, []).append(len(self._entries))
+        self._by_protocol.setdefault(entry.protocol, []).append(len(self._entries))
         self._entries.append(entry)
         self._times.append(entry.time)
         self._m_requests[entry.protocol].inc()
@@ -140,5 +144,23 @@ class LogStore:
         high = bisect.bisect_left(self._times, end)
         return self._entries[low:high]
 
+    def tail(self, cursor: int = 0) -> Tuple[List[LoggedRequest], int]:
+        """(entries appended at or after ``cursor``, new cursor).
+
+        The cursor is a count of entries already consumed, so the window
+        is half-open just like :meth:`between`: ``tail(0)`` yields the
+        whole log, a second call with the returned cursor yields only
+        what arrived in the meantime, and consecutive calls tile the log
+        with no entry duplicated or skipped — the live-ingest contract
+        :mod:`repro.serve` relies on (pinned by ``tests/test_honeypot``).
+        O(k) in the tail length; never rescans consumed entries.
+        """
+        if cursor < 0:
+            raise ValueError(f"tail cursor must be >= 0, got {cursor}")
+        return self._entries[cursor:], len(self._entries)
+
     def by_protocol(self, protocol: str) -> List[LoggedRequest]:
-        return [entry for entry in self._entries if entry.protocol == protocol]
+        """All requests of one protocol, in arrival order — O(k) via the
+        per-protocol index, not a full scan."""
+        return [self._entries[index]
+                for index in self._by_protocol.get(protocol, [])]

@@ -44,5 +44,10 @@ class Blocklist:
         hits = sum(1 for address in distinct if address in self._listed)
         return hits / len(distinct)
 
+    def addresses(self) -> Tuple[str, ...]:
+        """All listed addresses, sorted — the serializable view the
+        serve feed ships as campaign registration context."""
+        return tuple(sorted(self._listed))
+
     def __len__(self) -> int:
         return len(self._listed)

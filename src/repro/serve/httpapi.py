@@ -1,0 +1,123 @@
+"""Threaded HTTP report API over a :class:`MeasurementService`.
+
+Read-only, stdlib-only (:mod:`http.server`), loopback by default.
+Endpoints (all GET):
+
+* ``/healthz`` — liveness: uptime, campaign count, checkpointing flag;
+* ``/campaigns`` — per-campaign summaries (seq, counts, digest);
+* ``/campaigns/<id>/report`` — the versioned report artifact as JSON
+  (text + digest + version + cache disposition);
+* ``/campaigns/<id>/report.txt`` — the raw report text, byte-identical
+  to batch ``repro report`` over the same records (the CI diff target);
+* ``/campaigns/<id>/telemetry`` — ingest/cache/checkpoint counters.
+
+Unknown campaigns and unknown paths return structured JSON errors with
+proper status codes — the same ``error.to_payload()`` shape the feed
+socket uses.  :class:`ThreadingHTTPServer` gives one thread per request;
+consistency under concurrent readers comes from the per-session lock,
+not from the transport.
+"""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.serve.service import MeasurementService, ServeError, UnknownCampaignError
+
+
+class _ApiHandler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # The default handler logs every request to stderr; a daemon serving
+    # a polling CI loop would drown real diagnostics.
+    def log_message(self, format, *args):  # noqa: A002 (stdlib signature)
+        pass
+
+    @property
+    def service(self) -> MeasurementService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def do_GET(self) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if path == "/healthz":
+                self._json(200, self.service.health())
+            elif path == "/campaigns":
+                self._json(200, {"campaigns": self.service.summaries()})
+            else:
+                self._campaign_route(path)
+        except UnknownCampaignError as exc:
+            self._json(404, exc.to_payload())
+        except ServeError as exc:
+            self._json(400, exc.to_payload())
+        except BrokenPipeError:
+            pass
+
+    def _campaign_route(self, path: str) -> None:
+        parts = path.strip("/").split("/")
+        if len(parts) != 3 or parts[0] != "campaigns":
+            self._json(404, {"error": {"code": "not_found",
+                                       "message": f"no route {path!r}"}})
+            return
+        _, campaign_id, leaf = parts
+        if leaf == "report":
+            text, digest, version = self.service.session(campaign_id).report()
+            self._json(200, {"campaign": campaign_id, "digest": digest,
+                             "version": version, "report": text})
+        elif leaf == "report.txt":
+            text, digest, version = self.service.session(campaign_id).report()
+            self._text(200, text, extra_headers=(
+                ("X-Repro-Digest", digest),
+                ("X-Repro-Report-Version", str(version)),
+            ))
+        elif leaf == "telemetry":
+            self._json(200, self.service.telemetry(campaign_id))
+        else:
+            self._json(404, {"error": {"code": "not_found",
+                                       "message": f"no endpoint {leaf!r}"}})
+
+    # -- responses ---------------------------------------------------------
+
+    def _json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self._send(status, "application/json", body)
+
+    def _text(self, status: int, text: str,
+              extra_headers: Tuple[Tuple[str, str], ...] = ()) -> None:
+        self._send(status, "text/plain; charset=utf-8", text.encode(),
+                   extra_headers)
+
+    def _send(self, status: int, content_type: str, body: bytes,
+              extra_headers: Tuple[Tuple[str, str], ...] = ()) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in extra_headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class ReportApiServer:
+    """Lifecycle wrapper: bind, serve on a daemon thread, shut down."""
+
+    def __init__(self, service: MeasurementService,
+                 host: str = "127.0.0.1", port: int = 0):
+        self._httpd = ThreadingHTTPServer((host, port), _ApiHandler)
+        self._httpd.service = service  # type: ignore[attr-defined]
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="repro-serve-http", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)

@@ -1,0 +1,260 @@
+"""Multi-tenant session registry with watermark checkpointing.
+
+The :class:`MeasurementService` is the daemon's core, independent of any
+transport: the socket feed (:mod:`repro.serve.feed`) and the HTTP API
+(:mod:`repro.serve.httpapi`) both call straight into it.  It owns
+
+* the campaign-id → :class:`~repro.serve.session.CampaignSession` map,
+  guarded for registration races (per-campaign ingest is serialized by
+  the session's own lock);
+* the structured error vocabulary — ingest for an unregistered campaign
+  raises :class:`UnknownCampaignError`, never a bare ``KeyError``, and
+  transports render ``error.to_payload()`` verbatim;
+* continuous checkpointing: after each applied batch, a campaign whose
+  un-flushed tail crossed the :class:`WatermarkPolicy` record count *or*
+  wall-clock age is flushed to the
+  :class:`~repro.core.checkpoint.ServeCheckpointStore` (registration
+  context blobs are written once, state blobs rewritten per watermark).
+  There is no timer thread — an idle campaign has nothing to lose, so
+  watermarks are only evaluated on ingest and on shutdown.
+"""
+
+import re
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.checkpoint import ServeCheckpointStore
+from repro.core.wire import FeedBatch, encode_feed_batch
+from repro.serve.session import CampaignSession
+from repro.telemetry.registry import MetricsRegistry
+
+_CAMPAIGN_ID = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]{0,63}\Z")
+"""Campaign ids become checkpoint file names — keep them path-safe."""
+
+
+class ServeError(RuntimeError):
+    """A structured, transport-renderable service error."""
+
+    code = "serve_error"
+
+    def to_payload(self) -> dict:
+        return {"error": {"code": self.code, "message": str(self)}}
+
+
+class UnknownCampaignError(ServeError):
+    """Ingest or read addressed a campaign id nobody registered."""
+
+    code = "unknown_campaign"
+
+    def __init__(self, campaign_id: str, known: List[str]):
+        super().__init__(
+            f"campaign {campaign_id!r} is not registered; known campaigns: "
+            f"{known if known else '(none)'}"
+        )
+        self.campaign_id = campaign_id
+        self.known = known
+
+    def to_payload(self) -> dict:
+        payload = super().to_payload()
+        payload["error"]["campaign"] = self.campaign_id
+        payload["error"]["known"] = self.known
+        return payload
+
+
+class InvalidCampaignError(ServeError):
+    """A campaign id failed validation (unsafe as a checkpoint name)."""
+
+    code = "invalid_campaign_id"
+
+
+class RegistrationError(ServeError):
+    """A registration batch was malformed or conflicted."""
+
+    code = "registration_error"
+
+
+@dataclass(frozen=True)
+class WatermarkPolicy:
+    """When to flush a campaign's state blob.
+
+    A flush happens when either threshold trips: ``records`` log entries
+    applied since the last flush, or ``seconds`` of wall-clock age on a
+    non-empty un-flushed tail.  Both are deliberately coarse — the state
+    blob is O(campaign), so flushing per batch would dominate ingest.
+    """
+
+    records: int = 256
+    seconds: float = 5.0
+
+
+class MeasurementService:
+    """Campaign registry + ingest router + watermark checkpointer."""
+
+    def __init__(self, checkpoint_dir=None,
+                 watermark: Optional[WatermarkPolicy] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 clock=time.monotonic):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.watermark = watermark if watermark is not None else WatermarkPolicy()
+        self._clock = clock
+        self._sessions: Dict[str, CampaignSession] = {}
+        self._registry_lock = threading.Lock()
+        self._store: Optional[ServeCheckpointStore] = None
+        if checkpoint_dir is not None:
+            self._store = ServeCheckpointStore(checkpoint_dir)
+            self._store.save_meta()
+        self._pending_records: Dict[str, int] = {}
+        """Log records applied since the campaign's last flush."""
+        self._tail_age_start: Dict[str, float] = {}
+        """Clock reading when the campaign's un-flushed tail began."""
+        self.started_at = clock()
+        self._m_checkpoints = self.metrics.counter("serve.checkpoints")
+
+    # -- restore -----------------------------------------------------------
+
+    @classmethod
+    def restore(cls, checkpoint_dir, watermark=None, metrics=None,
+                clock=time.monotonic) -> "MeasurementService":
+        """Resume every campaign found in a serve checkpoint directory.
+
+        Campaigns with a registration blob but no state blob (killed
+        before their first watermark) restart empty from the context;
+        the feeder's idempotent resend replays what was lost.
+        """
+        store = ServeCheckpointStore(checkpoint_dir)
+        store.load_meta()
+        service = cls(checkpoint_dir=checkpoint_dir, watermark=watermark,
+                      metrics=metrics, clock=clock)
+        for campaign_id in store.campaign_ids():
+            registration = store.load_context(campaign_id)
+            state = store.load_state(campaign_id)
+            if state is None:
+                session = CampaignSession.from_context(
+                    campaign_id, registration.context,
+                    metrics=service.metrics)
+            else:
+                session = CampaignSession.restore(
+                    registration, state, metrics=service.metrics)
+            service._sessions[campaign_id] = session
+            service._pending_records[campaign_id] = 0
+        return service
+
+    # -- registry ----------------------------------------------------------
+
+    def campaign_ids(self) -> List[str]:
+        with self._registry_lock:
+            return sorted(self._sessions)
+
+    def session(self, campaign_id: str) -> CampaignSession:
+        with self._registry_lock:
+            session = self._sessions.get(campaign_id)
+        if session is None:
+            raise UnknownCampaignError(campaign_id, self.campaign_ids())
+        return session
+
+    def register(self, batch: FeedBatch) -> dict:
+        """Create a session from a registration batch (idempotent).
+
+        Re-registering an existing campaign is acknowledged without
+        effect when the zone agrees (the normal feeder-restart case) and
+        rejected as a conflict when it does not.
+        """
+        if batch.context is None:
+            raise RegistrationError(
+                f"registration for {batch.campaign_id!r} carries no context"
+            )
+        if not _CAMPAIGN_ID.match(batch.campaign_id):
+            raise InvalidCampaignError(
+                f"campaign id {batch.campaign_id!r} must match "
+                f"{_CAMPAIGN_ID.pattern}"
+            )
+        with self._registry_lock:
+            existing = self._sessions.get(batch.campaign_id)
+            if existing is not None:
+                if existing.zone != batch.context.get("zone"):
+                    raise RegistrationError(
+                        f"campaign {batch.campaign_id!r} already registered "
+                        f"with zone {existing.zone!r}; refusing context with "
+                        f"zone {batch.context.get('zone')!r}"
+                    )
+                return {"campaign": batch.campaign_id, "seq": existing.seq,
+                        "applied": False, "registered": True}
+            session = CampaignSession.from_context(
+                batch.campaign_id, batch.context, metrics=self.metrics)
+            self._sessions[batch.campaign_id] = session
+            self._pending_records[batch.campaign_id] = 0
+        if self._store is not None:
+            self._store.save_context_blob(batch.campaign_id,
+                                          encode_feed_batch(batch))
+        return {"campaign": batch.campaign_id, "seq": 0, "applied": True,
+                "registered": True}
+
+    # -- ingest ------------------------------------------------------------
+
+    def ingest(self, batch: FeedBatch) -> dict:
+        """Route one feed batch: registration or data."""
+        if batch.context is not None:
+            return self.register(batch)
+        session = self.session(batch.campaign_id)
+        ack = session.ingest_batch(batch)
+        if ack["applied"]:
+            self._note_progress(batch.campaign_id, len(batch.log_entries))
+        return ack
+
+    def _note_progress(self, campaign_id: str, log_records: int) -> None:
+        if self._store is None:
+            return
+        now = self._clock()
+        self._tail_age_start.setdefault(campaign_id, now)
+        pending = self._pending_records.get(campaign_id, 0) + log_records
+        self._pending_records[campaign_id] = pending
+        age = now - self._tail_age_start[campaign_id]
+        if (pending >= self.watermark.records
+                or age >= self.watermark.seconds):
+            self.checkpoint(campaign_id)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def checkpoint(self, campaign_id: str) -> bool:
+        """Flush one campaign's state blob now; True if written."""
+        if self._store is None:
+            return False
+        session = self.session(campaign_id)
+        self._store.save_state_blob(campaign_id, session.state_blob())
+        self._pending_records[campaign_id] = 0
+        self._tail_age_start.pop(campaign_id, None)
+        self._m_checkpoints.inc()
+        return True
+
+    def flush_all(self) -> int:
+        """Flush every campaign (graceful-shutdown path)."""
+        flushed = 0
+        for campaign_id in self.campaign_ids():
+            if self.checkpoint(campaign_id):
+                flushed += 1
+        return flushed
+
+    # -- reads -------------------------------------------------------------
+
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_seconds": self._clock() - self.started_at,
+            "campaigns": len(self._sessions),
+            "checkpointing": self._store is not None,
+        }
+
+    def summaries(self) -> List[dict]:
+        return [self.session(campaign_id).summary()
+                for campaign_id in self.campaign_ids()]
+
+    def telemetry(self, campaign_id: str) -> dict:
+        data = self.session(campaign_id).telemetry()
+        data["checkpoint"] = {
+            "enabled": self._store is not None,
+            "pending_records": self._pending_records.get(campaign_id, 0),
+            "flushes": self._m_checkpoints.value,
+        }
+        return data

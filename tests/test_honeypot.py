@@ -93,6 +93,59 @@ class TestLogStore:
         store.append(self.entry(time=2.0, protocol="https"))
         assert len(store.by_protocol("https")) == 1
 
+    def test_by_protocol_preserves_arrival_order(self):
+        store = LogStore()
+        for time in (1.0, 2.0, 3.0, 4.0):
+            store.append(self.entry(time=time, protocol="dns"))
+        store.append(self.entry(time=5.0, protocol="http"))
+        assert [entry.time for entry in store.by_protocol("dns")] == \
+            [1.0, 2.0, 3.0, 4.0]
+        assert store.by_protocol("https") == []
+
+    def test_tail_from_zero_returns_everything(self):
+        store = LogStore()
+        for time in (1.0, 2.0, 3.0):
+            store.append(self.entry(time=time))
+        entries, cursor = store.tail(0)
+        assert [entry.time for entry in entries] == [1.0, 2.0, 3.0]
+        assert cursor == 3
+
+    def test_tail_is_half_open(self):
+        """Pins the cursor contract: a second tail() from the returned
+        cursor yields only what arrived in the meantime — no entry
+        duplicated, none skipped (mirrors ``between``'s half-open
+        discipline)."""
+        store = LogStore()
+        store.append(self.entry(time=1.0))
+        entries, cursor = store.tail(0)
+        assert len(entries) == 1
+        entries, cursor = store.tail(cursor)
+        assert entries == [] and cursor == 1
+        store.append(self.entry(time=2.0))
+        store.append(self.entry(time=3.0))
+        entries, cursor = store.tail(cursor)
+        assert [entry.time for entry in entries] == [2.0, 3.0]
+        assert cursor == 3
+
+    def test_tail_windows_compose(self):
+        """Consecutive tail() calls tile the log exactly: concatenating
+        every window reproduces all()."""
+        store = LogStore()
+        consumed = []
+        cursor = 0
+        for batch in ((1.0,), (2.0, 2.0, 3.0), (), (4.0,)):
+            for time in batch:
+                store.append(self.entry(time=time))
+            entries, cursor = store.tail(cursor)
+            consumed.extend(entries)
+        assert tuple(consumed) == store.all()
+        assert cursor == len(store)
+
+    def test_tail_rejects_negative_cursor(self):
+        store = LogStore()
+        with pytest.raises(ValueError):
+            store.tail(-1)
+
     def test_domains_deduplicated(self):
         store = LogStore()
         store.append(self.entry(time=1.0))
