@@ -1,0 +1,93 @@
+"""Performance — scenario parse/compile latency and fuzz generation rate.
+
+The scenario layer sits in front of every campaign launch and inside
+every fuzz iteration, so its fixed costs matter twice over.  Records to
+``benchmarks/out/BENCH_scenario.json``:
+
+* parse+serialize round-trip latency over the named library (the cost
+  of loading a scenario from disk form);
+* compile latency (``Scenario -> ExperimentConfig`` with provenance) —
+  the per-launch overhead ``repro scenario run`` adds on top of
+  ``repro run``;
+* fuzz *generation* rate (specs per second, excluding pipeline
+  execution) — the fuzzer's own overhead, which must stay negligible
+  next to the ~seconds-per-sample invariant checks it drives.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``): fewer iterations, same shape.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro.scenario import (
+    compile_with_trace,
+    generate_scenario,
+    load_library,
+    loads_scenario,
+    serialize_scenario,
+)
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+ARTIFACT = OUT_DIR / "BENCH_scenario.json"
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+COMPILE_ITERATIONS = 50 if SMOKE else 500
+GENERATE_SAMPLES = 50 if SMOKE else 500
+FUZZ_SEED = 7
+
+
+def test_scenario_compile_latency_and_fuzz_rate():
+    library = load_library()
+    texts = {name: serialize_scenario(spec)
+             for name, spec in library.items()}
+
+    started = time.perf_counter()
+    for _ in range(COMPILE_ITERATIONS):
+        for text in texts.values():
+            loads_scenario(text)
+    parse_seconds = time.perf_counter() - started
+    parses = COMPILE_ITERATIONS * len(texts)
+
+    started = time.perf_counter()
+    for _ in range(COMPILE_ITERATIONS):
+        for spec in library.values():
+            compile_with_trace(spec)
+    compile_seconds = time.perf_counter() - started
+    compiles = COMPILE_ITERATIONS * len(library)
+
+    started = time.perf_counter()
+    specs = [generate_scenario(FUZZ_SEED, index)
+             for index in range(GENERATE_SAMPLES)]
+    generate_seconds = time.perf_counter() - started
+    assert len({spec.digest() for spec in specs}) == GENERATE_SAMPLES, \
+        "fuzz generation produced duplicate specs"
+
+    payload = {
+        "smoke": SMOKE,
+        "library_size": len(library),
+        "parse": {
+            "round_trips": parses,
+            "seconds": round(parse_seconds, 4),
+            "per_second": round(parses / parse_seconds, 1),
+            "mean_us": round(parse_seconds / parses * 1e6, 1),
+        },
+        "compile": {
+            "compiles": compiles,
+            "seconds": round(compile_seconds, 4),
+            "per_second": round(compiles / compile_seconds, 1),
+            "mean_us": round(compile_seconds / compiles * 1e6, 1),
+        },
+        "fuzz_generation": {
+            "samples": GENERATE_SAMPLES,
+            "seconds": round(generate_seconds, 4),
+            "specs_per_second": round(GENERATE_SAMPLES / generate_seconds, 1),
+        },
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n=== BENCH_scenario ===\n{json.dumps(payload, indent=2)}")
+
+    # Launch overhead must stay invisible next to a multi-second campaign.
+    assert compile_seconds / compiles < 0.01

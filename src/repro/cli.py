@@ -12,6 +12,10 @@ Commands:
 * ``serve``   — run the always-on measurement daemon: live ingest over a
   socket feed, watermark checkpoints, HTTP report API (docs/SERVICE.md).
 * ``feed``    — replay an exported bundle into a running daemon.
+* ``scenario`` — the declarative scenario layer: list/show/compile the
+  named ecosystem library, run a campaign from a scenario spec, or fuzz
+  generated scenarios against the pipeline invariants
+  (docs/SCENARIOS.md).
 """
 
 import argparse
@@ -21,7 +25,7 @@ from typing import List, Optional
 
 from repro.analysis.paperreport import full_report, full_report_from_state
 from repro.analysis.report import render_table
-from repro.core.config import ExperimentConfig
+from repro.core.config import ConfigError, ExperimentConfig
 from repro.core.experiment import Experiment
 from repro.core.persist import export_result, load_bundle
 from repro.simkit.rng import RandomRouter
@@ -141,6 +145,59 @@ def _build_parser() -> argparse.ArgumentParser:
     feed.add_argument("--batch-size", type=int, default=500, metavar="N",
                       help="records per feed batch (default 500)")
 
+    scenario = commands.add_parser(
+        "scenario", help="declarative scenarios: library, compiler, fuzzer")
+    scenario_commands = scenario.add_subparsers(dest="scenario_command",
+                                                required=True)
+    scenario_commands.add_parser(
+        "list", help="list the named scenario library")
+    show = scenario_commands.add_parser(
+        "show", help="print a scenario's canonical JSON")
+    show.add_argument("scenario",
+                      help="library name or path to a scenario JSON file")
+    compile_cmd = scenario_commands.add_parser(
+        "compile", help="lower a scenario to its ExperimentConfig")
+    compile_cmd.add_argument("scenario",
+                             help="library name or path to a scenario "
+                                  "JSON file")
+    compile_cmd.add_argument("--trace", action="store_true",
+                             help="also print each config field's "
+                                  "provenance (the spec field or pinned "
+                                  "default it came from)")
+    scenario_run = scenario_commands.add_parser(
+        "run", help="run a full campaign from a scenario")
+    scenario_run.add_argument("scenario",
+                              help="library name or path to a scenario "
+                                   "JSON file")
+    scenario_run.add_argument("--workers", type=int, default=None, metavar="N",
+                              help="override the scenario's engine.workers")
+    scenario_run.add_argument("--digest", metavar="FILE",
+                              help="write the run's result digest to FILE")
+    scenario_run.add_argument("--export", metavar="DIR",
+                              help="also export the result bundle to DIR")
+    scenario_run.add_argument("--output", metavar="FILE",
+                              help="write the report to FILE instead of "
+                                   "stdout")
+    fuzz = scenario_commands.add_parser(
+        "fuzz", help="generate random scenarios and check every pipeline "
+                     "invariant against them")
+    fuzz.add_argument("--samples", type=int, default=20, metavar="N",
+                      help="number of generated scenarios (default 20)")
+    fuzz.add_argument("--seed", type=int, default=7,
+                      help="fuzz population seed; the same seed always "
+                           "generates the same scenarios (default 7)")
+    fuzz.add_argument("--workers", type=int, default=2, metavar="N",
+                      help="worker count for the sharded leg of the "
+                           "serial-equals-sharded invariant (default 2)")
+    fuzz.add_argument("--json", metavar="FILE",
+                      help="write the machine-readable fuzz report to FILE")
+    fuzz.add_argument("--stop-on-failure", action="store_true",
+                      help="stop at the first failing sample instead of "
+                           "completing the run")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="skip shrinking failing samples to their "
+                           "minimal field sets")
+
     platform = commands.add_parser("platform",
                                    help="summarize the VPN platform (Table 1)")
     platform.add_argument("--seed", type=int, default=20240301)
@@ -197,6 +254,12 @@ def _command_run(args: argparse.Namespace) -> int:
                 log_delay_rate=args.fault_log_delay,
                 log_duplicate_rate=args.fault_log_dup,
             )
+        try:
+            config.validate()
+        except ConfigError as error:
+            for problem in error.problems:
+                print(f"invalid configuration: {problem}", file=sys.stderr)
+            return 2
         supervision = None
         if args.inject_worker_kill is not None:
             from repro.core.shard import SupervisorPolicy
@@ -283,6 +346,137 @@ def _command_feed(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_scenario(args: argparse.Namespace) -> int:
+    from repro.scenario import ScenarioError
+
+    handlers = {
+        "list": _scenario_list,
+        "show": _scenario_show,
+        "compile": _scenario_compile,
+        "run": _scenario_run,
+        "fuzz": _scenario_fuzz,
+    }
+    try:
+        return handlers[args.scenario_command](args)
+    except ScenarioError as error:
+        for problem in error.problems:
+            print(f"scenario error: {problem}", file=sys.stderr)
+        return 2
+
+
+def _scenario_list(args: argparse.Namespace) -> int:
+    from repro.scenario import load_library
+
+    rows = [(name, spec.digest()[:12], spec.description)
+            for name, spec in sorted(load_library().items())]
+    print(render_table(("scenario", "digest", "description"), rows,
+                       title="Named scenario library"))
+    return 0
+
+
+def _scenario_show(args: argparse.Namespace) -> int:
+    from repro.scenario import resolve_scenario, serialize_scenario
+
+    print(serialize_scenario(resolve_scenario(args.scenario)), end="")
+    return 0
+
+
+def _scenario_compile(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.scenario import compile_with_trace, resolve_scenario
+
+    spec = resolve_scenario(args.scenario)
+    config, trace = compile_with_trace(spec)
+    print(f"scenario {spec.name!r} (digest {spec.digest()[:12]}) "
+          "compiles to:")
+    for config_field in sorted(f.name for f in dataclasses.fields(config)):
+        line = f"  {config_field} = {getattr(config, config_field)!r}"
+        if args.trace:
+            line += f"    <- {trace[config_field]}"
+        print(line)
+    return 0
+
+
+def _scenario_run(args: argparse.Namespace) -> int:
+    from repro.scenario import compile_scenario, resolve_scenario
+
+    spec = resolve_scenario(args.scenario)
+    config = compile_scenario(spec)
+    if args.workers is not None:
+        config.workers = args.workers
+        try:
+            config.validate()
+        except ConfigError as error:
+            for problem in error.problems:
+                print(f"invalid configuration: {problem}", file=sys.stderr)
+            return 2
+    print(f"running scenario {spec.name!r} "
+          f"(digest {spec.digest()[:12]}, workers={config.workers})",
+          file=sys.stderr)
+    result = Experiment(config).run()
+    if args.digest:
+        from repro.core.shard import result_digest
+        digest_path = pathlib.Path(args.digest)
+        digest_path.parent.mkdir(parents=True, exist_ok=True)
+        digest_path.write_text(result_digest(result) + "\n")
+        print(f"digest written to {args.digest}", file=sys.stderr)
+    if args.export:
+        bundle = export_result(result, args.export)
+        print(f"bundle exported to {bundle}", file=sys.stderr)
+    _emit(full_report(result, include_validation=True), args.output)
+    return 0
+
+
+def _scenario_fuzz(args: argparse.Namespace) -> int:
+    from repro.scenario import run_fuzz
+    from repro.scenario.fuzz import check_invariants, shrink
+
+    if args.samples < 1 or args.seed < 0 or args.workers < 1:
+        print("fuzz needs --samples >= 1, --seed >= 0, --workers >= 1",
+              file=sys.stderr)
+        return 2
+
+    def progress(sample):
+        verdict = "ok" if sample.ok else "FAIL"
+        print(f"sample {sample.index:3d} [{verdict}] "
+              f"spec={sample.spec_digest[:12]} "
+              f"result={str(sample.serial_digest)[:12]} "
+              f"({sample.scenario.name})", file=sys.stderr)
+        for failure in [] if sample.ok else sorted(
+                k for k, v in sample.checks.items() if v.startswith("FAIL")):
+            print(f"    {failure}: {sample.checks[failure]}", file=sys.stderr)
+
+    report = run_fuzz(args.samples, args.seed, workers=args.workers,
+                      progress=progress,
+                      stop_on_failure=args.stop_on_failure)
+    if args.json:
+        json_path = pathlib.Path(args.json)
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        json_path.write_text(report.to_json())
+        print(f"fuzz report written to {args.json}", file=sys.stderr)
+    failing = [sample for sample in report.samples if not sample.ok]
+    print(f"fuzz seed {report.seed}: {len(report.samples)} samples, "
+          f"{len(failing)} failing, run digest {report.run_digest()}")
+    if not failing:
+        return 0
+    if not args.no_shrink:
+        worst = failing[0]
+        print(f"shrinking sample {worst.index} "
+              f"(spec {worst.spec_digest[:12]})...", file=sys.stderr)
+        shrunk, minimal_fields = shrink(
+            worst.scenario,
+            lambda candidate: not check_invariants(
+                candidate, workers=args.workers).ok)
+        print(f"sample {worst.index} minimal failing field set: "
+              + (", ".join(minimal_fields) or "(empty: fails at defaults)"))
+        for check, verdict in sorted(
+                check_invariants(shrunk, workers=args.workers).checks.items()):
+            if verdict.startswith("FAIL"):
+                print(f"  {check}: {verdict}")
+    return 1
+
+
 def _command_platform(args: argparse.Namespace) -> int:
     platform = VpnPlatform(RandomRouter(args.seed), vp_scale=args.vp_scale)
     print(render_table(
@@ -312,6 +506,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _command_report,
         "serve": _command_serve,
         "feed": _command_feed,
+        "scenario": _command_scenario,
         "platform": _command_platform,
         "telemetry": _command_telemetry,
     }

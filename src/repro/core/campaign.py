@@ -91,7 +91,10 @@ class Campaign:
         self.analysis = AnalysisState(directory=eco.directory,
                                       blocklist=eco.blocklist)
         self.factory = DecoyFactory(
-            zone=eco.config.zone, rng=eco.router.stream("decoy.factory")
+            zone=eco.config.zone, rng=eco.router.stream("decoy.factory"),
+            ech_adoption=eco.config.ech_adoption,
+            ech_streams=(eco.router.substreams("decoy.ech")
+                         if eco.config.ech_adoption > 0.0 else None),
         )
         self._paths: Dict[Tuple[str, str], PathInfo] = {}
         self._sequences: Dict[Tuple[str, str], int] = {}

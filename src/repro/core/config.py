@@ -7,10 +7,26 @@ qualitative shape; benches scale selected knobs up.
 """
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.faults.plan import FaultSpec
 from repro.simkit.units import DAY, HOUR
+
+
+class ConfigError(ValueError):
+    """One or more invalid :class:`ExperimentConfig` fields.
+
+    Raised by :meth:`ExperimentConfig.validate` with every problem found
+    (not just the first), each as a ``field: message`` line — so a bad
+    config fails before Phase I with a complete diagnosis instead of
+    mid-campaign with a stack trace.
+    """
+
+    def __init__(self, problems: List[str]):
+        self.problems = list(problems)
+        super().__init__(
+            "invalid experiment config:\n  " + "\n  ".join(self.problems)
+        )
 
 
 @dataclass
@@ -67,6 +83,35 @@ class ExperimentConfig:
     """Fraction of access-AS routers hosting interceptors, in countries
     where interception is deployed."""
 
+    # -- observer population ------------------------------------------------
+    sniffer_density_scale: float = 1.0
+    """Multiplier on every on-path DPI deployment density (clamped to
+    [0, 1] per deployment).  1.0 reproduces the paper's Tables 2/3
+    population; 0 removes all wire sniffers; >1 grows an interception-
+    heavy ecosystem.  Deployment decisions stay keyed per router, so any
+    scale shards deterministically."""
+    ech_adoption: float = 0.0
+    """Fraction of TLS decoys sent as Encrypted Client Hello: the outer
+    SNI carries only the provider's public name, so on-path DPI never
+    sees the experiment domain, while the destination (which terminates
+    ECH) still does — the paper's caveat that encryption does not stop
+    collection *at* the endpoint.  Adoption is drawn per decoy domain
+    from a keyed substream, so serial and sharded runs agree."""
+
+    # -- observer retention -------------------------------------------------
+    onpath_retention_capacity: Optional[int] = None
+    """Bounded FIFO :class:`~repro.observers.retention.RetentionStore`
+    capacity for on-path exhibitors (``onpath.*``), modelling a DPI
+    box's on-device buffer: eviction cancels still-pending unsolicited
+    requests (Section 5.2's limited-storage hypothesis).  None keeps the
+    unbounded warehouse behaviour.  Eviction order depends on global
+    observation order, so bounded retention requires ``workers == 1``
+    (enforced by :meth:`validate`)."""
+    resolver_retention_capacity: Optional[int] = None
+    """Retention capacity for resolver exhibitors (``resolver.*``)."""
+    destination_retention_capacity: Optional[int] = None
+    """Retention capacity for destination exhibitors (``dest.*``)."""
+
     # -- execution ----------------------------------------------------------
     workers: int = 1
     """Worker processes for the sharded campaign executor.  1 runs the
@@ -107,16 +152,78 @@ class ExperimentConfig:
     wildcard-TTL ablation enables it to show the counterfactual."""
 
     def __post_init__(self):
-        if self.vp_scale <= 0:
-            raise ValueError(f"vp_scale must be positive, got {self.vp_scale}")
-        if self.send_spacing < 0:
-            raise ValueError(f"send_spacing must be non-negative, got {self.send_spacing}")
-        if self.observation_window <= 0:
-            raise ValueError("observation_window must be positive")
-        if not 1 <= self.phase2_max_ttl <= 255:
-            raise ValueError(f"phase2_max_ttl out of range: {self.phase2_max_ttl}")
-        if self.workers < 1:
-            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        self.validate()
+
+    def validate(self) -> None:
+        """Check every field; raise :class:`ConfigError` listing all
+        problems.
+
+        Called at construction and again by the CLI ``run`` path and the
+        scenario compiler — CLI flags and compiled scenarios mutate or
+        assemble configs after ``__post_init__`` ran, and a campaign must
+        never start from a config that would die mid-run.
+        """
+        problems: List[str] = []
+
+        def check(ok: bool, field_name: str, message: str) -> None:
+            if not ok:
+                problems.append(
+                    f"{field_name}: {message} "
+                    f"(got {getattr(self, field_name)!r})"
+                )
+
+        check(0.0 < self.vp_scale <= 1.0, "vp_scale",
+              "must be in (0, 1] — a fraction of the paper's 4,364 VPs")
+        check(self.send_spacing >= 0, "send_spacing", "must be non-negative")
+        check(self.web_site_count >= 1, "web_site_count", "must be >= 1")
+        check(self.web_destination_count >= 1, "web_destination_count",
+              "must be >= 1")
+        check(self.web_vps_per_destination >= 1, "web_vps_per_destination",
+              "must be >= 1")
+        check(self.dns_vps_per_destination is None
+              or self.dns_vps_per_destination >= 1,
+              "dns_vps_per_destination", "must be None (all VPs) or >= 1")
+        check(self.phase1_rounds >= 1, "phase1_rounds", "must be >= 1")
+        check(self.round_interval >= 0, "round_interval",
+              "must be non-negative")
+        check(self.observation_window > 0, "observation_window",
+              "must be positive")
+        check(self.phase2_observation_window > 0, "phase2_observation_window",
+              "must be positive")
+        check(1 <= self.phase2_max_ttl <= 255, "phase2_max_ttl",
+              "must be in [1, 255]")
+        check(self.phase2_paths_per_destination >= 1,
+              "phase2_paths_per_destination", "must be >= 1")
+        check(0.0 <= self.interceptor_asn_fraction <= 1.0,
+              "interceptor_asn_fraction", "must be in [0, 1]")
+        check(self.sniffer_density_scale >= 0.0, "sniffer_density_scale",
+              "must be non-negative")
+        check(0.0 <= self.ech_adoption <= 1.0, "ech_adoption",
+              "must be in [0, 1]")
+        check(self.wildcard_record_ttl >= 1, "wildcard_record_ttl",
+              "must be >= 1 second")
+        check(self.workers >= 1, "workers", "must be >= 1")
+        for field_name in ("onpath_retention_capacity",
+                           "resolver_retention_capacity",
+                           "destination_retention_capacity"):
+            check(getattr(self, field_name) is None
+                  or getattr(self, field_name) >= 1,
+                  field_name, "must be None (unbounded) or >= 1")
+        # Incompatible engine knobs: a bounded FIFO retention store evicts
+        # in global observation order, which a partitioned campaign cannot
+        # reproduce — the serial == sharded digest invariant would break.
+        if self.workers > 1 and any(
+            getattr(self, name) is not None
+            for name in ("onpath_retention_capacity",
+                         "resolver_retention_capacity",
+                         "destination_retention_capacity")
+        ):
+            problems.append(
+                "workers: bounded retention capacities are order-dependent "
+                f"and require workers == 1 (got workers={self.workers!r})"
+            )
+        if problems:
+            raise ConfigError(problems)
 
     @classmethod
     def tiny(cls, seed: int = 20240301) -> "ExperimentConfig":

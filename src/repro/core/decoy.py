@@ -20,6 +20,22 @@ DECOY_PROTOCOLS = ("dns", "http", "tls")
 
 _DEFAULT_PORTS = {"dns": 53, "http": 80, "tls": 443}
 
+ECH_PROVIDER_CONFIG = None
+"""Lazily built shared :class:`~repro.mitigations.ech.EchConfig` for
+ECH-adopting TLS decoys (one synthetic fronting provider)."""
+
+
+def _ech_provider_config():
+    global ECH_PROVIDER_CONFIG
+    if ECH_PROVIDER_CONFIG is None:
+        from repro.mitigations.ech import EchConfig
+        ECH_PROVIDER_CONFIG = EchConfig(
+            config_id=7,
+            public_name="public.ech-frontend.example",
+            secret=b"repro-experiment-ech-shared-key!",
+        )
+    return ECH_PROVIDER_CONFIG
+
 
 @dataclass(frozen=True)
 class Decoy:
@@ -39,11 +55,22 @@ class DecoyFactory:
     """Builds decoys for one experiment zone."""
 
     def __init__(self, zone: str, rng: random.Random,
-                 codec: Optional[IdentifierCodec] = None):
+                 codec: Optional[IdentifierCodec] = None,
+                 ech_adoption: float = 0.0, ech_streams=None):
         self.zone = zone.rstrip(".").lower()
         self._rng = rng
         self.codec = codec if codec is not None else IdentifierCodec()
         self.built = 0
+        if not 0.0 <= ech_adoption <= 1.0:
+            raise ValueError(f"ech_adoption must be in [0, 1], got {ech_adoption}")
+        if ech_adoption > 0.0 and ech_streams is None:
+            raise ValueError("ech_adoption > 0 needs keyed ech_streams")
+        self.ech_adoption = ech_adoption
+        self._ech_streams = ech_streams
+        """Keyed :class:`~repro.simkit.rng.SubstreamFactory`: the adopt
+        decision and the ECH sealing randomness are pure functions of the
+        decoy domain, so the same decoys carry ECH in every shard layout."""
+        self.ech_built = 0
 
     def domain_for(self, identity: DecoyIdentity) -> str:
         """The unique experiment domain embedding ``identity``."""
@@ -78,10 +105,19 @@ class DecoyFactory:
                 payload=payload, identification=identification,
             )
         elif protocol == "tls":
-            hello = ClientHello(
-                server_name=domain,
-                random=bytes(self._rng.randrange(256) for _ in range(32)),
-            )
+            ech_draw = None
+            if self.ech_adoption > 0.0:
+                ech_draw = self._ech_streams.derive("ech", domain)
+            if ech_draw is not None and ech_draw.random() < self.ech_adoption:
+                from repro.mitigations.ech import build_ech_client_hello
+                hello = build_ech_client_hello(
+                    domain, _ech_provider_config(), rng=ech_draw)
+                self.ech_built += 1
+            else:
+                hello = ClientHello(
+                    server_name=domain,
+                    random=bytes(self._rng.randrange(256) for _ in range(32)),
+                )
             payload = wrap_handshake(hello.encode())
             packet = Packet.tcp(
                 src=identity.vp_address, dst=identity.dst_address,

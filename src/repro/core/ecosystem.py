@@ -172,6 +172,7 @@ def build_ecosystem(config: ExperimentConfig) -> Ecosystem:
             ground_truth=ground_truth,
             streams=router.substreams("exhibitor.behavior"),
             metrics=telemetry,
+            retention=_retention_store_for(name, config),
         )
         for name, policy in policies.items()
     }
@@ -232,7 +233,7 @@ def build_ecosystem(config: ExperimentConfig) -> Ecosystem:
     )
 
     observer_deployment = ObserverDeployment(
-        specs=_build_sniffer_specs(),
+        specs=_build_sniffer_specs(config.sniffer_density_scale),
         exhibitors=exhibitors,
         zone=config.zone,
         rng=router.stream("sniffer.deploy"),
@@ -266,6 +267,25 @@ def build_ecosystem(config: ExperimentConfig) -> Ecosystem:
         faults=faults,
         telemetry=telemetry,
     )
+
+
+def _retention_store_for(exhibitor_name: str, config: ExperimentConfig):
+    """The exhibitor's bounded retention store, or None (unbounded).
+
+    Capacities are per observer class — the ``onpath.`` / ``resolver.``
+    / ``dest.`` prefix of the exhibitor name — mirroring Section 5.2's
+    observation that on-the-wire observers hold data for less time than
+    destination operators with warehouses.
+    """
+    capacity = {
+        "onpath": config.onpath_retention_capacity,
+        "resolver": config.resolver_retention_capacity,
+        "dest": config.destination_retention_capacity,
+    }.get(exhibitor_name.split(".", 1)[0])
+    if capacity is None:
+        return None
+    from repro.observers.retention import RetentionStore
+    return RetentionStore(capacity=capacity)
 
 
 def _build_policies(pool) -> Dict[str, ShadowPolicy]:
@@ -495,8 +515,21 @@ def _build_resolver_profiles(
     return profiles
 
 
-def _build_sniffer_specs() -> List[SnifferSpec]:
-    """On-path DPI deployment (Tables 2/3, Section 5.2)."""
+def _build_sniffer_specs(density_scale: float = 1.0) -> List[SnifferSpec]:
+    """On-path DPI deployment (Tables 2/3, Section 5.2).
+
+    ``density_scale`` multiplies every deployment density (clamped to
+    1.0): scenarios use it to thin the wire-observer population toward a
+    resolver-centralized ecosystem or thicken it toward an interception-
+    heavy one without renaming any AS.
+    """
+    if density_scale != 1.0:
+        return [
+            SnifferSpec(spec.asn,
+                        min(1.0, spec.router_fraction * density_scale),
+                        spec.protocols, spec.policy_name)
+            for spec in _build_sniffer_specs()
+        ]
     return [
         # Chinanet backbone: the dominant HTTP/TLS observer network.  A
         # smaller share of its DPI boxes parse TLS handshakes, keeping the

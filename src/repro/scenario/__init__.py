@@ -1,0 +1,60 @@
+"""Declarative scenario DSL, named ecosystem library, and invariant fuzzer.
+
+Three layers, strictly ordered:
+
+- :mod:`repro.scenario.spec` — the versioned data model.  A
+  :class:`Scenario` is plain data that round-trips canonically through
+  JSON; malformed input always fails with a structured
+  :class:`ScenarioError`.
+- :mod:`repro.scenario.compiler` — pure, deterministic lowering of a
+  spec into one validated ``ExperimentConfig`` with full per-field
+  provenance.
+- :mod:`repro.scenario.library` / :mod:`repro.scenario.fuzz` — consumers:
+  the shipped named ecosystems, and the seeded fuzzer that generates
+  random valid specs and holds every pipeline invariant against them.
+"""
+
+from repro.scenario.compiler import compile_scenario, compile_with_trace
+from repro.scenario.fuzz import (
+    check_invariants,
+    generate_scenario,
+    run_fuzz,
+    shrink,
+)
+from repro.scenario.library import (
+    UnknownScenarioError,
+    load_library,
+    load_named,
+    resolve_scenario,
+    scenario_names,
+)
+from repro.scenario.spec import (
+    SCENARIO_FORMAT_VERSION,
+    Scenario,
+    ScenarioError,
+    load_scenario_file,
+    loads_scenario,
+    parse_scenario,
+    serialize_scenario,
+)
+
+__all__ = [
+    "SCENARIO_FORMAT_VERSION",
+    "Scenario",
+    "ScenarioError",
+    "UnknownScenarioError",
+    "check_invariants",
+    "compile_scenario",
+    "compile_with_trace",
+    "generate_scenario",
+    "load_library",
+    "load_named",
+    "load_scenario_file",
+    "loads_scenario",
+    "parse_scenario",
+    "resolve_scenario",
+    "run_fuzz",
+    "scenario_names",
+    "serialize_scenario",
+    "shrink",
+]

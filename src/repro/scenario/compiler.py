@@ -1,0 +1,144 @@
+"""Pure, deterministic lowering: :class:`Scenario` -> ExperimentConfig.
+
+The compiler is a closed mapping table.  Every ``ExperimentConfig``
+field is produced by exactly one row, each row names the spec field it
+reads (or the pinned default it applies), and
+:func:`compile_with_trace` returns that provenance alongside the config
+— so "where did this knob come from?" is always answerable, and the
+test suite can prove the table covers the whole config surface.
+
+No randomness, no I/O, no clocks: compiling the same spec twice yields
+equal configs byte-for-byte (``dataclasses.asdict`` equality), which is
+what lets fuzz-run digests reproduce across processes and machines.
+"""
+
+import dataclasses
+from typing import Dict, Tuple
+
+from repro.core.config import ConfigError, ExperimentConfig
+from repro.faults.plan import FaultSpec
+from repro.scenario.spec import Scenario, ScenarioError
+from repro.simkit.units import DAY
+
+# One row per ExperimentConfig field: (config field, spec path read by
+# the compiler, lowering function).  Rows whose spec path starts with
+# "default:" are pinned defaults — the spec deliberately does not cover
+# them (diagnostics and ephemeral outputs are not ecosystem shape).
+_MAPPING: Tuple[Tuple[str, str, object], ...] = (
+    ("seed", "seed", lambda s: s.seed),
+    ("zone", "zone", lambda s: s.zone),
+    ("vp_scale", "fleet.vp_scale", lambda s: s.fleet.vp_scale),
+    ("exclude_ttl_reset_providers", "fleet.exclude_ttl_reset_providers",
+     lambda s: s.fleet.exclude_ttl_reset_providers),
+    ("pair_resolver_filter", "fleet.pair_resolver_filter",
+     lambda s: s.fleet.pair_resolver_filter),
+    ("web_site_count", "topology.web_site_count",
+     lambda s: s.topology.web_site_count),
+    ("web_destination_count", "topology.web_destination_count",
+     lambda s: s.topology.web_destination_count),
+    ("web_vps_per_destination", "topology.web_vps_per_destination",
+     lambda s: s.topology.web_vps_per_destination),
+    ("dns_vps_per_destination", "topology.dns_vps_per_destination",
+     lambda s: s.topology.dns_vps_per_destination),
+    ("interceptors_enabled", "observers.interceptors_enabled",
+     lambda s: s.observers.interceptors_enabled),
+    ("interceptor_asn_fraction", "observers.interceptor_asn_fraction",
+     lambda s: s.observers.interceptor_asn_fraction),
+    ("sniffer_density_scale", "observers.sniffer_density_scale",
+     lambda s: s.observers.sniffer_density_scale),
+    ("ech_adoption", "observers.ech_adoption",
+     lambda s: s.observers.ech_adoption),
+    ("cache_refreshing_resolvers", "observers.cache_refreshing_resolvers",
+     lambda s: s.observers.cache_refreshing_resolvers),
+    ("onpath_retention_capacity", "retention.onpath_capacity",
+     lambda s: s.retention.onpath_capacity),
+    ("resolver_retention_capacity", "retention.resolver_capacity",
+     lambda s: s.retention.resolver_capacity),
+    ("destination_retention_capacity", "retention.destination_capacity",
+     lambda s: s.retention.destination_capacity),
+    ("send_spacing", "timing.send_spacing", lambda s: s.timing.send_spacing),
+    ("phase1_rounds", "timing.phase1_rounds",
+     lambda s: s.timing.phase1_rounds),
+    ("round_interval", "timing.round_interval_days",
+     lambda s: s.timing.round_interval_days * DAY),
+    ("observation_window", "timing.observation_window_days",
+     lambda s: s.timing.observation_window_days * DAY),
+    ("phase2_observation_window", "timing.phase2_observation_window_days",
+     lambda s: s.timing.phase2_observation_window_days * DAY),
+    ("phase2_max_ttl", "timing.phase2_max_ttl",
+     lambda s: s.timing.phase2_max_ttl),
+    ("phase2_paths_per_destination", "timing.phase2_paths_per_destination",
+     lambda s: s.timing.phase2_paths_per_destination),
+    ("wildcard_record_ttl", "timing.wildcard_record_ttl",
+     lambda s: s.timing.wildcard_record_ttl),
+    ("faults", "faults.*", lambda s: _compile_faults(s)),
+    ("workers", "engine.workers", lambda s: s.engine.workers),
+    ("telemetry", "engine.telemetry", lambda s: s.engine.telemetry),
+    ("capture_pcap", "default: None (pcap capture is a CLI/diagnostic "
+     "concern, not ecosystem shape)", lambda s: None),
+)
+
+
+def _compile_faults(spec: Scenario):
+    """The spec's fault plan as a FaultSpec, or None in fair weather."""
+    faults = spec.faults
+    if not (faults.link_loss_rate or faults.vp_churn_rate
+            or faults.honeypot_outages_per_site
+            or faults.log_delay_rate or faults.log_duplicate_rate):
+        return None
+    return FaultSpec(
+        seed=faults.seed,
+        link_loss_rate=faults.link_loss_rate,
+        vp_churn_rate=faults.vp_churn_rate,
+        honeypot_outages_per_site=faults.honeypot_outages_per_site,
+        log_delay_rate=faults.log_delay_rate,
+        log_duplicate_rate=faults.log_duplicate_rate,
+    )
+
+
+def compile_with_trace(spec: Scenario) -> Tuple[ExperimentConfig,
+                                                Dict[str, str]]:
+    """Lower a spec to a validated config plus per-field provenance.
+
+    The trace maps every ``ExperimentConfig`` field name to the spec
+    field path (or pinned default) it came from.  Invalid values —
+    whether rejected by :class:`FaultSpec` construction or by
+    ``ExperimentConfig.validate()`` — surface as :class:`ScenarioError`
+    so callers handle one structured error vocabulary.
+    """
+    config_fields = {f.name for f in dataclasses.fields(ExperimentConfig)}
+    mapped = [name for name, _, _ in _MAPPING]
+    if set(mapped) != config_fields or len(mapped) != len(config_fields):
+        missing = sorted(config_fields - set(mapped))
+        stale = sorted(set(mapped) - config_fields)
+        raise AssertionError(
+            "scenario compiler mapping is out of sync with "
+            f"ExperimentConfig: missing={missing} stale={stale}"
+        )
+    kwargs = {}
+    trace: Dict[str, str] = {}
+    problems = []
+    for config_field, spec_path, lower in _MAPPING:
+        try:
+            kwargs[config_field] = lower(spec)
+        except ValueError as exc:
+            problems.append(f"{spec_path}: {exc}")
+            continue
+        trace[config_field] = spec_path
+    if problems:
+        raise ScenarioError(problems)
+    try:
+        config = ExperimentConfig(**kwargs)
+        config.validate()
+    except ConfigError as exc:
+        raise ScenarioError(
+            [f"compiled config rejected — {problem}"
+             for problem in exc.problems]
+        ) from exc
+    return config, trace
+
+
+def compile_scenario(spec: Scenario) -> ExperimentConfig:
+    """Lower a spec to its validated :class:`ExperimentConfig`."""
+    config, _ = compile_with_trace(spec)
+    return config

@@ -1,0 +1,63 @@
+"""The named scenario library, shipped as data files.
+
+Each ``data/<name>.json`` is one canonical :class:`Scenario` document;
+the file stem is the scenario's name and must match its ``name`` field
+(enforced on load, so a renamed file cannot silently shadow another
+scenario).  ``repro scenario list`` and the CI scenario matrix both
+iterate this directory — adding an ecosystem to the sweep is adding one
+JSON file, no Python.
+"""
+
+import pathlib
+from typing import Dict, List, Union
+
+from repro.scenario.spec import Scenario, ScenarioError, load_scenario_file
+
+SCENARIO_DATA_DIR = pathlib.Path(__file__).parent / "data"
+
+
+class UnknownScenarioError(ScenarioError):
+    """Requested name is neither a library scenario nor a readable file."""
+
+    def __init__(self, name: str, known: List[str]):
+        self.name = name
+        super().__init__(
+            f"unknown scenario {name!r}; library has: {', '.join(known)} "
+            "(or pass a path to a scenario JSON file)"
+        )
+
+
+def scenario_names() -> List[str]:
+    """Sorted names of every library scenario."""
+    return sorted(path.stem for path in SCENARIO_DATA_DIR.glob("*.json"))
+
+
+def load_named(name: str) -> Scenario:
+    """Load one library scenario by name."""
+    path = SCENARIO_DATA_DIR / f"{name}.json"
+    if not path.is_file():
+        raise UnknownScenarioError(name, scenario_names())
+    spec = load_scenario_file(path)
+    if spec.name != name:
+        raise ScenarioError(
+            f"{path}: file is named {name!r} but declares "
+            f"name {spec.name!r}"
+        )
+    return spec
+
+
+def load_library() -> Dict[str, Scenario]:
+    """Every library scenario, keyed by name."""
+    return {name: load_named(name) for name in scenario_names()}
+
+
+def resolve_scenario(name_or_path: Union[str, pathlib.Path]) -> Scenario:
+    """A library name, or any path to a scenario JSON file.
+
+    Names are tried first; anything containing a path separator or
+    ending in ``.json`` is treated as a file path.
+    """
+    text = str(name_or_path)
+    if "/" not in text and not text.endswith(".json"):
+        return load_named(text)
+    return load_scenario_file(name_or_path)

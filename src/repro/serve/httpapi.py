@@ -9,6 +9,8 @@ Endpoints (all GET):
   (text + digest + version + cache disposition);
 * ``/campaigns/<id>/report.txt`` — the raw report text, byte-identical
   to batch ``repro report`` over the same records (the CI diff target);
+* ``/campaigns/<id>/version`` — cheap change-detection handle: the
+  accumulator digest plus the last rendered report version (no render);
 * ``/campaigns/<id>/telemetry`` — ingest/cache/checkpoint counters.
 
 Unknown campaigns and unknown paths return structured JSON errors with
@@ -72,6 +74,8 @@ class _ApiHandler(BaseHTTPRequestHandler):
                 ("X-Repro-Digest", digest),
                 ("X-Repro-Report-Version", str(version)),
             ))
+        elif leaf == "version":
+            self._json(200, self.service.session(campaign_id).version_info())
         elif leaf == "telemetry":
             self._json(200, self.service.telemetry(campaign_id))
         else:

@@ -69,6 +69,10 @@ class ReportCache:
         self._m_misses.inc()
         return text, self.version
 
+    def current(self, digest: str) -> bool:
+        """True when the cached artifact was rendered from ``digest``."""
+        return digest == self._digest
+
     @property
     def hit_ratio(self) -> float:
         total = self.hits + self.misses
@@ -217,6 +221,25 @@ class CampaignSession:
                 lambda: full_report_from_state(self.state,
                                                title=self.report_title))
             return text, digest, version
+
+    def version_info(self) -> dict:
+        """The report's change-detection handle, without rendering.
+
+        ``digest`` identifies the accumulator state; ``version`` is the
+        last *rendered* artifact's counter and ``current`` says whether
+        that artifact still matches the digest.  A poller can watch this
+        endpoint (two dict lookups per call on an idle session) and
+        fetch the full report only when the digest moves.
+        """
+        with self.lock:
+            digest = self.digest()
+            return {
+                "campaign": self.campaign_id,
+                "seq": self.seq,
+                "digest": digest,
+                "version": self._cache.version,
+                "current": self._cache.current(digest),
+            }
 
     def telemetry(self) -> dict:
         with self.lock:

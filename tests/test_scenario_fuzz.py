@@ -1,0 +1,24 @@
+"""End-to-end fuzz determinism: same seed, same verdicts, same digests.
+
+One deliberately small fuzz campaign (two samples, full pipeline per
+sample) run twice must reproduce its run digest byte-for-byte — the
+same property ``repro scenario fuzz`` relies on when CI compares two
+independent fuzz runs of the same seed.
+"""
+
+from repro.scenario import run_fuzz
+
+SAMPLES = 2
+SEED = 7
+
+
+def test_fuzz_run_reproduces_itself_exactly():
+    first = run_fuzz(SAMPLES, SEED)
+    second = run_fuzz(SAMPLES, SEED)
+    assert first.ok, [s.checks for s in first.samples if not s.ok]
+    assert second.ok
+    assert first.run_digest() == second.run_digest()
+    for a, b in zip(first.samples, second.samples):
+        assert a.spec_digest == b.spec_digest
+        assert a.serial_digest == b.serial_digest
+        assert a.checks == b.checks

@@ -320,6 +320,44 @@ class TestReportCache:
         assert version3 == 2
         assert service.telemetry(campaign)["report"]["cache_misses"] == 2
 
+    def test_version_endpoint_tracks_renders_without_rendering(self, runs):
+        """``/version`` is the poller's change-detection handle: digest
+        moves on ingest, version only on render, ``current`` says
+        whether the cached artifact still matches the digest."""
+        seed = SEEDS[0]
+        result = runs[seed]
+        campaign = _campaign(seed)
+        service = MeasurementService()
+        batches = list(feed_batches_from_result(result, campaign,
+                                                batch_size=BATCH_SIZE))
+        for batch in batches[:-1]:
+            service.ingest(batch)
+        server = ReportApiServer(service)
+        server.start()
+        base = f"http://127.0.0.1:{server.port}/campaigns/{campaign}"
+        try:
+            def get(path):
+                with urllib.request.urlopen(base + path, timeout=10) as resp:
+                    return json.loads(resp.read().decode()), dict(resp.headers)
+
+            before, _ = get("/version")
+            assert before["campaign"] == campaign
+            assert before["version"] == 0 and before["current"] is False
+
+            report, _ = get("/report")
+            after, _ = get("/version")
+            assert after["version"] == report["version"] == 1
+            assert after["current"] is True
+            assert after["digest"] == report["digest"]
+
+            service.ingest(batches[-1])
+            moved, _ = get("/version")
+            assert moved["digest"] != after["digest"]
+            assert moved["version"] == 1 and moved["current"] is False
+            assert moved["digest"] == result.analysis.digest()
+        finally:
+            server.stop()
+
     def test_telemetry_exposes_ingest_rate(self, runs):
         seed = SEEDS[0]
         result = runs[seed]
