@@ -25,6 +25,8 @@ and merge-stage accounting — still executes end to end.
 import json
 import os
 import pathlib
+import subprocess
+import sys
 import time
 
 from repro.core.config import ExperimentConfig
@@ -36,6 +38,24 @@ ARTIFACT = OUT_DIR / "BENCH_campaign.json"
 
 BENCH_SEED = 20240301
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+
+def _merge_artifact(path: pathlib.Path, update: dict) -> None:
+    """Update ``path`` in place, preserving sections other benches own.
+
+    ``BENCH_campaign.json`` carries both the worker-scaling rows and the
+    campaign_scale curve; whichever test runs last must not clobber the
+    other's section.
+    """
+    existing = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except ValueError:
+            existing = {}
+    existing.update(update)
+    OUT_DIR.mkdir(exist_ok=True)
+    path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
 
 
 def _config(workers: int) -> ExperimentConfig:
@@ -115,7 +135,7 @@ def test_perf_campaign_worker_scaling():
     assert counters.get("campaign.sends_planned", 0) > 0
 
     baseline = rows[0]["decoys_per_sec"]
-    artifact = {
+    _merge_artifact(ARTIFACT, {
         "bench": "campaign_worker_scaling",
         "mode": "smoke" if SMOKE else "medium",
         "seed": BENCH_SEED,
@@ -133,9 +153,7 @@ def test_perf_campaign_worker_scaling():
             "digest_matches": True,
             "counter_count": len(counters),
         },
-    }
-    OUT_DIR.mkdir(exist_ok=True)
-    ARTIFACT.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    })
 
     lines = [
         f"{row['workers']} worker(s): {row['decoys_per_sec']:>8.1f} decoys/sec"
@@ -254,3 +272,88 @@ def _timed_call(action) -> float:
     started = time.perf_counter()
     action()
     return time.perf_counter() - started
+
+
+_SCALE_HELPER = pathlib.Path(__file__).parent / "_scale_point.py"
+
+# Full mode sweeps three decades of platform size (the 100k point is
+# ~23x the paper's 4,364 VPs); smoke keeps CI fast with the 1k point.
+# REPRO_BENCH_SCALE_POINTS overrides either (comma-separated VP counts)
+# — the campaign-scale-smoke CI job pins "10000".
+_SCALE_POINTS = [int(point) for point in os.environ.get(
+    "REPRO_BENCH_SCALE_POINTS",
+    "1000" if SMOKE else "1000,10000,100000").split(",")]
+
+# Memory acceptance: 10x the VPs may cost at most 10x the peak RSS.  The
+# streaming planner + columnar stores actually come in well under this
+# (the plan is never materialized, rows are array cells), but the bound
+# is what pins "no hidden O(pairs) blow-up" across PRs.
+_RSS_GROWTH_LIMIT = 10.0
+
+
+def _scale_point(vp_count: int, planner: str = "streaming") -> dict:
+    """Run one scale point in a fresh interpreter (ru_maxrss is a
+    per-process high-water mark — reusing a process would let small
+    points inherit a big point's peak)."""
+    env = dict(os.environ)
+    src = str(pathlib.Path(__file__).parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    output = subprocess.run(
+        [sys.executable, str(_SCALE_HELPER), str(vp_count), planner],
+        check=True, capture_output=True, text=True, env=env,
+    ).stdout
+    return json.loads(output.strip().splitlines()[-1])
+
+
+def test_perf_campaign_scale():
+    """Scale curve: decoys/sec and peak RSS at 1k/10k/100k VPs.
+
+    Each point is one subprocess running the same seeded campaign with
+    only ``vp_scale`` varying; the smallest point also runs under the
+    materialized planner and must produce the identical digest — the
+    drift check that keeps the streaming planner honest at scales the
+    equivalence tests never reach.
+    """
+    rows = [_scale_point(point) for point in sorted(set(_SCALE_POINTS))]
+
+    # Digest drift: streaming vs materialized at the smallest point.
+    materialized = _scale_point(rows[0]["vp_count"], planner="materialized")
+    assert materialized["digest"] == rows[0]["digest"], (
+        "streaming planner diverged from materialized at "
+        f"{rows[0]['vp_count']} VPs"
+    )
+
+    # RSS growth gate between consecutive decades.
+    for smaller, larger in zip(rows, rows[1:]):
+        growth = larger["peak_rss_mb"] / smaller["peak_rss_mb"]
+        scale = larger["vp_count"] / smaller["vp_count"]
+        assert growth <= _RSS_GROWTH_LIMIT * max(1.0, scale / 10.0), (
+            f"peak RSS grew {growth:.1f}x from {smaller['vp_count']} to "
+            f"{larger['vp_count']} VPs ({smaller['peak_rss_mb']} -> "
+            f"{larger['peak_rss_mb']} MB)"
+        )
+
+    # Absolute budget gate for CI (MB, applies to the largest point).
+    budget = os.environ.get("REPRO_SCALE_RSS_BUDGET_MB")
+    if budget is not None:
+        peak = max(row["peak_rss_mb"] for row in rows)
+        assert peak <= float(budget), (
+            f"peak RSS {peak} MB exceeds budget {budget} MB"
+        )
+
+    _merge_artifact(ARTIFACT, {"campaign_scale": {
+        "seed": BENCH_SEED,
+        "cpu_count": os.cpu_count(),
+        "rss_growth_limit_per_decade": _RSS_GROWTH_LIMIT,
+        "digest_drift_checked_at": rows[0]["vp_count"],
+        "rows": rows,
+    }})
+
+    lines = [
+        f"{row['vp_count']:>7} VPs: {row['decoys_per_sec']:>7.1f} decoys/sec"
+        f"  rss={row['peak_rss_mb']:>7.1f}MB"
+        f"  ({row['seconds']:.1f}s, {row['decoys']} decoys)"
+        for row in rows
+    ]
+    print("\n=== BENCH_campaign_scale ===\n" + "\n".join(lines)
+          + f"\nartifact={ARTIFACT}")

@@ -8,8 +8,10 @@ observation window.
 """
 
 import hashlib
+import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.config import ExperimentConfig
 from repro.core.correlate import DecoyLedger, DecoyRecord
@@ -24,6 +26,24 @@ from repro.telemetry.registry import MERGE_SAME, NULL_REGISTRY, labeled
 from repro.topology.model import Endpoint
 from repro.vpn.vantage import VantagePoint
 from repro.vpn.vetting import VettingReport, full_vetting, vet_providers
+
+
+PLANNER_ENV = "REPRO_CAMPAIGN_PLANNER"
+"""Environment toggle for the Phase I planner: ``streaming`` (default)
+feeds the simulator lazily from the plan generator; ``materialized``
+schedules every send up front (the pre-streaming code path, kept for
+digest cross-checks — both planners produce byte-identical results).
+The env var is inherited by sharded worker processes."""
+
+_PATH_CACHE_LIMIT = 8192
+"""Materialized :class:`PathInfo` entries kept per campaign (LRU).  An
+internet-scale campaign touches millions of (VP, destination) pairs;
+paths rebuild deterministically from keyed substreams, so eviction only
+costs the rebuild."""
+
+_FEED_LOOKAHEAD = 600.0
+"""Virtual seconds of plan fed per feeder pull — batches the generator
+work so the feeder runs once per ~1200 sends, not once per event."""
 
 
 def pair_shard(vp_address: str, destination_address: str, shard_count: int) -> int:
@@ -96,12 +116,13 @@ class Campaign:
             ech_streams=(eco.router.substreams("decoy.ech")
                          if eco.config.ech_adoption > 0.0 else None),
         )
-        self._paths: Dict[Tuple[str, str], PathInfo] = {}
+        self._paths: "OrderedDict[Tuple[str, str], PathInfo]" = OrderedDict()
         self._sequences: Dict[Tuple[str, str], int] = {}
-        self._ledger_keys: Dict[str, Tuple[float, int, int, int]] = {}
-        """Merge-order key per registered domain: (sent_at, phase,
-        plan major, plan minor).  Sorting any union of shard ledgers by
-        this key reproduces the serial registration order."""
+        self._web_choices: Dict[int, List[VantagePoint]] = {}
+        """VPs sampled per web destination (keyed by destination position),
+        drawn lazily from the sequential ``campaign.web.vps`` stream in
+        destination order — exactly the draws the up-front planner made."""
+        self._web_sampler = None
         self.vetting: Optional[VettingReport] = None
         self.sends_planned = 0
         self.sends_scheduled = 0
@@ -158,8 +179,16 @@ class Campaign:
         ) == self.shard_index
 
     def ledger_key(self, domain: str) -> Tuple[float, int, int, int]:
-        """The deterministic merge-order key of one registered decoy."""
-        return self._ledger_keys[domain]
+        """The deterministic merge-order key of one registered decoy.
+
+        ``(sent_at, phase, plan major, plan minor)`` — sorting any union
+        of shard ledgers by this key reproduces the serial registration
+        order.  The key columns live in the ledger itself.
+        """
+        key = self.ledger.key_of(domain)
+        if key is None:
+            raise KeyError(domain)
+        return key
 
     # -- path management -------------------------------------------------
 
@@ -168,8 +197,10 @@ class Campaign:
                   service_name: str = "", attach_observers: bool = True) -> PathInfo:
         """Materialize (or fetch) the path from ``vp`` to a destination."""
         key = (vp.address, destination_address)
-        if key in self._paths:
-            return self._paths[key]
+        info = self._paths.get(key)
+        if info is not None:
+            self._paths.move_to_end(key)
+            return info
         topology = self.eco.topology
         instance_country = topology.anycast_instance(
             service_name, destination_country, vp.country
@@ -198,6 +229,13 @@ class Campaign:
             has_interceptor=has_interceptor,
         )
         self._paths[key] = info
+        if len(self._paths) > _PATH_CACHE_LIMIT:
+            # Bounded LRU: a streamed campaign touches far more pairs
+            # than fit in RAM.  Rebuilding an evicted path is draw-free
+            # (keyed per-pair substreams; router hops stay cached in the
+            # topology) and tap attachment is idempotent, so eviction
+            # never changes behavior — only costs the rebuild.
+            self._paths.popitem(last=False)
         return info
 
     def known_paths(self) -> List[PathInfo]:
@@ -298,7 +336,7 @@ class Campaign:
         )
         self.ledger.register(record)
         self.analysis.observe_decoy(record)
-        self._ledger_keys[record.domain] = (now, phase, plan_key[0], plan_key[1])
+        self.ledger.set_key(record.domain, (now, phase, plan_key[0], plan_key[1]))
         self._m_sent[(protocol, phase)].inc()
         self._m_path_length.observe(info.path.length)
         if self._pcap is not None:
@@ -409,6 +447,87 @@ class Campaign:
 
     # -- Phase I scheduling ------------------------------------------------
 
+    def _web_choice(self, position: int, vps: List[VantagePoint]) -> List[VantagePoint]:
+        """The VPs sampled for web destination ``position`` (cached).
+
+        First use draws from the sequential ``campaign.web.vps`` stream;
+        the plan generator visits destinations in pool order, so draws
+        happen in exactly the order the up-front planner made them.
+        """
+        chosen = self._web_choices.get(position)
+        if chosen is None:
+            if self._web_sampler is None:
+                self._web_sampler = self.eco.router.stream("campaign.web.vps")
+            chosen = self._web_sampler.sample(
+                vps, min(self.config.web_vps_per_destination, len(vps)))
+            self._web_choices[position] = chosen
+        return chosen
+
+    def _phase1_plan(self, start: float, vps: List[VantagePoint],
+                     dns_vps: List[VantagePoint]) -> Iterator[tuple]:
+        """The deterministic Phase I plan as a stream, never a list.
+
+        Yields ``(floor, send_time, vp, destination, protocol, address,
+        asn, country, service, round_index)`` tuples in plan order.
+        ``floor`` is a lower bound on every *later* item's send time
+        (rate limiting and churn deferral only push sends later): within
+        a round the cursor is monotone, and the next round restarts at
+        ``start + (round+1) * round_interval``, which can precede a long
+        round's tail — hence the min.  The feeder returns ``floor`` as
+        its scheduling guarantee.
+        """
+        config = self.config
+        spacing = config.send_spacing
+        rounds = max(1, config.phase1_rounds)
+        for round_index in range(rounds):
+            next_round_base = (
+                start + (round_index + 1) * config.round_interval
+                if round_index + 1 < rounds else float("inf")
+            )
+            send_time = start + round_index * config.round_interval
+            for destination in self.eco.dns_destinations:
+                address = destination.address
+                asn = _resolver_asn(destination)
+                country = destination.country
+                service = destination.name
+                for vp in dns_vps:
+                    cursor = send_time + spacing
+                    yield (min(cursor, next_round_base), send_time, vp,
+                           destination, "dns", address, asn, country,
+                           service, round_index)
+                    send_time = cursor
+            for position, destination in enumerate(self.eco.web_destinations):
+                for vp in self._web_choice(position, vps):
+                    for protocol in ("http", "tls"):
+                        cursor = send_time + spacing
+                        yield (min(cursor, next_round_base), send_time, vp,
+                               destination, protocol, destination.address,
+                               destination.asn, destination.country,
+                               destination.site, round_index)
+                        send_time = cursor
+
+    def _feed_margin(self) -> float:
+        """How far past the clock the fed schedule must always reach.
+
+        Must strictly exceed every *discrete* delay an event handler can
+        schedule at (continuous draws tie the 0.5s send grid with
+        probability zero): the retry backoff ceiling, and — when
+        refreshing resolver caches are enabled — the wildcard TTL, since
+        those refreshes fire at exactly ``ttl`` after a grid-aligned
+        send.  With the margin in hand, any follow-up event tying a
+        planned send finds that send already queued with an earlier
+        sequence number, reproducing the up-front planner's order.
+        """
+        margin = 64.0
+        faults = self.eco.faults
+        if faults is not None:
+            backoff_max = faults.spec.retry_backoff_base * (
+                2.0 ** max(0, faults.spec.max_retries - 1))
+            margin = max(margin, 4.0 * backoff_max)
+        if self.config.cache_refreshing_resolvers:
+            margin = max(margin, self.config.wildcard_record_ttl + 64.0)
+        return margin
+
     def schedule_phase1(self) -> int:
         """Queue every Phase I decoy send; returns the count scheduled.
 
@@ -417,24 +536,131 @@ class Campaign:
         the :class:`RoundRobinScheduler` enforces on top of the global
         spacing).  ``phase1_rounds`` repeats the whole pass, as the
         paper's two-month continuous rotation does.
-        """
-        from repro.vpn.scheduler import RoundRobinScheduler
 
-        config = self.config
-        sim = self.eco.sim
+        The default (streaming) planner never materializes the pair
+        space: a first dry replay of the plan generator fixes the counts
+        and the last send time, then a simulator feeder schedules sends
+        lazily just ahead of the clock.  ``REPRO_CAMPAIGN_PLANNER=
+        materialized`` selects the classic up-front path; both produce
+        byte-identical campaigns (pinned by ``tests/test_properties``).
+        """
+        if os.environ.get(PLANNER_ENV, "streaming") == "materialized":
+            return self._schedule_phase1_materialized()
+        return self._schedule_phase1_streaming()
+
+    def _phase1_vps(self) -> Tuple[List[VantagePoint], List[VantagePoint]]:
         vps = self.eco.platform.vantage_points
         if not vps:
             raise RuntimeError("no vantage points left after vetting")
+        dns_vps = vps
+        if self.config.dns_vps_per_destination is not None:
+            dns_vps = vps[: self.config.dns_vps_per_destination]
+        return vps, dns_vps
+
+    def _note_phase1_plan(self, planned: int, scheduled: int,
+                          last_time: float, deferred_by_churn: int) -> None:
+        self.sends_planned += planned
+        self.sends_scheduled += scheduled
+        self.last_send_time = last_time
+        # Every shard replays the identical plan (merge="same"); the
+        # scheduled subset is partitioned work and sums back to the plan.
+        self._metrics.counter(
+            "campaign.sends_planned", merge=MERGE_SAME).inc(planned)
+        self._metrics.counter("campaign.sends_scheduled").inc(scheduled)
+        # Churn deferrals happen inside the replayed plan, so every shard
+        # counts the identical total (merge="same", like sends_planned).
+        self._metrics.counter(
+            "faults.vp_churn_deferrals", merge=MERGE_SAME,
+        ).inc(deferred_by_churn)
+
+    def _schedule_phase1_streaming(self) -> int:
+        """Stream the plan: dry-replay for totals, then feed on demand."""
+        from repro.vpn.scheduler import RoundRobinScheduler
+
+        sim = self.eco.sim
+        vps, dns_vps = self._phase1_vps()
+        start = sim.now()
+        owns = self.owns_pair
+
+        # Pass 1 — dry replay.  Fixes sends_planned/scheduled and the
+        # last send time (run_phase1 needs it before the plan is
+        # consumed), reports the churn-deferral total, and populates the
+        # web VP sample cache, all in O(1) memory.  Churn windows are
+        # keyed content draws, so replaying the limiter twice is free of
+        # RNG side effects.
         limiter = RoundRobinScheduler(vps, per_target_interval=0.5,
                                       faults=self.eco.faults)
         planned = 0
         scheduled = 0
-        last_time = sim.now()
+        last_time = start
+        for item in self._phase1_plan(start, vps, dns_vps):
+            send_time, vp, address = item[1], item[2], item[5]
+            actual = limiter.earliest_send_time(address, send_time,
+                                                vp_address=vp.address)
+            planned += 1
+            if actual > last_time:
+                last_time = actual
+            if owns(vp.address, address):
+                scheduled += 1
+        self._note_phase1_plan(planned, scheduled, last_time,
+                               limiter.deferred_by_churn)
 
-        def schedule(send_time: float, vp: VantagePoint, destination,
-                     protocol: str, address: str, asn: int, country: str,
-                     service: str, round_index: int) -> float:
-            nonlocal planned, scheduled, last_time
+        # Pass 2 — the feeder.  A fresh generator and a fresh limiter
+        # (its deferral count is NOT re-reported) replay the identical
+        # plan; owned pairs materialize their path and enqueue the send
+        # at feed time, in plan order — the same path-construction and
+        # sequence-number order the up-front planner produced.
+        plan = self._phase1_plan(start, vps, dns_vps)
+        feed_limiter = RoundRobinScheduler(vps, per_target_interval=0.5,
+                                           faults=self.eco.faults)
+        next_plan_index = 0
+
+        def feed(target: float) -> Optional[float]:
+            nonlocal next_plan_index
+            for (floor, send_time, vp, destination, protocol, address,
+                 asn, country, service, round_index) in plan:
+                actual = feed_limiter.earliest_send_time(
+                    address, send_time, vp_address=vp.address)
+                plan_index = next_plan_index
+                next_plan_index += 1
+                if owns(vp.address, address):
+                    info = self.path_info(vp, address, asn, country,
+                                          service_name=service)
+                    sim.schedule_at(
+                        actual,
+                        lambda info=info, protocol=protocol,
+                               destination=destination,
+                               round_index=round_index,
+                               plan_index=plan_index:
+                            self.send_decoy(info, protocol, ttl=64, phase=1,
+                                            destination=destination,
+                                            round_index=round_index,
+                                            plan_key=(plan_index, 0)),
+                        label=f"send:{protocol}",
+                    )
+                if floor >= target:
+                    return floor
+            return None
+
+        sim.set_feeder(feed, margin=self._feed_margin(),
+                       lookahead=_FEED_LOOKAHEAD)
+        return scheduled
+
+    def _schedule_phase1_materialized(self) -> int:
+        """The classic planner: every send scheduled up front."""
+        from repro.vpn.scheduler import RoundRobinScheduler
+
+        sim = self.eco.sim
+        vps, dns_vps = self._phase1_vps()
+        start = sim.now()
+        limiter = RoundRobinScheduler(vps, per_target_interval=0.5,
+                                      faults=self.eco.faults)
+        planned = 0
+        scheduled = 0
+        last_time = start
+        for (_floor, send_time, vp, destination, protocol, address,
+             asn, country, service, round_index) in self._phase1_plan(
+                start, vps, dns_vps):
             # Every shard replays the full plan — including rate-limiter
             # state and VP-churn deferrals — so `actual` matches the
             # serial schedule; only owned pairs materialize a path and
@@ -443,7 +669,8 @@ class Campaign:
                                                 vp_address=vp.address)
             plan_index = planned
             planned += 1
-            last_time = max(last_time, actual)
+            if actual > last_time:
+                last_time = actual
             if self.owns_pair(vp.address, address):
                 info = self.path_info(vp, address, asn, country,
                                       service_name=service)
@@ -459,49 +686,8 @@ class Campaign:
                     label=f"send:{protocol}",
                 )
                 scheduled += 1
-            return send_time + config.send_spacing
-
-        dns_vps = vps
-        if config.dns_vps_per_destination is not None:
-            dns_vps = vps[: config.dns_vps_per_destination]
-        sampler = self.eco.router.stream("campaign.web.vps")
-        web_choices = [
-            (destination,
-             sampler.sample(vps, min(config.web_vps_per_destination, len(vps))))
-            for destination in self.eco.web_destinations
-        ]
-
-        for round_index in range(max(1, config.phase1_rounds)):
-            send_time = sim.now() + round_index * config.round_interval
-            for destination in self.eco.dns_destinations:
-                for vp in dns_vps:
-                    send_time = schedule(
-                        send_time, vp, destination, "dns", destination.address,
-                        _resolver_asn(destination), destination.country,
-                        destination.name, round_index,
-                    )
-            for destination, chosen in web_choices:
-                for vp in chosen:
-                    for protocol in ("http", "tls"):
-                        send_time = schedule(
-                            send_time, vp, destination, protocol,
-                            destination.address, destination.asn,
-                            destination.country, destination.site, round_index,
-                        )
-
-        self.sends_planned += planned
-        self.sends_scheduled += scheduled
-        self.last_send_time = last_time
-        # Every shard replays the identical plan (merge="same"); the
-        # scheduled subset is partitioned work and sums back to the plan.
-        self._metrics.counter(
-            "campaign.sends_planned", merge=MERGE_SAME).inc(planned)
-        self._metrics.counter("campaign.sends_scheduled").inc(scheduled)
-        # Churn deferrals happen inside the replayed plan, so every shard
-        # counts the identical total (merge="same", like sends_planned).
-        self._metrics.counter(
-            "faults.vp_churn_deferrals", merge=MERGE_SAME,
-        ).inc(limiter.deferred_by_churn)
+        self._note_phase1_plan(planned, scheduled, last_time,
+                               limiter.deferred_by_churn)
         return scheduled
 
     def run_phase1(self) -> None:

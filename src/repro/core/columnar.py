@@ -1,0 +1,144 @@
+"""Shared columnar-storage primitives: string interning and merge order.
+
+The internet-scale stores (:class:`repro.core.correlate.DecoyLedger`,
+:class:`repro.honeypot.logstore.LogStore`) keep one ``array``-of-struct
+column per field instead of one Python object per row.  Two pieces are
+common to every columnar consumer and live here:
+
+* :class:`StringTable` — first-use-order string interning.  This is the
+  same machinery the wire codec's encoder uses for its payload string
+  tables (``core/wire.py`` builds its ``_Encoder`` on it), lifted out so
+  in-memory stores can share it: domains, addresses, protocol labels,
+  and country codes repeat across millions of rows, and a 4-byte column
+  reference replaces a Python string pointer + object.
+* :func:`merged_order` — the deterministic (time, shard position,
+  within-shard index) interleave order used by cross-shard merges, with
+  a numpy fast path when numpy is importable (it is optional — the
+  stdlib path is always available and produces the identical order).
+
+Nothing in this module imports from ``core/wire`` or the stores, so the
+dependency arrow points one way: wire/ledger/log build on columnar.
+"""
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+try:  # numpy is an optional accelerator, never a requirement
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
+HAS_NUMPY = _np is not None
+
+#: Column sentinel for "this optional string/int field is None".
+NONE_REF = -1
+
+
+class StringTable:
+    """First-use-order string interning: value -> dense integer id.
+
+    Ids are assigned 0, 1, 2, ... in the order values are first seen, so
+    a table built by replaying the same value sequence is identical —
+    the property the wire format relies on for byte-stable payloads and
+    the columnar stores rely on for cheap equality (same id == same
+    string).
+    """
+
+    __slots__ = ("_ids", "_values")
+
+    def __init__(self):
+        self._ids: Dict[str, int] = {}
+        self._values: List[str] = []
+
+    def intern(self, value: str) -> int:
+        """The id of ``value``, assigning the next dense id on first use."""
+        ident = self._ids.get(value)
+        if ident is None:
+            ident = len(self._values)
+            self._ids[value] = ident
+            self._values.append(value)
+        return ident
+
+    def intern_opt(self, value: Optional[str]) -> int:
+        """Like :meth:`intern`, mapping None to :data:`NONE_REF`."""
+        if value is None:
+            return NONE_REF
+        return self.intern(value)
+
+    def value(self, ident: int) -> str:
+        return self._values[ident]
+
+    def value_opt(self, ident: int) -> Optional[str]:
+        if ident == NONE_REF:
+            return None
+        return self._values[ident]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, value: str) -> bool:
+        return value in self._ids
+
+    def values(self) -> Tuple[str, ...]:
+        """All interned strings in id order (id == position)."""
+        return tuple(self._values)
+
+
+def merged_order(
+    shard_times: Sequence[Sequence[float]],
+) -> Iterable[Tuple[int, int]]:
+    """(shard position, within-shard index) pairs in merged time order.
+
+    The order key is ``(time, shard position, index)`` — each shard's
+    times are already non-decreasing (simulators append monotonically),
+    and position/index break cross-shard ties stably, so the result
+    depends only on the inputs, never on worker completion order.
+
+    With numpy available the merge is one stable argsort over the
+    concatenated time columns; the stdlib fallback is a k-way heap merge.
+    Both paths produce the identical sequence.
+
+    Each shard's times must be non-decreasing — a violation raises
+    rather than silently reordering (a stable sort would hide it; the
+    heap merge would garble it).
+    """
+    for position, times in enumerate(shard_times):
+        previous = None
+        for time in times:
+            if previous is not None and time < previous:
+                raise ValueError(
+                    f"shard {position} not in time order: "
+                    f"{time} after {previous}"
+                )
+            previous = time
+    if _np is not None:
+        sizes = [len(times) for times in shard_times]
+        total = sum(sizes)
+        if total == 0:
+            return
+        flat = _np.empty(total, dtype=_np.float64)
+        offset = 0
+        for times, size in zip(shard_times, sizes):
+            flat[offset:offset + size] = times
+            offset += size
+        # Concatenation order is (position, index); a *stable* sort by
+        # time alone therefore yields exactly (time, position, index).
+        starts = []
+        offset = 0
+        for size in sizes:
+            starts.append(offset)
+            offset += size
+        import bisect
+        for flat_index in _np.argsort(flat, kind="stable"):
+            position = bisect.bisect_right(starts, int(flat_index)) - 1
+            yield position, int(flat_index) - starts[position]
+        return
+    yield from (
+        (position, index)
+        for _, position, index in heapq.merge(
+            *(
+                ((time, position, index) for index, time in enumerate(times))
+                for position, times in enumerate(shard_times)
+            )
+        )
+    )

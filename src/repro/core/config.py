@@ -38,7 +38,10 @@ class ExperimentConfig:
 
     # -- platform scale --------------------------------------------------
     vp_scale: float = 0.02
-    """Fraction of the paper's 4,364 VPs to recruit (0.02 -> ~90 VPs)."""
+    """Fraction of the paper's 4,364 VPs to recruit (0.02 -> ~90 VPs).
+    Values above 1.0 over-recruit past the paper's platform — the
+    streaming planner and columnar stores make super-paper-scale sweeps
+    (the ``campaign_scale`` benchmark runs up to ~23x) affordable."""
 
     # -- destination pools ------------------------------------------------
     web_site_count: int = 120
@@ -48,6 +51,10 @@ class ExperimentConfig:
     (paper: 2,325)."""
     dns_vps_per_destination: Optional[int] = None
     """Cap VPs per DNS destination (None = all VPs, as in the paper)."""
+    dns_destination_count: Optional[int] = None
+    """Cap the public-resolver pool to its first N entries (None = the
+    full dataset, as in the paper).  Scale benchmarks use this to keep
+    the plan size proportional to the VP count under test."""
     web_vps_per_destination: int = 12
     """VPs sampled per web destination: the full cross product is
     quadratic and unnecessary for shape reproduction."""
@@ -172,8 +179,9 @@ class ExperimentConfig:
                     f"(got {getattr(self, field_name)!r})"
                 )
 
-        check(0.0 < self.vp_scale <= 1.0, "vp_scale",
-              "must be in (0, 1] — a fraction of the paper's 4,364 VPs")
+        check(self.vp_scale > 0.0, "vp_scale",
+              "must be positive — a fraction of the paper's 4,364 VPs "
+              "(values > 1 over-recruit for scale benchmarks)")
         check(self.send_spacing >= 0, "send_spacing", "must be non-negative")
         check(self.web_site_count >= 1, "web_site_count", "must be >= 1")
         check(self.web_destination_count >= 1, "web_destination_count",
@@ -183,6 +191,10 @@ class ExperimentConfig:
         check(self.dns_vps_per_destination is None
               or self.dns_vps_per_destination >= 1,
               "dns_vps_per_destination", "must be None (all VPs) or >= 1")
+        check(self.dns_destination_count is None
+              or self.dns_destination_count >= 1,
+              "dns_destination_count",
+              "must be None (full pool) or >= 1")
         check(self.phase1_rounds >= 1, "phase1_rounds", "must be >= 1")
         check(self.round_interval >= 0, "round_interval",
               "must be non-negative")

@@ -16,10 +16,12 @@ decoy ledger, applies the rules in arrival order, and emits
 :class:`ShadowingEvent` records that every analysis consumes.
 """
 
+import weakref
+from array import array
 from dataclasses import dataclass, field
-from itertools import islice
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro.core import columnar
 from repro.core.identifier import DecoyIdentity, IdentifierCodec, IdentifierError
 from repro.honeypot.logstore import LoggedRequest, LogStore
 
@@ -53,23 +55,150 @@ class DecoyRecord:
 
 
 class DecoyLedger:
-    """Every decoy sent during an experiment, indexed by domain."""
+    """Every decoy sent during an experiment, indexed by domain.
+
+    Storage is columnar: one ``array`` per :class:`DecoyRecord` field,
+    with repeated strings (addresses, countries, protocol labels, VP and
+    destination names) routed through a shared
+    :class:`~repro.core.columnar.StringTable`.  A paper-scale campaign
+    registers millions of decoys; columns keep that at tens of bytes per
+    row instead of one 17-field dataclass instance each.  Rows
+    materialize back into records through a weak-value cache, so any
+    consumer holding a record (a correlation event, a payload snapshot)
+    keeps getting the identical object from every lookup.
+
+    The ledger also stores each registered decoy's deterministic
+    merge-order key — ``(sent_at, phase, plan major, plan minor)`` —
+    as four more columns (:meth:`set_key`/:meth:`key_of`): sorting any
+    union of shard ledgers by this key reproduces the serial
+    registration order.
+    """
 
     def __init__(self):
-        self._by_domain: Dict[str, DecoyRecord] = {}
+        self._table = columnar.StringTable()
+        self._row_by_domain: Dict[str, int] = {}
+        self._domains: List[str] = []
+        self._id_sent_at = array("q")
+        self._id_ttls = array("i")
+        self._id_sequences = array("i")
+        self._id_vps = array("i")
+        self._id_dsts = array("i")
+        self._protocols = array("i")
+        self._vp_ids = array("i")
+        self._vp_countries = array("i")
+        self._vp_provinces = array("i")
+        self._dst_addresses = array("i")
+        self._dst_names = array("i")
+        self._dst_kinds = array("i")
+        self._dst_countries = array("i")
+        self._instance_countries = array("i")
+        self._path_lengths = array("i")
+        self._sent_ats = array("d")
+        self._phases = array("b")
+        self._delivered = array("b")
+        self._round_indexes = array("i")
+        self._key_times = array("d")
+        self._key_phases = array("b")
+        """-1 marks "no merge key set" (e.g. ledgers rebuilt by the serve
+        ingest path, which never merges shards)."""
+        self._key_majors = array("q")
+        self._key_minors = array("q")
+        self._cache: "weakref.WeakValueDictionary[int, DecoyRecord]" = \
+            weakref.WeakValueDictionary()
 
     def register(self, record: DecoyRecord) -> None:
-        if record.domain in self._by_domain:
+        if record.domain in self._row_by_domain:
             raise ValueError(f"duplicate decoy domain {record.domain!r}")
-        self._by_domain[record.domain] = record
+        row = len(self._domains)
+        table = self._table
+        self._row_by_domain[record.domain] = row
+        self._domains.append(record.domain)
+        identity = record.identity
+        self._id_sent_at.append(identity.sent_at)
+        self._id_ttls.append(identity.ttl)
+        self._id_sequences.append(identity.sequence)
+        self._id_vps.append(table.intern(identity.vp_address))
+        self._id_dsts.append(table.intern(identity.dst_address))
+        self._protocols.append(table.intern(record.protocol))
+        self._vp_ids.append(table.intern(record.vp_id))
+        self._vp_countries.append(table.intern(record.vp_country))
+        self._vp_provinces.append(table.intern_opt(record.vp_province))
+        self._dst_addresses.append(table.intern(record.destination_address))
+        self._dst_names.append(table.intern(record.destination_name))
+        self._dst_kinds.append(table.intern(record.destination_kind))
+        self._dst_countries.append(table.intern(record.destination_country))
+        self._instance_countries.append(table.intern(record.instance_country))
+        self._path_lengths.append(record.path_length)
+        self._sent_ats.append(record.sent_at)
+        self._phases.append(record.phase)
+        self._delivered.append(1 if record.delivered else 0)
+        self._round_indexes.append(record.round_index)
+        self._key_times.append(0.0)
+        self._key_phases.append(-1)
+        self._key_majors.append(0)
+        self._key_minors.append(0)
+        self._cache[row] = record
+
+    def set_key(self, domain: str, key: Tuple[float, int, int, int]) -> None:
+        """Attach the deterministic merge-order key of one registered decoy."""
+        row = self._row_by_domain[domain]
+        self._key_times[row] = key[0]
+        self._key_phases[row] = key[1]
+        self._key_majors[row] = key[2]
+        self._key_minors[row] = key[3]
+
+    def key_of(self, domain: str) -> Optional[Tuple[float, int, int, int]]:
+        """The merge-order key of ``domain``, or None if never set."""
+        row = self._row_by_domain.get(domain)
+        if row is None or self._key_phases[row] < 0:
+            return None
+        return (self._key_times[row], self._key_phases[row],
+                self._key_majors[row], self._key_minors[row])
+
+    def _record(self, row: int) -> DecoyRecord:
+        """Materialize row ``row`` (same object while any ref is live)."""
+        record = self._cache.get(row)
+        if record is not None:
+            return record
+        table = self._table
+        record = DecoyRecord(
+            identity=DecoyIdentity(
+                sent_at=self._id_sent_at[row],
+                vp_address=table.value(self._id_vps[row]),
+                dst_address=table.value(self._id_dsts[row]),
+                ttl=self._id_ttls[row],
+                sequence=self._id_sequences[row],
+            ),
+            domain=self._domains[row],
+            protocol=table.value(self._protocols[row]),
+            vp_id=table.value(self._vp_ids[row]),
+            vp_country=table.value(self._vp_countries[row]),
+            vp_province=table.value_opt(self._vp_provinces[row]),
+            destination_address=table.value(self._dst_addresses[row]),
+            destination_name=table.value(self._dst_names[row]),
+            destination_kind=table.value(self._dst_kinds[row]),
+            destination_country=table.value(self._dst_countries[row]),
+            instance_country=table.value(self._instance_countries[row]),
+            path_length=self._path_lengths[row],
+            sent_at=self._sent_ats[row],
+            phase=self._phases[row],
+            delivered=bool(self._delivered[row]),
+            round_index=self._round_indexes[row],
+        )
+        self._cache[row] = record
+        return record
 
     def lookup(self, domain: str) -> Optional[DecoyRecord]:
-        return self._by_domain.get(domain)
+        row = self._row_by_domain.get(domain)
+        if row is None:
+            return None
+        return self._record(row)
 
     def records(self, phase: Optional[int] = None) -> List[DecoyRecord]:
         if phase is None:
-            return list(self._by_domain.values())
-        return [record for record in self._by_domain.values() if record.phase == phase]
+            return [self._record(row) for row in range(len(self._domains))]
+        return [self._record(row) for row in range(len(self._domains))
+                if self._phases[row] == phase]
 
     def records_from(self, start: int) -> Iterator[DecoyRecord]:
         """Records from registration position ``start`` onward.
@@ -77,10 +206,10 @@ class DecoyLedger:
         The delta-snapshot path: a shard shipping only what it appended
         since its last snapshot walks the tail without materializing the
         full record list (registration order is insertion order)."""
-        return islice(self._by_domain.values(), start, None)
+        return (self._record(row) for row in range(start, len(self._domains)))
 
     def __len__(self) -> int:
-        return len(self._by_domain)
+        return len(self._domains)
 
 
 @dataclass(frozen=True)

@@ -178,6 +178,8 @@ def build_ecosystem(config: ExperimentConfig) -> Ecosystem:
     }
 
     dns_destinations = ALL_DNS_DESTINATIONS
+    if config.dns_destination_count is not None:
+        dns_destinations = dns_destinations[: config.dns_destination_count]
     resolver_profiles = _build_resolver_profiles(dns_destinations, config)
     resolver_models: Dict[str, ResolverModel] = {}
     for profile in resolver_profiles:

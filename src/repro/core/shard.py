@@ -722,7 +722,7 @@ def run_sharded(config: Optional[ExperimentConfig] = None, *,
             key=lambda pair: pair[0],
         ):
             campaign.ledger.register(record)
-            campaign._ledger_keys[record.domain] = key
+            campaign.ledger.set_key(record.domain, key)
 
     for payload in cached_phase1.values():
         note_phase1(payload)
@@ -875,7 +875,7 @@ def run_sharded(config: Optional[ExperimentConfig] = None, *,
             key=lambda pair: pair[0],
         ):
             campaign.ledger.register(record)
-            campaign._ledger_keys[record.domain] = key
+            campaign.ledger.set_key(record.domain, key)
 
         merged_log = LogStore.merged([
             phase1.log_entries + final.log_entries
@@ -891,7 +891,7 @@ def run_sharded(config: Optional[ExperimentConfig] = None, *,
         # in transit order.
         far_future = (float("inf"), 0, -1, -1)
         merged_truth = sorted(
-            ((stamp, campaign._ledger_keys.get(obs.domain, far_future),
+            ((stamp, campaign.ledger.key_of(obs.domain) or far_future,
               payload.shard_index, index), obs)
             for payload in final_payloads
             for index, (stamp, obs) in enumerate(payload.ground_truth)

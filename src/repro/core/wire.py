@@ -42,6 +42,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.columnar import StringTable
 from repro.core.correlate import (
     DecoyRecord,
     ShadowingEvent,
@@ -287,44 +288,36 @@ class _Reader:
 class _Encoder:
     """Body writer plus the payload-wide string table it populates.
 
-    References are assigned in first-use order while the body is written;
+    References are assigned in first-use order while the body is written
+    (the shared :class:`~repro.core.columnar.StringTable` — the same
+    machinery the columnar in-memory stores intern through, so the wire
+    format and the stores agree on ordering semantics by construction);
     :meth:`frame` then emits ``MAGIC | version | kind | table | body |
     crc32`` so the decoder can materialize every string up front.
     """
 
-    __slots__ = ("body", "_ids", "_strings")
+    __slots__ = ("body", "_table")
 
     def __init__(self):
         self.body = _Writer()
-        self._ids: Dict[str, int] = {}
-        self._strings: List[str] = []
+        self._table = StringTable()
 
     def ref(self, value: str) -> None:
-        ident = self._ids.get(value)
-        if ident is None:
-            ident = len(self._strings)
-            self._ids[value] = ident
-            self._strings.append(value)
-        self.body.varint(ident)
+        self.body.varint(self._table.intern(value))
 
     def opt_ref(self, value: Optional[str]) -> None:
         if value is None:
             self.body.varint(0)
         else:
-            ident = self._ids.get(value)
-            if ident is None:
-                ident = len(self._strings)
-                self._ids[value] = ident
-                self._strings.append(value)
-            self.body.varint(ident + 1)
+            self.body.varint(self._table.intern(value) + 1)
 
     def frame(self, kind: int) -> bytes:
         head = _Writer()
         head.buf += _MAGIC
         head.buf.append(WIRE_VERSION)
         head.buf.append(kind)
-        head.varint(len(self._strings))
-        for value in self._strings:
+        head.varint(len(self._table))
+        for value in self._table.values():
             head.blob(value.encode("utf-8"))
         head.buf += self.body.buf
         head.buf += _U32.pack(zlib.crc32(head.buf))

@@ -1,10 +1,27 @@
-"""Unified, append-only request log shared by all honeypot services."""
+"""Unified, append-only request log shared by all honeypot services.
+
+Storage is columnar: one ``array`` per :class:`LoggedRequest` field, with
+every string routed through a shared :class:`~repro.core.columnar.
+StringTable` — sites, protocols, source addresses, and (heavily repeated)
+domains become 4-byte references instead of object pointers.  A paper-
+scale campaign logs millions of requests; the columns keep that at tens
+of bytes per row where one dataclass instance per row costs hundreds.
+
+Rows materialize back into :class:`LoggedRequest` objects on demand
+through a weak-value cache: while anything holds a row's object (a
+correlation event, a wire payload under construction), every read of
+that row returns the *same* object — the identity contract the wire
+codec's cross-reference tables rely on — and once nothing does, the
+object is collectable again.
+"""
 
 import bisect
-import heapq
-from dataclasses import dataclass, field
+import weakref
+from array import array
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core.columnar import NONE_REF, StringTable, merged_order
 from repro.telemetry.registry import NULL_REGISTRY, labeled
 
 PROTOCOL_DNS = "dns"
@@ -38,21 +55,29 @@ class LoggedRequest:
 
 
 class LogStore:
-    """Append-only log with by-domain and by-time retrieval.
+    """Append-only columnar log with by-domain and by-time retrieval.
 
     Entries are appended in event order (the simulator guarantees
     monotonic time), so time-windowed queries can bisect.
     """
 
     def __init__(self, metrics=None):
-        self._entries: List[LoggedRequest] = []
+        self._table = StringTable()
+        self._times = array("d")
+        """Entry times, append-ordered — :meth:`between` bisects these."""
+        self._sites = array("i")
+        self._protocols = array("i")
+        self._srcs = array("i")
+        self._domain_refs = array("i")
+        self._paths = array("i")
+        self._qtypes = array("i")
+        self._uas = array("i")
         self._by_domain: Dict[str, List[int]] = {}
         self._by_protocol: Dict[str, List[int]] = {}
         """Entry indexes per protocol — maintained on append so
         :meth:`by_protocol` selects without a full scan."""
-        self._times: List[float] = []
-        """Entry times, parallel to ``_entries`` — maintained on append so
-        :meth:`between` bisects without rebuilding the list per query."""
+        self._cache: "weakref.WeakValueDictionary[int, LoggedRequest]" = \
+            weakref.WeakValueDictionary()
         metrics = metrics if metrics is not None else NULL_REGISTRY
         self._m_requests = {
             protocol: metrics.counter(
@@ -69,49 +94,75 @@ class LogStore:
         each shard's simulator already guarantees monotonic time, and the
         shard position breaks cross-shard ties stably — so the merged
         order depends only on the inputs, never on worker completion
-        order.
+        order.  Routing through :meth:`append` rebuilds every maintained
+        index (times, by-domain, by-protocol), so windowed and filtered
+        queries on the merged store match a serially-built one exactly.
 
         The merged store is deliberately un-instrumented: each entry was
         already counted by the live (per-shard) store it arrived at, and
         counting replays here would double telemetry totals.
         """
-
-        def keyed(position: int, entries: Sequence[LoggedRequest]):
-            for index, entry in enumerate(entries):
-                yield (entry.time, position, index), entry
-
         store = cls()
-        for _, entry in heapq.merge(
-            *(keyed(position, entries)
-              for position, entries in enumerate(shard_entries))
+        shard_entries = [list(entries) for entries in shard_entries]
+        for position, index in merged_order(
+            [[entry.time for entry in entries] for entries in shard_entries]
         ):
-            store.append(entry)
+            store.append(shard_entries[position][index])
         return store
 
     def append(self, entry: LoggedRequest) -> None:
-        if self._entries and entry.time < self._entries[-1].time:
+        if self._times and entry.time < self._times[-1]:
             raise ValueError(
                 f"log must be appended in time order: {entry.time} after "
-                f"{self._entries[-1].time}"
+                f"{self._times[-1]}"
             )
-        self._by_domain.setdefault(entry.domain, []).append(len(self._entries))
-        self._by_protocol.setdefault(entry.protocol, []).append(len(self._entries))
-        self._entries.append(entry)
+        index = len(self._times)
+        table = self._table
         self._times.append(entry.time)
+        self._sites.append(table.intern(entry.site))
+        self._protocols.append(table.intern(entry.protocol))
+        self._srcs.append(table.intern(entry.src_address))
+        self._domain_refs.append(table.intern(entry.domain))
+        self._paths.append(table.intern_opt(entry.path))
+        self._qtypes.append(NONE_REF if entry.qtype is None else entry.qtype)
+        self._uas.append(table.intern_opt(entry.user_agent))
+        self._by_domain.setdefault(entry.domain, []).append(index)
+        self._by_protocol.setdefault(entry.protocol, []).append(index)
+        self._cache[index] = entry
         self._m_requests[entry.protocol].inc()
 
+    def _entry(self, index: int) -> LoggedRequest:
+        """Materialize row ``index`` (same object while any ref is live)."""
+        entry = self._cache.get(index)
+        if entry is not None:
+            return entry
+        table = self._table
+        qtype = self._qtypes[index]
+        entry = LoggedRequest(
+            time=self._times[index],
+            site=table.value(self._sites[index]),
+            protocol=table.value(self._protocols[index]),
+            src_address=table.value(self._srcs[index]),
+            domain=table.value(self._domain_refs[index]),
+            path=table.value_opt(self._paths[index]),
+            qtype=None if qtype == NONE_REF else qtype,
+            user_agent=table.value_opt(self._uas[index]),
+        )
+        self._cache[index] = entry
+        return entry
+
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._times)
 
     def __iter__(self) -> Iterator[LoggedRequest]:
-        return iter(self._entries)
+        return (self._entry(index) for index in range(len(self._times)))
 
     def all(self) -> Tuple[LoggedRequest, ...]:
-        return tuple(self._entries)
+        return tuple(self)
 
     def for_domain(self, domain: str) -> List[LoggedRequest]:
         """All requests bearing ``domain``, in arrival order."""
-        return [self._entries[index] for index in self._by_domain.get(domain, [])]
+        return [self._entry(index) for index in self._by_domain.get(domain, [])]
 
     def domains(self) -> List[str]:
         return list(self._by_domain)
@@ -142,7 +193,7 @@ class LogStore:
         """
         low = bisect.bisect_left(self._times, start)
         high = bisect.bisect_left(self._times, end)
-        return self._entries[low:high]
+        return [self._entry(index) for index in range(low, high)]
 
     def tail(self, cursor: int = 0) -> Tuple[List[LoggedRequest], int]:
         """(entries appended at or after ``cursor``, new cursor).
@@ -157,10 +208,11 @@ class LogStore:
         """
         if cursor < 0:
             raise ValueError(f"tail cursor must be >= 0, got {cursor}")
-        return self._entries[cursor:], len(self._entries)
+        end = len(self._times)
+        return [self._entry(index) for index in range(cursor, end)], end
 
     def by_protocol(self, protocol: str) -> List[LoggedRequest]:
         """All requests of one protocol, in arrival order — O(k) via the
         per-protocol index, not a full scan."""
-        return [self._entries[index]
+        return [self._entry(index)
                 for index in self._by_protocol.get(protocol, [])]

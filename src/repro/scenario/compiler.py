@@ -40,6 +40,8 @@ _MAPPING: Tuple[Tuple[str, str, object], ...] = (
      lambda s: s.topology.web_vps_per_destination),
     ("dns_vps_per_destination", "topology.dns_vps_per_destination",
      lambda s: s.topology.dns_vps_per_destination),
+    ("dns_destination_count", "default: None (full resolver pool; the cap "
+     "exists for scale benchmarks, not ecosystem shape)", lambda s: None),
     ("interceptors_enabled", "observers.interceptors_enabled",
      lambda s: s.observers.interceptors_enabled),
     ("interceptor_asn_fraction", "observers.interceptor_asn_fraction",

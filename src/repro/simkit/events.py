@@ -1,4 +1,22 @@
-"""Event queue and simulator loop."""
+"""Event queue and simulator loop.
+
+The queue is a bucketed calendar: events land in fixed-width virtual-time
+buckets (a dict keyed by ``floor(time / width)``), each bucket a small
+binary heap of ``(time, sequence, event)`` tuples, with a min-heap of
+bucket keys locating the earliest non-empty bucket.  Pushes and pops stay
+O(log b) in the *bucket* size instead of the whole queue, which is what
+keeps a multi-million-event campaign's event loop flat — and the heap
+entries are plain tuples, so ordering comparisons run at C speed.  The
+observable order is exactly the classic single-heap order: ``(time,
+sequence)``, globally unique, ties impossible.
+
+For internet-scale campaigns the simulator also supports a *feeder*: a
+pull hook that lazily schedules upcoming work (e.g. the streaming Phase I
+planner) just ahead of the clock instead of materializing millions of
+events up front.  The feeder is not an event — it consumes no sequence
+numbers, fires no telemetry counters, and leaves ``label_counts``
+untouched — so a fed schedule is indistinguishable from an up-front one.
+"""
 
 import heapq
 import itertools
@@ -7,6 +25,11 @@ from typing import Callable, Optional
 
 from repro.simkit.clock import VirtualClock
 from repro.telemetry.registry import NULL_REGISTRY
+
+_BUCKET_WIDTH = 32.0
+"""Default calendar bucket width in virtual seconds.  Phase I sends are
+spaced 0.5s apart, so a bucket holds ~64 sends — big enough that bucket
+churn is rare, small enough that per-bucket heaps stay tiny."""
 
 
 @dataclass(order=True, slots=True)
@@ -28,7 +51,7 @@ class Event:
         compare=False, default=None, repr=False
     )
     """Owner notification hook — the simulator uses it to keep its pending
-    counter live without scanning the heap."""
+    counter live without scanning the queue."""
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it when popped."""
@@ -48,9 +71,14 @@ class Simulator:
     :class:`VirtualClock` as it goes.
     """
 
-    def __init__(self, clock: Optional[VirtualClock] = None, metrics=None):
+    def __init__(self, clock: Optional[VirtualClock] = None, metrics=None,
+                 bucket_width: float = _BUCKET_WIDTH):
         self.clock = clock if clock is not None else VirtualClock()
-        self._queue: list = []
+        if bucket_width <= 0:
+            raise ValueError(f"bucket_width must be positive, got {bucket_width}")
+        self._width = float(bucket_width)
+        self._buckets: dict = {}
+        self._bucket_keys: list = []
         self._counter = itertools.count()
         self._processed = 0
         self._pending = 0
@@ -58,6 +86,10 @@ class Simulator:
         """Executed-event tally per label — free introspection into what a
         campaign actually did (sends, retries, recursions, unsolicited
         emissions, cache refreshes...)."""
+        self._feeder: Optional[Callable[[float], Optional[float]]] = None
+        self._feed_guarantee = float("-inf")
+        self._feed_margin = 0.0
+        self._feed_lookahead = 0.0
         # Handles are fetched once; with telemetry disabled they are
         # shared no-op singletons, keeping the event loop overhead to one
         # no-op call per operation.
@@ -66,6 +98,7 @@ class Simulator:
         self._m_fired = metrics.counter("sim.events.fired")
         self._m_cancelled = metrics.counter("sim.events.cancelled")
         self._m_heap_depth = metrics.gauge("sim.heap.max_depth")
+        self._m_buckets = metrics.gauge("sim.calendar.buckets")
 
     def now(self) -> float:
         return self.clock.now()
@@ -83,6 +116,38 @@ class Simulator:
     def _note_cancel(self) -> None:
         self._pending -= 1
         self._m_cancelled.inc()
+        # Live depth shrank; sample it so the gauge reflects cancel-heavy
+        # churn the same way it reflects pushes and pops.
+        self._m_heap_depth.record(self._pending)
+
+    # -- calendar queue ----------------------------------------------------
+
+    def _peek(self):
+        """The earliest queued ``(time, sequence, event)``, or None.
+
+        Lazily retires bucket keys whose bucket has drained; a key may
+        appear twice in the key heap when its bucket emptied and later
+        refilled — the stale copy is discarded when it surfaces.
+        """
+        keys = self._bucket_keys
+        buckets = self._buckets
+        while keys:
+            bucket = buckets.get(keys[0])
+            if not bucket:
+                heapq.heappop(keys)
+                continue
+            return bucket[0]
+        return None
+
+    def _pop(self):
+        """Remove and return the earliest entry (``_peek`` must be truthy)."""
+        key = self._bucket_keys[0]
+        bucket = self._buckets[key]
+        entry = heapq.heappop(bucket)
+        if not bucket:
+            del self._buckets[key]
+            heapq.heappop(self._bucket_keys)
+        return entry
 
     def schedule_at(self, time: float, action: Callable[[], None], label: str = "") -> Event:
         """Schedule ``action`` at absolute virtual time ``time``."""
@@ -97,10 +162,19 @@ class Simulator:
             label=label,
             on_cancel=self._note_cancel,
         )
-        heapq.heappush(self._queue, event)
+        key = int(event.time // self._width)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = []
+            heapq.heappush(self._bucket_keys, key)
+        heapq.heappush(bucket, (event.time, event.sequence, event))
         self._pending += 1
         self._m_scheduled.inc()
-        self._m_heap_depth.record(len(self._queue))
+        # Depth counts live (not-cancelled) events — the pre-calendar
+        # gauge sampled raw heap length, which over-reported under
+        # cancel-heavy churn by counting tombstones awaiting their pop.
+        self._m_heap_depth.record(self._pending)
+        self._m_buckets.record(len(self._buckets))
         return event
 
     def schedule_in(self, delay: float, action: Callable[[], None], label: str = "") -> Event:
@@ -109,37 +183,125 @@ class Simulator:
             raise ValueError(f"delay must be non-negative, got {delay}")
         return self.schedule_at(self.clock.now() + delay, action, label=label)
 
+    # -- streaming feeder --------------------------------------------------
+
+    def set_feeder(self, feeder: Callable[[float], Optional[float]], *,
+                   margin: float, lookahead: float) -> None:
+        """Install a pull hook that schedules upcoming work on demand.
+
+        ``feeder(target)`` must schedule every deferred event whose time
+        is <= ``target`` and return a *guarantee*: a virtual time such
+        that all still-unscheduled work lies strictly later (the return
+        must be >= ``target``).  It returns None once exhausted.
+
+        ``margin`` is how far past the next event the schedule must be
+        known before that event may fire.  It has to exceed the longest
+        *discrete* delay any event handler can schedule at (e.g. the
+        campaign's retry backoff ceiling): a handler firing at ``t`` may
+        enqueue follow-ups at exactly ``t + backoff``, and any deferred
+        event tying that instant must already hold its (lower) sequence
+        number — that is what makes a fed schedule order-identical to an
+        up-front one.  ``lookahead`` batches feeder calls so the hook
+        runs once per chunk of virtual time, not once per event.
+        """
+        if margin < 0 or lookahead <= 0:
+            raise ValueError(
+                f"margin must be >= 0 and lookahead > 0, "
+                f"got margin={margin}, lookahead={lookahead}"
+            )
+        self._feeder = feeder
+        self._feed_margin = float(margin)
+        self._feed_lookahead = float(lookahead)
+        self._feed_guarantee = float("-inf")
+
+    @property
+    def feeding(self) -> bool:
+        """Is a feeder installed and not yet exhausted?"""
+        return self._feeder is not None
+
+    def _pull_feed(self, target: float) -> None:
+        result = self._feeder(target)
+        if result is None:
+            self._feeder = None
+            self._feed_guarantee = float("inf")
+            return
+        if result < target:
+            raise RuntimeError(
+                f"feeder returned guarantee {result} short of target {target}"
+            )
+        self._feed_guarantee = result
+
+    # -- main loop ---------------------------------------------------------
+
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Drain the queue, optionally stopping at time ``until``.
 
         Returns the number of events executed by this call.  Events
         scheduled exactly at ``until`` still fire; later ones stay queued.
         ``max_events`` bounds runaway feedback loops in tests.
+
+        The clock only advances to ``until`` when the queue really
+        drained past it.  In particular a ``max_events`` break leaves the
+        clock at the last fired event: skipping ahead with work still
+        queued before ``until`` would make the next :meth:`run` pop
+        events stamped earlier than ``now()``.
         """
         executed = 0
-        while self._queue:
+        capped = False
+        label_counts = self.label_counts
+        while True:
             if max_events is not None and executed >= max_events:
+                capped = True
                 break
-            event = self._queue[0]
-            if until is not None and event.time > until:
+            if self._feeder is not None:
+                head = self._peek()
+                if head is not None:
+                    # About to fire `head`: the schedule must be known
+                    # through head + margin first, so any deferred event
+                    # tying a follow-up head may enqueue already holds
+                    # its (earlier) sequence number.
+                    want = head[0] + self._feed_margin
+                    if self._feed_guarantee < want:
+                        self._pull_feed(want)
+                        continue  # feeding may have queued earlier events
+                else:
+                    # Nothing queued yet — pull the next lookahead chunk
+                    # (never the whole remaining plan at once; bounded
+                    # memory is the point of feeding).
+                    base = self._feed_guarantee
+                    if base == float("-inf"):
+                        base = self.clock.now()
+                    horizon = (float("inf") if until is None
+                               else until + self._feed_margin)
+                    if base < horizon:
+                        self._pull_feed(min(horizon, base + self._feed_lookahead))
+                        continue
+            head = self._peek()
+            if head is None:
                 break
-            heapq.heappop(self._queue)
+            time_, _sequence, event = head
+            if until is not None and time_ > until:
+                break
+            self._pop()
             if event.cancelled:
                 continue
             # Detach the hook first: a late cancel() on an already-fired
             # event must not decrement the counter a second time.
             event.on_cancel = None
             self._pending -= 1
-            self.clock.advance_to(event.time)
+            self._m_heap_depth.record(self._pending)
+            self.clock.advance_to(time_)
             event.action()
             executed += 1
             self._processed += 1
             self._m_fired.inc()
             if event.label:
-                self.label_counts[event.label] = \
-                    self.label_counts.get(event.label, 0) + 1
-        if until is not None and self.clock.now() < until:
-            self.clock.advance_to(until)
+                label_counts[event.label] = \
+                    label_counts.get(event.label, 0) + 1
+        if until is not None and not capped and self.clock.now() < until:
+            head = self._peek()
+            if head is None or head[0] > until:
+                self.clock.advance_to(until)
         return executed
 
     def __repr__(self) -> str:

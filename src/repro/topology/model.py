@@ -1,8 +1,18 @@
 """Deterministic router fabric and path builder."""
 
 import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
+
+_PATH_CACHE_LIMIT = 16384
+"""Built :class:`Path` objects kept (LRU).  Router hops stay cached
+unbounded — they are shared across paths and bounded by the pool sizes —
+but whole paths are per-(VP, destination) and an internet-scale campaign
+has millions of pairs.  Rebuilding an evicted path replays the same keyed
+per-pair stream, so the hop list is identical; only the tap attachments
+are lost, and the campaign re-attaches those (idempotently) whenever it
+rebuilds its own evicted entry."""
 
 from repro.datasets.asns import CN_BACKBONE_ASNS, synthetic_asn
 from repro.net.addr import ip_from_int
@@ -93,7 +103,8 @@ class TopologyModel:
         self.config = config if config is not None else TopologyConfig()
         self._hops: Dict[Tuple[int, int], Hop] = {}
         self._addresses_in_use: set = set()
-        self._paths: Dict[Tuple[str, str, Optional[str]], Path] = {}
+        self._paths: "OrderedDict[Tuple[str, str, Optional[str]], Path]" = \
+            OrderedDict()
 
     # -- router fabric -------------------------------------------------------
 
@@ -178,8 +189,10 @@ class TopologyModel:
         anycast instance's country rather than the service's home.
         """
         cache_key = (vp.address, destination.address, destination_country_override)
-        if cache_key in self._paths:
-            return self._paths[cache_key]
+        cached = self._paths.get(cache_key)
+        if cached is not None:
+            self._paths.move_to_end(cache_key)
+            return cached
         dest_country = destination_country_override or destination.country
         pair_rng = self._router.fork(
             f"path:{vp.address}->{destination.address}"
@@ -235,6 +248,8 @@ class TopologyModel:
         )
         path = Path(hops)
         self._paths[cache_key] = path
+        if len(self._paths) > _PATH_CACHE_LIMIT:
+            self._paths.popitem(last=False)
         return path
 
     @staticmethod

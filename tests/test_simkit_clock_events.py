@@ -156,3 +156,210 @@ class TestLabelCounts:
         assert counts.get("send:dns", 0) > 0
         assert any(label.startswith("recursion:") for label in counts)
         assert any(label.startswith("unsolicited:") for label in counts)
+
+
+class TestRunUntilClockSkip:
+    """Regression: run(until=..., max_events=...) must not skip the clock
+    to `until` while events before `until` are still queued."""
+
+    def test_max_events_break_leaves_clock_at_last_fired(self):
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule_at(t, lambda: None)
+        executed = sim.run(until=10.0, max_events=1)
+        assert executed == 1
+        # The old loop advanced to until=10.0 here, stranding the events
+        # at t=2 and t=3 in the simulator's past...
+        assert sim.now() == 1.0
+        # ...which made the next run() pop events stamped earlier than
+        # now() — this continuation used to be impossible.
+        assert sim.run() == 2
+        assert sim.now() == 3.0
+
+    def test_drained_queue_still_advances_to_until(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.run(until=5.0)
+        assert sim.now() == 5.0
+
+    def test_max_events_cap_not_hit_still_advances(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.run(until=5.0, max_events=10)
+        assert sim.now() == 5.0
+
+    def test_pending_event_past_until_does_not_block_advance(self):
+        sim = Simulator()
+        sim.schedule_at(8.0, lambda: None)
+        sim.run(until=5.0, max_events=10)
+        assert sim.now() == 5.0
+        assert sim.pending == 1
+
+
+class TestCalendarQueue:
+    """The bucketed calendar must preserve single-heap (time, sequence)
+    order across every bucket boundary."""
+
+    def test_cross_bucket_order(self):
+        sim = Simulator(bucket_width=4.0)
+        fired = []
+        # Schedule out of order, spanning many buckets.
+        for t in (33.0, 1.0, 17.5, 4.0, 3.9999, 64.0, 16.0, 0.0):
+            sim.schedule_at(t, lambda t=t: fired.append(t))
+        sim.run()
+        assert fired == sorted(fired)
+
+    def test_bucket_refill_after_drain(self):
+        sim = Simulator(bucket_width=4.0)
+        fired = []
+        # Fire an event in bucket 0, then (from within a later bucket)
+        # schedule back into a time whose bucket already drained once.
+        sim.schedule_at(1.0, lambda: fired.append("a"))
+        sim.schedule_at(9.0, lambda: (fired.append("b"),
+                                      sim.schedule_at(9.5, lambda: fired.append("c"))))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_invalid_bucket_width_rejected(self):
+        with pytest.raises(ValueError, match="bucket_width"):
+            Simulator(bucket_width=0.0)
+
+    def test_ties_fire_in_scheduling_order_across_push_pattern(self):
+        sim = Simulator(bucket_width=2.0)
+        fired = []
+        for name in "abcd":
+            sim.schedule_at(6.0, lambda name=name: fired.append(name))
+        sim.run()
+        assert fired == ["a", "b", "c", "d"]
+
+
+class TestDepthGauge:
+    """sim.heap.max_depth samples live depth on push, pop, AND cancel —
+    the pre-calendar gauge only sampled pushes, so tombstones from
+    cancel-heavy churn inflated the high-water mark."""
+
+    def _sim_with_registry(self):
+        from repro.telemetry.registry import MetricsRegistry
+        registry = MetricsRegistry()
+        return Simulator(metrics=registry), registry
+
+    def test_depth_counts_live_events_not_tombstones(self):
+        sim, registry = self._sim_with_registry()
+        events = [sim.schedule_at(float(t), lambda: None) for t in range(1, 6)]
+        for event in events[1:]:
+            event.cancel()
+        # 5 pushed, 4 cancelled: live depth high-water is 5 (before the
+        # cancels), and the gauge never re-inflates afterwards.
+        assert registry.gauge("sim.heap.max_depth").value == 5
+        sim.schedule_at(10.0, lambda: None)
+        # 2 live events now; the recorded max stays 5.
+        assert registry.gauge("sim.heap.max_depth").value == 5
+        assert sim.pending == 2
+
+    def test_bucket_gauge_tracks_calendar_occupancy(self):
+        sim, registry = self._sim_with_registry()
+        width = sim._width
+        for bucket in range(3):
+            sim.schedule_at(bucket * width + 0.5, lambda: None)
+        assert registry.gauge("sim.calendar.buckets").value == 3
+
+
+class TestFeeder:
+    """The streaming feeder schedules work on demand, invisibly to every
+    digest-relevant observable."""
+
+    def test_feeder_supplies_events_lazily(self):
+        sim = Simulator()
+        fired = []
+        remaining = iter(range(10))
+
+        def feed(target):
+            for i in remaining:
+                sim.schedule_at(float(i), lambda i=i: fired.append(i))
+                if float(i) >= target:
+                    return float(i)
+            return None
+
+        sim.set_feeder(feed, margin=1.0, lookahead=3.0)
+        sim.run()
+        assert fired == list(range(10))
+        assert not sim.feeding
+
+    def test_feeder_is_not_an_event(self):
+        from repro.telemetry.registry import MetricsRegistry
+        registry = MetricsRegistry()
+        sim = Simulator(metrics=registry)
+        pulls = []
+
+        def feed(target):
+            pulls.append(target)
+            if len(pulls) > 3:
+                return None
+            sim.schedule_at(float(len(pulls)), lambda: None, label="fed")
+            return target
+
+        sim.set_feeder(feed, margin=0.5, lookahead=100.0)
+        sim.run()
+        # Pulls happened, events fired — but the feeder itself consumed
+        # no sequence numbers and left counters/labels untouched beyond
+        # the events it scheduled.
+        assert len(pulls) > 1
+        assert sim.label_counts == {"fed": 3}
+        assert registry.counter("sim.events.fired").value == 3
+        assert registry.counter("sim.events.scheduled").value == 3
+
+    def test_fed_schedule_matches_upfront_order(self):
+        def build(feeding):
+            sim = Simulator()
+            fired = []
+            times = [0.5 * i for i in range(40)]
+            if feeding:
+                pending = iter(times)
+
+                def feed(target):
+                    for t in pending:
+                        sim.schedule_at(t, lambda t=t: fired.append(t))
+                        if t >= target:
+                            return t
+                    return None
+
+                sim.set_feeder(feed, margin=2.0, lookahead=5.0)
+            else:
+                for t in times:
+                    sim.schedule_at(t, lambda t=t: fired.append(t))
+            sim.run()
+            return fired
+
+        assert build(feeding=True) == build(feeding=False)
+
+    def test_feeder_guarantee_shortfall_raises(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.set_feeder(lambda target: target - 5.0, margin=1.0, lookahead=2.0)
+        with pytest.raises(RuntimeError, match="short of target"):
+            sim.run()
+
+    def test_invalid_feeder_parameters_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.set_feeder(lambda t: t, margin=-1.0, lookahead=1.0)
+        with pytest.raises(ValueError):
+            sim.set_feeder(lambda t: t, margin=0.0, lookahead=0.0)
+
+    def test_run_until_does_not_exhaust_feeder_past_horizon(self):
+        sim = Simulator()
+        fed = []
+
+        def feed(target):
+            t = (fed[-1] + 1.0) if fed else 0.0
+            while t <= target:
+                fed.append(t)
+                sim.schedule_at(t, lambda: None)
+                t += 1.0
+            return fed[-1]
+
+        sim.set_feeder(feed, margin=1.0, lookahead=4.0)
+        sim.run(until=10.0)
+        # The feeder was only pulled through until + margin, not drained.
+        assert sim.feeding
+        assert max(fed) <= 15.0
