@@ -1,0 +1,142 @@
+"""Extension — ciphertext-metadata observer cost and matrix latency.
+
+Two numbers the encrypted-transport pack adds to the perf trajectory,
+recorded to ``benchmarks/out/BENCH_ciphertext.json``:
+
+* **Classification throughput** — flows/second through one
+  :class:`~repro.observers.ciphertext.CiphertextObserver` tap (TLS
+  framing walk + size/timing score + destination correlation), the
+  per-packet cost every observed hop pays.
+* **Matrix render latency** — wall time for ``full_report`` on a
+  ciphertext-enabled campaign versus the same campaign's accumulator
+  snapshot/restore round-trip, the cost the matrix adds to reporting.
+
+The artifact also pins the matrix row shape for the bench config, so a
+drift in cell values shows up in review next to the timing numbers.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``): fewer flows, same shape.
+"""
+
+import json
+import os
+import pathlib
+import random
+import time
+
+from repro.analysis.paperreport import full_report
+from repro.analysis.streaming import MitigationMatrixAccumulator
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import Experiment
+from repro.core.shard import result_digest
+from repro.net.packet import Packet
+from repro.net.path import Hop
+from repro.observers.ciphertext import (
+    CiphertextObserver,
+    DstIpCorrelator,
+    TrafficClassifier,
+    size_templates,
+)
+from repro.protocols.tls import ClientHello, wrap_handshake
+from repro.simkit.rng import SubstreamFactory
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+ARTIFACT = OUT_DIR / "BENCH_ciphertext.json"
+
+BENCH_SEED = 20240301
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+ZONE = "www.experiment.domain"
+
+FLOW_COUNT = 2_000 if SMOKE else 50_000
+
+
+def _merge_artifact(update: dict) -> None:
+    existing = {}
+    if ARTIFACT.exists():
+        try:
+            existing = json.loads(ARTIFACT.read_text())
+        except ValueError:
+            existing = {}
+    existing.update(update)
+    OUT_DIR.mkdir(exist_ok=True)
+    ARTIFACT.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+
+
+def _synthetic_flows(count: int):
+    """Pre-built packets so the timed loop measures the observer only."""
+    draw = random.Random(BENCH_SEED)
+    packets = []
+    for index in range(count):
+        label = "".join(draw.choices("abcdefgh234567", k=29))
+        payload = wrap_handshake(
+            ClientHello(server_name=f"{label}.{ZONE}",
+                        random=bytes(32)).encode())
+        packets.append(Packet.tcp(
+            src=f"100.96.{draw.randrange(0, 200)}.{draw.randrange(1, 250)}",
+            dst=f"203.0.113.{draw.randrange(1, 250)}",
+            ttl=64, src_port=40000 + index % 1000, dst_port=443,
+            payload=payload + bytes(draw.randrange(0, 64))))
+    return packets
+
+
+def test_ext_ciphertext_classification_throughput():
+    hop = Hop(address="100.64.9.9", asn=4134, country="CN")
+    clock_value = [0.0]
+
+    def clock():
+        clock_value[0] += 0.5
+        return clock_value[0]
+
+    observer = CiphertextObserver(
+        hop=hop,
+        classifier=TrafficClassifier(
+            size_templates(ZONE), threshold=0.6, fpr=0.02,
+            streams=SubstreamFactory(BENCH_SEED, "ciphertext.classify")),
+        correlator=DstIpCorrelator(link_threshold=3),
+        clock=clock)
+    packets = _synthetic_flows(FLOW_COUNT)
+
+    started = time.perf_counter()
+    for packet in packets:
+        observer.tap(1, hop, packet)
+    elapsed = time.perf_counter() - started
+
+    assert observer.flows_seen == FLOW_COUNT
+    assert observer.flows_classified > 0
+    _merge_artifact({"classification": {
+        "flows": FLOW_COUNT,
+        "seconds": round(elapsed, 3),
+        "flows_per_sec": round(FLOW_COUNT / elapsed, 1),
+        "classified": observer.flows_classified,
+        "flagged_destinations": len(
+            observer.correlator.flagged_destinations()),
+        "smoke": SMOKE,
+    }})
+
+
+def test_ext_ciphertext_matrix_render_latency():
+    config = ExperimentConfig.tiny(seed=BENCH_SEED)
+    config.doh_adoption = 0.4
+    config.ech_adoption = 0.5
+    config.ciphertext_observer_share = 0.6
+    config.ciphertext_fpr = 0.02
+    config.nod_noise_rate = 0.2
+    result = Experiment(config).run()
+    matrix = result.analysis.matrix
+
+    started = time.perf_counter()
+    report = full_report(result)
+    render_seconds = time.perf_counter() - started
+    assert "Mitigation vs observer class" in report
+
+    started = time.perf_counter()
+    restored = MitigationMatrixAccumulator.from_snapshot(matrix.snapshot())
+    roundtrip_seconds = time.perf_counter() - started
+    assert restored.rows() == matrix.rows()
+
+    _merge_artifact({"matrix": {
+        "result_digest": result_digest(result),
+        "rows": [[mitigation, sent, sorted(cells.items())]
+                 for mitigation, sent, cells in matrix.rows()],
+        "report_seconds": round(render_seconds, 4),
+        "snapshot_roundtrip_seconds": round(roundtrip_seconds, 4),
+    }})

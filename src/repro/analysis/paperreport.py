@@ -103,7 +103,19 @@ def batch_artifacts(source) -> Dict[str, object]:
         "groups": observer_as_groups(locations, events, directory),
         "incentives": incentive_report(events, blocklist),
         "heat_cells": cells_from_rows(fig3_rows, "dns"),
+        "matrix": _matrix_of(getattr(source, "analysis", None)),
     }
+
+
+def _matrix_of(state):
+    """The run's mitigation-vs-observer matrix accumulator, or None.
+
+    The matrix has no batch recomputation path: per-observer-class
+    attribution exists only at tap time, so both render paths read the
+    same accumulator — which is exactly why their sections agree."""
+    if state is None or not state.matrix.enabled:
+        return None
+    return state.matrix
 
 
 def streaming_artifacts(state) -> Dict[str, object]:
@@ -143,6 +155,7 @@ def streaming_artifacts(state) -> Dict[str, object]:
         "groups": observer_as_groups_from_accumulator(state.origins),
         "incentives": incentive_report_from_accumulator(state.incentives),
         "heat_cells": cells_from_rows(fig3_rows, "dns"),
+        "matrix": _matrix_of(state),
     }
 
 
@@ -287,6 +300,33 @@ def _render(artifacts: Dict[str, object], title: str,
             for region, ratio in sorted(regions.items(),
                                         key=lambda item: (-item[1], item[0]))
         ))
+
+    # Mitigation vs observer class (encrypted-transport scenarios only;
+    # absent matrix keeps every pre-existing report byte-identical).
+    matrix = artifacts.get("matrix")
+    if matrix is not None:
+        rows = matrix.rows()
+        if rows:
+            def cell(count: int, sent: int) -> str:
+                return f"{count} ({percent(count / sent)})"
+
+            sections.append("\n" + render_table(
+                ("mitigation", "sent", "sni-dpi", "traffic-analysis",
+                 "dst-ip"),
+                [(mitigation, sent,
+                  cell(cells["sni-dpi"], sent),
+                  cell(cells["traffic-analysis"], sent),
+                  cell(cells["dst-ip"], sent))
+                 for mitigation, sent, cells in rows],
+                title="Mitigation vs observer class — Phase I decoy "
+                      "domains classified",
+            ))
+            provenance = matrix.provenance_counts()
+            if provenance:
+                sections.append("visit provenance: " + ", ".join(
+                    f"{mitigation}/{kind}={count}"
+                    for (mitigation, kind), count
+                    in sorted(provenance.items())))
 
     if extra_sections:
         sections.extend(extra_sections)

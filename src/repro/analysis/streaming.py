@@ -625,6 +625,148 @@ class IncentiveAccumulator:
         return acc
 
 
+MATRIX_MITIGATIONS: Tuple[str, ...] = ("none", "ech", "doh")
+"""Row order of the mitigation-vs-observer matrix."""
+
+MATRIX_OBSERVER_CLASSES: Tuple[str, ...] = (
+    "sni-dpi", "traffic-analysis", "dst-ip")
+"""Column order: plaintext DPI sniffers, size/timing traffic analysis,
+destination-IP correlation (see docs/OBSERVERS.md)."""
+
+
+class MitigationMatrixAccumulator:
+    """Which defense stops which observer class — the PR's deliverable.
+
+    Rows are mitigations a decoy adopted on the wire, columns are
+    observer classes; a cell counts the distinct Phase I decoy domains
+    that class collected despite (or thanks to the absence of) that
+    mitigation, over the domains sent with it.
+
+    Everything is a domain *set*, so observations de-duplicate across
+    retries, hops, and shards, and merge is plain union — order-free by
+    construction.  The destination-IP column cannot decide per flow
+    (linkage exists only once an address has been reused), so the
+    accumulator stores per-(mitigation, destination) domain sets and
+    applies ``link_threshold`` at render time: a destination counts as a
+    flagged decoy sink when the union of domains it received — across
+    all mitigations — reaches the threshold.
+
+    ``enabled`` gates feeding: a default campaign keeps the matrix off,
+    its snapshot key absent, and every pre-existing digest untouched.
+    Merging adopts the enabled side's ``link_threshold`` (the disabled
+    default state :meth:`AnalysisState.merged` folds from carries no
+    information) and asserts equality when both sides are enabled.
+    """
+
+    def __init__(self, enabled: bool = False, link_threshold: int = 3):
+        if link_threshold < 1:
+            raise ValueError(
+                f"link_threshold must be >= 1, got {link_threshold}")
+        self.enabled = enabled
+        self.link_threshold = link_threshold
+        self._sent: Dict[str, Set[str]] = {}
+        """Mitigation -> Phase I decoy domains sent with it."""
+        self._classified: Dict[Tuple[str, str], Set[str]] = {}
+        """(observer class, mitigation) -> domains that class collected
+        (per-flow-decidable classes: sni-dpi, traffic-analysis)."""
+        self._dst_domains: Dict[Tuple[str, str], Set[str]] = {}
+        """(mitigation, destination address) -> domains carried there."""
+        self._provenance: Dict[Tuple[str, str], int] = {}
+        """(mitigation, provenance) -> correlated Phase I events."""
+
+    def observe_sent(self, mitigation: str, domain: str) -> None:
+        self._sent.setdefault(mitigation, set()).add(domain)
+
+    def observe_classified(self, observer_class: str, mitigation: str,
+                           domain: str) -> None:
+        self._classified.setdefault(
+            (observer_class, mitigation), set()).add(domain)
+
+    def observe_flow(self, mitigation: str, domain: str, dst: str) -> None:
+        self._dst_domains.setdefault((mitigation, dst), set()).add(domain)
+
+    def observe_event(self, event) -> None:
+        key = (event.decoy.mitigation, event.provenance)
+        self._provenance[key] = self._provenance.get(key, 0) + 1
+
+    def merge(self, other: "MitigationMatrixAccumulator") -> None:
+        if other.enabled:
+            if not self.enabled:
+                self.enabled = True
+                self.link_threshold = other.link_threshold
+            elif self.link_threshold != other.link_threshold:
+                raise AccumulatorMergeError(
+                    f"matrix link thresholds disagree: "
+                    f"{self.link_threshold} != {other.link_threshold}"
+                )
+        _merge_sets(self._sent, other._sent)
+        _merge_sets(self._classified, other._classified)
+        _merge_sets(self._dst_domains, other._dst_domains)
+        _merge_counts(self._provenance, other._provenance)
+
+    # -- render queries ----------------------------------------------------
+
+    def flagged_destinations(self) -> Set[str]:
+        """Destinations whose cross-mitigation domain reuse reaches the
+        link threshold — the dst-ip correlator's decoy sinks."""
+        totals: Dict[str, Set[str]] = {}
+        for (_, dst), domains in self._dst_domains.items():
+            totals.setdefault(dst, set()).update(domains)
+        return {dst for dst, domains in totals.items()
+                if len(domains) >= self.link_threshold}
+
+    def rows(self) -> List[Tuple[str, int, Dict[str, int]]]:
+        """(mitigation, sent count, {observer class -> classified count})
+        in canonical row order, rows with no sends omitted."""
+        flagged = self.flagged_destinations()
+        out: List[Tuple[str, int, Dict[str, int]]] = []
+        for mitigation in MATRIX_MITIGATIONS:
+            sent = self._sent.get(mitigation)
+            if not sent:
+                continue
+            linked: Set[str] = set()
+            for (row_mitigation, dst), domains in self._dst_domains.items():
+                if row_mitigation == mitigation and dst in flagged:
+                    linked |= domains
+            cells = {
+                "sni-dpi": len(self._classified.get(
+                    ("sni-dpi", mitigation), ())),
+                "traffic-analysis": len(self._classified.get(
+                    ("traffic-analysis", mitigation), ())),
+                "dst-ip": len(linked),
+            }
+            out.append((mitigation, len(sent), cells))
+        return out
+
+    def provenance_counts(self) -> Dict[Tuple[str, str], int]:
+        return dict(self._provenance)
+
+    def snapshot(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "link_threshold": self.link_threshold,
+            "sent": [[mitigation, sorted(domains)]
+                     for mitigation, domains in sorted(self._sent.items())],
+            "classified": _sorted_set_pairs(self._classified),
+            "dst_domains": _sorted_set_pairs(self._dst_domains),
+            "provenance": _sorted_pairs(self._provenance),
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: dict) -> "MitigationMatrixAccumulator":
+        acc = cls(enabled=data["enabled"],
+                  link_threshold=data["link_threshold"])
+        for mitigation, domains in data["sent"]:
+            acc._sent[mitigation] = set(domains)
+        for key, domains in data["classified"]:
+            acc._classified[tuple(key)] = set(domains)
+        for key, domains in data["dst_domains"]:
+            acc._dst_domains[tuple(key)] = set(domains)
+        for key, count in data["provenance"]:
+            acc._provenance[tuple(key)] = count
+        return acc
+
+
 STATE_FORMAT_VERSION = 1
 
 
@@ -645,13 +787,16 @@ class AnalysisState:
     * ``set_log_entries(len(log))`` once per shard.
     """
 
-    def __init__(self, directory=None, blocklist=None):
+    def __init__(self, directory=None, blocklist=None,
+                 matrix_enabled: bool = False, matrix_link_threshold: int = 3):
         self.cdf = CdfAccumulator()
         self.combos = ComboAccumulator()
         self.origins = OriginAsAccumulator()
         self.multi_use = MultiUseAccumulator()
         self.landscape = LandscapeAccumulator()
         self.incentives = IncentiveAccumulator()
+        self.matrix = MitigationMatrixAccumulator(
+            enabled=matrix_enabled, link_threshold=matrix_link_threshold)
         self.decoy_counts: Dict[int, int] = {}
         """Phase -> decoys registered."""
         self.log_entries = 0
@@ -673,6 +818,8 @@ class AnalysisState:
         self.decoy_counts[record.phase] = self.decoy_counts.get(record.phase, 0) + 1
         self.combos.observe_decoy(record)
         self.landscape.observe_decoy(record)
+        if self.matrix.enabled and record.phase == 1:
+            self.matrix.observe_sent(record.mitigation, record.domain)
 
     def observe_event(self, event) -> None:
         self._require_intel()
@@ -683,6 +830,20 @@ class AnalysisState:
         self.multi_use.observe(event)
         self.landscape.observe(event)
         self.incentives.observe(event, self._blocklist)
+        if self.matrix.enabled:
+            self.matrix.observe_event(event)
+
+    def observe_flow_classified(self, observer_class: str, mitigation: str,
+                                domain: str) -> None:
+        """A per-flow-decidable observer class collected ``domain``."""
+        if self.matrix.enabled:
+            self.matrix.observe_classified(observer_class, mitigation, domain)
+
+    def observe_flow(self, mitigation: str, domain: str, dst: str) -> None:
+        """A ciphertext observer saw a flow for ``domain`` toward ``dst``
+        (feeds the render-time destination-IP correlation column)."""
+        if self.matrix.enabled:
+            self.matrix.observe_flow(mitigation, domain, dst)
 
     def observe_events(self, events: Iterable) -> None:
         for event in events:
@@ -708,6 +869,7 @@ class AnalysisState:
         self.multi_use.merge(other.multi_use)
         self.landscape.merge(other.landscape)
         self.incentives.merge(other.incentives)
+        self.matrix.merge(other.matrix)
         _merge_counts(self.decoy_counts, other.decoy_counts)
         self.log_entries += other.log_entries
         self.event_count += other.event_count
@@ -723,7 +885,7 @@ class AnalysisState:
     # -- serialization -----------------------------------------------------
 
     def snapshot(self) -> dict:
-        return {
+        snap = {
             "format": STATE_FORMAT_VERSION,
             "cdf": self.cdf.snapshot(),
             "combos": self.combos.snapshot(),
@@ -735,6 +897,12 @@ class AnalysisState:
             "log_entries": self.log_entries,
             "event_count": self.event_count,
         }
+        if self.matrix.enabled:
+            # Key absent when the matrix is off: a default campaign's
+            # snapshot — and thus its digest — is byte-identical to
+            # what it was before the matrix existed.
+            snap["matrix"] = self.matrix.snapshot()
+        return snap
 
     @classmethod
     def from_snapshot(cls, data: dict, directory=None,
@@ -750,6 +918,9 @@ class AnalysisState:
         state.multi_use = MultiUseAccumulator.from_snapshot(data["multi_use"])
         state.landscape = LandscapeAccumulator.from_snapshot(data["landscape"])
         state.incentives = IncentiveAccumulator.from_snapshot(data["incentives"])
+        if "matrix" in data:
+            state.matrix = MitigationMatrixAccumulator.from_snapshot(
+                data["matrix"])
         state.decoy_counts = {phase: count for phase, count in data["decoy_counts"]}
         state.log_entries = data["log_entries"]
         state.event_count = data["event_count"]

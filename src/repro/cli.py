@@ -81,6 +81,16 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--fault-log-dup", type=float, default=0.0,
                      metavar="RATE",
                      help="probability a log append is duplicated")
+    run.add_argument("--doh-adoption", type=float, default=0.0,
+                     metavar="SHARE",
+                     help="fraction of DNS decoys tunneled over DoH "
+                          "(constant-SNI TLS to the resolver frontend); "
+                          "enables the mitigation-vs-observer matrix")
+    run.add_argument("--ciphertext-observers", type=float, default=0.0,
+                     metavar="SHARE",
+                     help="deployment share of ciphertext-metadata "
+                          "observers on high-centrality hops; enables "
+                          "the mitigation-vs-observer matrix")
     run.add_argument("--export", metavar="DIR",
                      help="also export the result bundle to DIR")
     run.add_argument("--telemetry", metavar="DIR",
@@ -242,6 +252,8 @@ def _command_run(args: argparse.Namespace) -> int:
                 workers=args.workers,
             )
         config.telemetry = bool(args.telemetry)
+        config.doh_adoption = args.doh_adoption
+        config.ciphertext_observer_share = args.ciphertext_observers
         fault_knobs = (args.fault_loss, args.fault_churn, args.fault_outages,
                        args.fault_log_delay, args.fault_log_dup)
         if any(knob for knob in fault_knobs):

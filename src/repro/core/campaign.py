@@ -108,14 +108,35 @@ class Campaign:
         # boundaries (correlated events / Phase II verdicts); shards ship
         # it over the worker pipe and the supervisor merges exactly.
         from repro.analysis.streaming import AnalysisState
-        self.analysis = AnalysisState(directory=eco.directory,
-                                      blocklist=eco.blocklist)
+        matrix_enabled = (eco.config.ciphertext_observer_share > 0.0
+                          or eco.config.doh_adoption > 0.0)
+        self.analysis = AnalysisState(
+            directory=eco.directory, blocklist=eco.blocklist,
+            matrix_enabled=matrix_enabled,
+            matrix_link_threshold=eco.config.ciphertext_link_threshold)
         self.factory = DecoyFactory(
             zone=eco.config.zone, rng=eco.router.stream("decoy.factory"),
             ech_adoption=eco.config.ech_adoption,
             ech_streams=(eco.router.substreams("decoy.ech")
                          if eco.config.ech_adoption > 0.0 else None),
+            doh_adoption=eco.config.doh_adoption,
+            doh_streams=(eco.router.substreams("decoy.doh")
+                         if eco.config.doh_adoption > 0.0 else None),
         )
+        self._flow_context: Optional[Tuple[str, str, int]] = None
+        """(domain, mitigation, phase) of the decoy currently on the wire.
+        Path taps fire synchronously inside the transit call, so observer
+        flow reports attribute their capture to this context; cleared the
+        moment the attempt returns."""
+        if matrix_enabled:
+            # The matrix needs per-observer-class attribution, which the
+            # exhibitor pipeline deliberately erases; both deployments
+            # forward their captures here instead.
+            eco.observer_deployment.flow_sink = self._sni_flow_report
+            if eco.ciphertext_deployment is not None:
+                eco.ciphertext_deployment.flow_sink = self._ciphertext_flow_report
+        self._nod_streams = (eco.router.substreams("noise.nod")
+                             if eco.config.nod_noise_rate > 0.0 else None)
         self._paths: "OrderedDict[Tuple[str, str], PathInfo]" = OrderedDict()
         self._sequences: Dict[Tuple[str, str], int] = {}
         self._web_choices: Dict[int, List[VantagePoint]] = {}
@@ -214,11 +235,16 @@ class Campaign:
         )
         has_interceptor = False
         if attach_observers:
+            ciphertext = self.eco.ciphertext_deployment
             for position in range(1, path.length):  # destination excluded
                 hop = path.hop_at(position)
                 sniffer = self.eco.observer_deployment.sniffer_for(hop)
                 if sniffer is not None:
                     path.add_tap(position, sniffer.tap)
+                if ciphertext is not None:
+                    observer = ciphertext.observer_for(hop)
+                    if observer is not None:
+                        path.add_tap(position, observer.tap)
             first_hop = path.hop_at(1)
             has_interceptor = self.eco.interceptor_at(first_hop.address) is not None
         info = PathInfo(
@@ -333,6 +359,7 @@ class Campaign:
             sent_at=now,
             phase=phase,
             round_index=round_index,
+            mitigation=decoy.mitigation,
         )
         self.ledger.register(record)
         self.analysis.observe_decoy(record)
@@ -341,13 +368,68 @@ class Campaign:
         self._m_path_length.observe(info.path.length)
         if self._pcap is not None:
             self._pcap.write(packet, now)
+        if phase == 1 and self._nod_streams is not None:
+            self._schedule_nod_noise(decoy.domain)
         transit = self._attempt_transit(info, protocol, packet, phase,
-                                        decoy.domain, destination, attempt=0)
+                                        decoy.domain, destination, attempt=0,
+                                        mitigation=decoy.mitigation)
         return SendOutcome(record=record, transit=transit)
+
+    def _schedule_nod_noise(self, domain: str) -> None:
+        """Tatang et al.-style NOD churn (opt-in realism stressor).
+
+        With probability ``nod_noise_rate`` per Phase I decoy, one
+        unrelated newly-observed domain under the experiment zone gets
+        queried at the authoritative later — the background of scanners
+        chasing fresh registrations that a real measurement wades
+        through.  The noise label never decodes (the identifier CRC
+        rejects it) and never matches a ledger entry, so the correlator
+        files it under unknown domains instead of aliasing a decoy.
+        """
+        draw = self._nod_streams.derive(domain)
+        if draw.random() >= self.config.nod_noise_rate:
+            return
+        from repro.core.ecosystem import AS_NOD_NOISE
+        noise_name = f"nod-{draw.randrange(16 ** 12):012x}.{self.config.zone}"
+        origin = self.eco.allocator.allocate(f"nod:{noise_name}")
+        self.eco.directory.register(origin, AS_NOD_NOISE, "??", role="nod-scanner")
+        delay = draw.uniform(60.0, 3600.0)
+        self.eco.sim.schedule_in(
+            delay,
+            lambda noise_name=noise_name, origin=origin:
+                self.eco.emitter.emit("dns", noise_name, origin),
+            label="noise:nod",
+        )
+
+    # -- observer flow reports (mitigation-vs-observer matrix feed) --------
+
+    def _sni_flow_report(self, domain: str, hop_address: str) -> None:
+        """A clear-text sniffer captured ``domain`` mid-transit."""
+        context = self._flow_context
+        if context is None:
+            return
+        flow_domain, mitigation, phase = context
+        if phase != 1 or domain != flow_domain:
+            return
+        self.analysis.observe_flow_classified("sni-dpi", mitigation, domain)
+
+    def _ciphertext_flow_report(self, hop_address: str, src: str, dst: str,
+                                classified: bool) -> None:
+        """A ciphertext observer inspected the in-transit flow's metadata."""
+        context = self._flow_context
+        if context is None:
+            return
+        domain, mitigation, phase = context
+        if phase != 1:
+            return
+        if classified:
+            self.analysis.observe_flow_classified(
+                "traffic-analysis", mitigation, domain)
+        self.analysis.observe_flow(mitigation, domain, dst)
 
     def _attempt_transit(self, info: PathInfo, protocol: str, packet,
                          phase: int, domain: str, destination: object,
-                         attempt: int) -> TransitResult:
+                         attempt: int, mitigation: str = "none") -> TransitResult:
         """One transmission attempt, with fault-aware recovery.
 
         When the fault plan loses the packet on a link, a Phase I decoy is
@@ -362,13 +444,21 @@ class Campaign:
         if faults is not None:
             loss_at = faults.loss_link(domain, attempt, info.path.length,
                                        packet.ip.ttl)
-        transit = self._transmit(info, protocol, packet, phase,
-                                 loss_at=loss_at)
+        self._flow_context = (domain, mitigation, phase)
+        try:
+            transit = self._transmit(info, protocol, packet, phase,
+                                     loss_at=loss_at)
+        finally:
+            self._flow_context = None
 
         # Interception happens at the first (access) hop, so it applies to
         # any attempt the access link carried — even one lost further on.
+        # DoH decoys are immune: what transits the access link is a TLS
+        # session to the resolver frontend, nothing a DNS-rewriting box
+        # can answer in place of the resolver.
         intercepted = False
-        if protocol == "dns" and info.has_interceptor and transit.final_position >= 1:
+        if (protocol == "dns" and mitigation != "doh"
+                and info.has_interceptor and transit.final_position >= 1):
             first_hop = info.path.hop_at(1)
             interceptor = self.eco.interceptor_at(first_hop.address)
             if interceptor is not None:
@@ -387,9 +477,11 @@ class Campaign:
                     backoff,
                     lambda info=info, protocol=protocol, packet=packet,
                            phase=phase, domain=domain,
-                           destination=destination, attempt=attempt + 1:
+                           destination=destination, attempt=attempt + 1,
+                           mitigation=mitigation:
                         self._attempt_transit(info, protocol, packet, phase,
-                                              domain, destination, attempt),
+                                              domain, destination, attempt,
+                                              mitigation=mitigation),
                     label=f"retry:{protocol}",
                 )
             elif phase == 1:

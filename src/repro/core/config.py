@@ -104,6 +104,35 @@ class ExperimentConfig:
     ECH) still does — the paper's caveat that encryption does not stop
     collection *at* the endpoint.  Adoption is drawn per decoy domain
     from a keyed substream, so serial and sharded runs agree."""
+    doh_adoption: float = 0.0
+    """Fraction of DNS decoys tunneled over DoH: the wire carries a TLS
+    session to the resolver frontend (constant SNI) instead of a
+    plaintext query, blinding DNS sniffers and interceptors while the
+    resolver still decodes — and shadows — the query.  Drawn per decoy
+    domain from a keyed substream, like ``ech_adoption``."""
+    ciphertext_observer_share: float = 0.0
+    """Operator-level deployment share of ciphertext-metadata observers
+    (:mod:`repro.observers.ciphertext`).  The placement planner scales
+    this by each hop's topological centrality — backbones first —
+    instead of spreading it uniformly; 0 deploys none."""
+    ciphertext_threshold: float = 0.6
+    """Score threshold of the traffic-analysis classifier.  Lower is a
+    more aggressive observer (higher TPR, more false positives once
+    ``ciphertext_fpr`` is nonzero); the classified set shrinks
+    monotonically as the threshold rises."""
+    ciphertext_fpr: float = 0.0
+    """Tunable false-positive rate: sub-threshold flows are still
+    flagged with this keyed-draw probability."""
+    ciphertext_link_threshold: int = 3
+    """Distinct decoy domains a destination address must receive before
+    the destination-IP correlator links flows through it (applied at
+    matrix render time, so shard merges stay order-free)."""
+    nod_noise_rate: float = 0.0
+    """Per-send probability of injecting one newly-observed-domain /
+    DNS-tunneling style noise query (Tatang et al.) against the
+    honeypot zone.  Noise labels fail the identifier checksum, so the
+    correlator must file them as unknown domains — never as decoy
+    aliases; the fuzzer uses this as a realism stressor."""
 
     # -- observer retention -------------------------------------------------
     onpath_retention_capacity: Optional[int] = None
@@ -211,6 +240,18 @@ class ExperimentConfig:
         check(self.sniffer_density_scale >= 0.0, "sniffer_density_scale",
               "must be non-negative")
         check(0.0 <= self.ech_adoption <= 1.0, "ech_adoption",
+              "must be in [0, 1]")
+        check(0.0 <= self.doh_adoption <= 1.0, "doh_adoption",
+              "must be in [0, 1]")
+        check(0.0 <= self.ciphertext_observer_share <= 1.0,
+              "ciphertext_observer_share", "must be in [0, 1]")
+        check(0.0 <= self.ciphertext_threshold <= 1.0,
+              "ciphertext_threshold", "must be in [0, 1]")
+        check(0.0 <= self.ciphertext_fpr <= 1.0, "ciphertext_fpr",
+              "must be in [0, 1]")
+        check(self.ciphertext_link_threshold >= 1,
+              "ciphertext_link_threshold", "must be >= 1")
+        check(0.0 <= self.nod_noise_rate <= 1.0, "nod_noise_rate",
               "must be in [0, 1]")
         check(self.wildcard_record_ttl >= 1, "wildcard_record_ttl",
               "must be >= 1 second")

@@ -52,6 +52,11 @@ class DecoyRecord:
     delivered: bool = True
     round_index: int = 0
     """Which Phase I round-robin pass emitted this decoy (0-based)."""
+    mitigation: str = "none"
+    """Encryption mitigation the decoy adopted on the wire: ``"none"``,
+    ``"ech"``, or ``"doh"``.  Excluded from result digests (the digest
+    hashes ecosystem-observable columns only), but drives the
+    mitigation-vs-observer matrix and event provenance."""
 
 
 class DecoyLedger:
@@ -97,6 +102,7 @@ class DecoyLedger:
         self._phases = array("b")
         self._delivered = array("b")
         self._round_indexes = array("i")
+        self._mitigations = array("i")
         self._key_times = array("d")
         self._key_phases = array("b")
         """-1 marks "no merge key set" (e.g. ledgers rebuilt by the serve
@@ -133,6 +139,7 @@ class DecoyLedger:
         self._phases.append(record.phase)
         self._delivered.append(1 if record.delivered else 0)
         self._round_indexes.append(record.round_index)
+        self._mitigations.append(table.intern(record.mitigation))
         self._key_times.append(0.0)
         self._key_phases.append(-1)
         self._key_majors.append(0)
@@ -184,6 +191,7 @@ class DecoyLedger:
             phase=self._phases[row],
             delivered=bool(self._delivered[row]),
             round_index=self._round_indexes[row],
+            mitigation=table.value(self._mitigations[row]),
         )
         self._cache[row] = record
         return record
@@ -229,6 +237,18 @@ class ShadowingEvent:
     @property
     def origin_address(self) -> str:
         return self.request.src_address
+
+    @property
+    def provenance(self) -> str:
+        """How the decoy's name could have been collected on the wire.
+
+        ``"plaintext-read"`` for unencrypted decoys (QNAME, Host, or SNI
+        was readable by any on-path device); ``"metadata-inferred"`` for
+        ECH/DoH decoys, where no mid-path observer ever saw the name —
+        any wire-side collection had to come from ciphertext metadata or
+        from the terminating endpoint."""
+        return ("plaintext-read" if self.decoy.mitigation == "none"
+                else "metadata-inferred")
 
 
 @dataclass

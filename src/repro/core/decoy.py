@@ -37,6 +37,9 @@ def _ech_provider_config():
     return ECH_PROVIDER_CONFIG
 
 
+DECOY_MITIGATIONS = ("none", "ech", "doh")
+
+
 @dataclass(frozen=True)
 class Decoy:
     """One decoy, ready to transit a path."""
@@ -45,10 +48,16 @@ class Decoy:
     protocol: str
     domain: str
     packet: Packet
+    mitigation: str = "none"
+    """Which encryption mitigation this decoy adopted: ``"ech"`` for TLS
+    decoys carrying an Encrypted Client Hello, ``"doh"`` for DNS decoys
+    tunneled to the DoH frontend, ``"none"`` for plaintext."""
 
     def __post_init__(self):
         if self.protocol not in DECOY_PROTOCOLS:
             raise ValueError(f"unknown decoy protocol {self.protocol!r}")
+        if self.mitigation not in DECOY_MITIGATIONS:
+            raise ValueError(f"unknown decoy mitigation {self.mitigation!r}")
 
 
 class DecoyFactory:
@@ -56,7 +65,8 @@ class DecoyFactory:
 
     def __init__(self, zone: str, rng: random.Random,
                  codec: Optional[IdentifierCodec] = None,
-                 ech_adoption: float = 0.0, ech_streams=None):
+                 ech_adoption: float = 0.0, ech_streams=None,
+                 doh_adoption: float = 0.0, doh_streams=None):
         self.zone = zone.rstrip(".").lower()
         self._rng = rng
         self.codec = codec if codec is not None else IdentifierCodec()
@@ -71,6 +81,15 @@ class DecoyFactory:
         decision and the ECH sealing randomness are pure functions of the
         decoy domain, so the same decoys carry ECH in every shard layout."""
         self.ech_built = 0
+        if not 0.0 <= doh_adoption <= 1.0:
+            raise ValueError(f"doh_adoption must be in [0, 1], got {doh_adoption}")
+        if doh_adoption > 0.0 and doh_streams is None:
+            raise ValueError("doh_adoption > 0 needs keyed doh_streams")
+        self.doh_adoption = doh_adoption
+        self._doh_streams = doh_streams
+        """Keyed like ``ech_streams``: whether a DNS decoy tunnels over
+        DoH is a pure function of its domain."""
+        self.doh_built = 0
 
     def domain_for(self, identity: DecoyIdentity) -> str:
         """The unique experiment domain embedding ``identity``."""
@@ -90,13 +109,38 @@ class DecoyFactory:
         src_port = src_port if src_port is not None else self._rng.randrange(20000, 60000)
         dst_port = _DEFAULT_PORTS[protocol]
         identification = self._rng.randrange(0x10000)
+        mitigation = "none"
         if protocol == "dns":
-            payload = make_query(domain, txid=self._rng.randrange(0x10000)).encode()
-            packet = Packet.udp(
-                src=identity.vp_address, dst=identity.dst_address,
-                ttl=identity.ttl, src_port=src_port, dst_port=dst_port,
-                payload=payload, identification=identification,
-            )
+            doh_draw = None
+            if self.doh_adoption > 0.0:
+                doh_draw = self._doh_streams.derive("doh", domain)
+            if doh_draw is not None and doh_draw.random() < self.doh_adoption:
+                # DoH-adopting decoy: what crosses the wire is a TLS
+                # session to the resolver's frontend — constant SNI, the
+                # query sealed inside.  The simulation sends the
+                # ClientHello as the flow's one on-path packet (the
+                # handshake round trips add nothing observable that the
+                # hello's size/timing does not already carry).
+                from repro.mitigations.doh import DOH_RESOLVER_HOST
+                hello = ClientHello(
+                    server_name=DOH_RESOLVER_HOST,
+                    random=bytes(self._rng.randrange(256) for _ in range(32)),
+                )
+                payload = wrap_handshake(hello.encode())
+                packet = Packet.tcp(
+                    src=identity.vp_address, dst=identity.dst_address,
+                    ttl=identity.ttl, src_port=src_port, dst_port=443,
+                    payload=payload, identification=identification,
+                )
+                mitigation = "doh"
+                self.doh_built += 1
+            else:
+                payload = make_query(domain, txid=self._rng.randrange(0x10000)).encode()
+                packet = Packet.udp(
+                    src=identity.vp_address, dst=identity.dst_address,
+                    ttl=identity.ttl, src_port=src_port, dst_port=dst_port,
+                    payload=payload, identification=identification,
+                )
         elif protocol == "http":
             payload = make_get(domain).encode()
             packet = Packet.tcp(
@@ -112,6 +156,7 @@ class DecoyFactory:
                 from repro.mitigations.ech import build_ech_client_hello
                 hello = build_ech_client_hello(
                     domain, _ech_provider_config(), rng=ech_draw)
+                mitigation = "ech"
                 self.ech_built += 1
             else:
                 hello = ClientHello(
@@ -127,4 +172,5 @@ class DecoyFactory:
         else:
             raise ValueError(f"unknown decoy protocol {protocol!r}")
         self.built += 1
-        return Decoy(identity=identity, protocol=protocol, domain=domain, packet=packet)
+        return Decoy(identity=identity, protocol=protocol, domain=domain,
+                     packet=packet, mitigation=mitigation)

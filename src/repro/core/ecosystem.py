@@ -43,6 +43,7 @@ AS_SEC_PROXY_EU = synthetic_asn(50_002)
 AS_CN_CLOUD = synthetic_asn(50_003)       # CN cloud platform receiving resolver data
 AS_RU_CLOUD = synthetic_asn(50_004)
 AS_ALT_DNS = synthetic_asn(50_005)        # interceptors' alternative resolvers
+AS_NOD_NOISE = synthetic_asn(50_006)      # NOD-churn scanner pool (noise model)
 
 # Resolver operator networks (real where the paper names them).
 RESOLVER_ASNS: Dict[str, Tuple[int, str]] = {
@@ -96,6 +97,11 @@ class Ecosystem:
     backend when ``config.telemetry`` is off).  Every instrumented
     component records into this one registry; sharded runs merge the
     per-worker registries deterministically (see docs/OBSERVABILITY.md)."""
+    ciphertext_deployment: object = None
+    """The run's :class:`~repro.observers.ciphertext.CiphertextDeployment`,
+    or None when ``config.ciphertext_observer_share`` is zero.  Placement
+    and classifier draws are keyed by hop address, so the same routers
+    observe in every shard layout (see docs/OBSERVERS.md)."""
 
     def interceptor_at(self, hop_address: str) -> Optional[DnsInterceptor]:
         """The interceptor at this router, deciding on first sight.
@@ -243,6 +249,30 @@ def build_ecosystem(config: ExperimentConfig) -> Ecosystem:
         metrics=telemetry,
     )
 
+    ciphertext_deployment = None
+    if config.ciphertext_observer_share > 0.0:
+        from repro.observers.ciphertext import CiphertextDeployment
+        from repro.observers.placement import PlacementPlanner
+        extra_backbones = tuple(
+            asn
+            for asns in topology.config.named_backbones.values()
+            for asn in asns
+        )
+        ciphertext_deployment = CiphertextDeployment(
+            planner=PlacementPlanner(
+                share=config.ciphertext_observer_share,
+                extra_backbone_asns=extra_backbones,
+            ),
+            zone=config.zone,
+            threshold=config.ciphertext_threshold,
+            fpr=config.ciphertext_fpr,
+            link_threshold=config.ciphertext_link_threshold,
+            placement_streams=router.substreams("ciphertext.placement"),
+            classify_streams=router.substreams("ciphertext.classify"),
+            clock=sim.now,
+            metrics=telemetry,
+        )
+
     return Ecosystem(
         config=config,
         router=router,
@@ -268,6 +298,7 @@ def build_ecosystem(config: ExperimentConfig) -> Ecosystem:
         ),
         faults=faults,
         telemetry=telemetry,
+        ciphertext_deployment=ciphertext_deployment,
     )
 
 

@@ -54,7 +54,8 @@ from repro.honeypot.logstore import LoggedRequest
 from repro.observers.exhibitor import ObservationRecord
 from repro.telemetry.spans import Span
 
-WIRE_VERSION = 1
+WIRE_VERSION = 2
+"""v2 appended the decoy mitigation column to ledger records."""
 _MAGIC = b"RWIR"
 
 _KIND_PHASE1 = 1
@@ -411,6 +412,7 @@ def _write_bare_record(enc: _Encoder, record: DecoyRecord) -> None:
     w.varint(record.phase)
     w.flag(record.delivered)
     w.varint(record.round_index)
+    enc.ref(record.mitigation)
 
 
 def _read_record(dec: _Decoder) -> Tuple[LedgerKey, DecoyRecord]:
@@ -443,6 +445,7 @@ def _read_bare_record(dec: _Decoder) -> DecoyRecord:
         phase=dec.varint(),
         delivered=dec.flag(),
         round_index=dec.varint(),
+        mitigation=dec.ref(),
     )
     return record
 

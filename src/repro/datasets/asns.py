@@ -82,6 +82,7 @@ SYNTHETIC_NAMES: Dict[int, Tuple[str, str, str]] = {
     50_003: ("CN cloud platform", "CN", "cloud"),
     50_004: ("RU cloud platform", "RU", "cloud"),
     50_005: ("Interceptor alt-resolvers", "??", "isp"),
+    50_006: ("NOD scanner pool", "??", "cloud"),
 }
 
 

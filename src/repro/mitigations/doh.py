@@ -16,6 +16,12 @@ from repro.protocols.http import HttpRequest, HttpResponse
 DOH_PATH = "/dns-query"
 DOH_CONTENT_TYPE = "application/dns-message"
 
+DOH_RESOLVER_HOST = "doh.resolver-frontend.example"
+"""The synthetic DoH frontend every adopting decoy connects to.  A wire
+observer of a DoH flow sees a TLS session whose SNI is this constant —
+the same name for every query — which is exactly the visibility split
+the ciphertext-metadata observers exploit via flow sizes instead."""
+
 
 class DohError(ValueError):
     """Raised for requests that do not follow the DoH framing."""

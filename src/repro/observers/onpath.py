@@ -58,11 +58,15 @@ class WireSniffer:
     """DPI at one router, bound to a shadow exhibitor."""
 
     def __init__(self, hop: Hop, protocols: Sequence[str],
-                 exhibitor: ShadowExhibitor, zone: str, metrics=None):
+                 exhibitor: ShadowExhibitor, zone: str, metrics=None,
+                 report=None):
         self.hop = hop
         self.protocols = tuple(protocols)
         self.exhibitor = exhibitor
         self.zone = zone
+        self._report = report
+        """Optional ``(domain, hop_address)`` callback fired per capture —
+        the deployment forwards it to the campaign's matrix feed."""
         self.packets_seen = 0
         self.domains_captured = 0
         metrics = metrics if metrics is not None else NULL_REGISTRY
@@ -88,6 +92,8 @@ class WireSniffer:
         self.domains_captured += 1
         self._m_captured[protocol].inc()
         self.exhibitor.observe(domain, observed_from=self.hop.address)
+        if self._report is not None:
+            self._report(domain, self.hop.address)
 
 
 @dataclass(frozen=True)
@@ -135,6 +141,15 @@ class ObserverDeployment:
         materializes it first."""
         self._metrics = metrics
         self._decisions: Dict[str, Optional[WireSniffer]] = {}
+        self.flow_sink = None
+        """Optional ``(domain, hop_address)`` callback, fired for every
+        clear-text capture by any deployed sniffer.  Forwarding lives on
+        the deployment (not the sniffers) so the sink can be installed
+        after routers have already materialized sniffers."""
+
+    def _forward_flow(self, domain: str, hop_address: str) -> None:
+        if self.flow_sink is not None:
+            self.flow_sink(domain, hop_address)
 
     def sniffer_for(self, hop: Hop) -> Optional[WireSniffer]:
         """The sniffer at this router, if deployment placed one there."""
@@ -151,6 +166,7 @@ class ObserverDeployment:
                     exhibitor=self._exhibitors[spec.policy_name],
                     zone=self._zone,
                     metrics=self._metrics,
+                    report=self._forward_flow,
                 )
                 break
         self._decisions[hop.address] = sniffer

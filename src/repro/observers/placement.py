@@ -1,0 +1,68 @@
+"""Strategic observer placement over topology hops.
+
+Gosain et al. studied where to put *decoy routers* so that a small number
+of vantage points intercepts most paths; an adversary siting traffic
+observers faces the inverted problem with the same answer — high-
+centrality hops.  In our synthetic topology centrality tracks the AS
+role: every international path crosses a backbone segment, cross-country
+paths additionally cross one transit AS, while access and destination
+segments each see only their own edge's traffic.
+
+The planner turns an operator-level deployment share into a per-hop
+deployment probability by scaling the share with the hop's centrality
+weight, so a `ciphertext_observer_share` of 0.3 concentrates observers
+on backbones (weight 1.0) and transits (0.85) rather than spreading
+them uniformly like :class:`~repro.observers.onpath.SnifferSpec`
+fractions do.
+"""
+
+from typing import FrozenSet, Iterable
+
+from repro.datasets.asns import ASES_BY_NUMBER, CN_BACKBONE_ASNS, SYNTHETIC_ASN_BASE
+
+BACKBONE_WEIGHT = 1.0
+TRANSIT_WEIGHT = 0.85
+EDGE_WEIGHT = 0.2
+
+# Synthetic AS index windows carved out by repro.topology.model: one
+# backbone per country at 10_000 + hash % 4096, one transit AS per
+# country pair at 20_000 + hash % 4096.
+_SYNTH_BACKBONE_RANGE = range(10_000, 10_000 + 4096)
+_SYNTH_TRANSIT_RANGE = range(20_000, 20_000 + 4096)
+
+
+class PlacementPlanner:
+    """Maps hops to deployment probabilities by topological centrality."""
+
+    def __init__(self, share: float,
+                 extra_backbone_asns: Iterable[int] = ()):
+        if not 0.0 <= share <= 1.0:
+            raise ValueError(f"share must be in [0, 1], got {share}")
+        self.share = share
+        self.extra_backbone_asns: FrozenSet[int] = frozenset(extra_backbone_asns)
+        """Real ASNs serving as backbones via TopologyConfig.named_backbones
+        (e.g. Rogers for CA) — their registry kind says 'isp', so role
+        classification by ASN alone would miss them."""
+
+    def centrality_weight(self, hop) -> float:
+        """The hop's share multiplier; destinations are never observed."""
+        if getattr(hop, "is_destination", False):
+            return 0.0
+        asn = hop.asn
+        if asn >= SYNTHETIC_ASN_BASE:
+            index = asn - SYNTHETIC_ASN_BASE
+            if index in _SYNTH_BACKBONE_RANGE:
+                return BACKBONE_WEIGHT
+            if index in _SYNTH_TRANSIT_RANGE:
+                return TRANSIT_WEIGHT
+            return EDGE_WEIGHT
+        if asn in CN_BACKBONE_ASNS or asn in self.extra_backbone_asns:
+            return BACKBONE_WEIGHT
+        record = ASES_BY_NUMBER.get(asn)
+        if record is not None and record.kind == "backbone":
+            return BACKBONE_WEIGHT
+        return EDGE_WEIGHT
+
+    def deploy_probability(self, hop) -> float:
+        """Probability this hop hosts a ciphertext-metadata observer."""
+        return min(1.0, self.share * self.centrality_weight(hop))

@@ -52,6 +52,18 @@ _MAPPING: Tuple[Tuple[str, str, object], ...] = (
      lambda s: s.observers.ech_adoption),
     ("cache_refreshing_resolvers", "observers.cache_refreshing_resolvers",
      lambda s: s.observers.cache_refreshing_resolvers),
+    ("doh_adoption", "observers.doh_adoption",
+     lambda s: s.observers.doh_adoption),
+    ("ciphertext_observer_share", "observers.ciphertext_observer_share",
+     lambda s: s.observers.ciphertext_observer_share),
+    ("ciphertext_threshold", "observers.ciphertext_threshold",
+     lambda s: s.observers.ciphertext_threshold),
+    ("ciphertext_fpr", "observers.ciphertext_fpr",
+     lambda s: s.observers.ciphertext_fpr),
+    ("ciphertext_link_threshold", "observers.ciphertext_link_threshold",
+     lambda s: s.observers.ciphertext_link_threshold),
+    ("nod_noise_rate", "observers.nod_noise_rate",
+     lambda s: s.observers.nod_noise_rate),
     ("onpath_retention_capacity", "retention.onpath_capacity",
      lambda s: s.retention.onpath_capacity),
     ("resolver_retention_capacity", "retention.resolver_capacity",

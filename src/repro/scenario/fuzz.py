@@ -117,6 +117,23 @@ def generate_scenario(seed: int, index: int) -> Scenario:
                           round(draw.uniform(0.0, 0.1), 4))
         spec = with_field(spec, "faults.log_duplicate_rate",
                           round(draw.uniform(0.0, 0.05), 4))
+    # Encrypted-transport knobs (appended after the original draw
+    # sequence so every pre-existing sample keeps its exact shape).
+    if draw.random() < 0.35:
+        spec = with_field(spec, "observers.doh_adoption",
+                          draw.choice((0.3, 0.7, 1.0)))
+    if draw.random() < 0.35:
+        spec = with_field(spec, "observers.ciphertext_observer_share",
+                          round(draw.uniform(0.2, 0.8), 4))
+        spec = with_field(spec, "observers.ciphertext_threshold",
+                          draw.choice((0.4, 0.6, 0.8)))
+        spec = with_field(spec, "observers.ciphertext_fpr",
+                          round(draw.uniform(0.0, 0.05), 4))
+        spec = with_field(spec, "observers.ciphertext_link_threshold",
+                          draw.randrange(2, 5))
+    if draw.random() < 0.25:
+        spec = with_field(spec, "observers.nod_noise_rate",
+                          round(draw.uniform(0.02, 0.2), 4))
     return spec
 
 
@@ -179,6 +196,21 @@ def _soundness_problems(result) -> List[str]:
             problems.append(
                 f"analysis counted {analysis.log_entries} log entries, "
                 f"store holds {len(result.log)}")
+        if analysis.matrix.enabled:
+            # Matrix soundness: an observer class can only classify
+            # domains the campaign actually sent under that mitigation —
+            # NOD noise or misattribution would surface as strays here.
+            snap = analysis.matrix.snapshot()
+            sent = {mitigation: set(domains)
+                    for mitigation, domains in snap["sent"]}
+            for key, domains in snap["classified"]:
+                observer, mitigation = key
+                stray = set(domains) - sent.get(mitigation, set())
+                if stray:
+                    problems.append(
+                        f"matrix {observer}/{mitigation} classified "
+                        f"{len(stray)} domains never sent with that "
+                        "mitigation")
     return problems[:5]
 
 

@@ -71,6 +71,12 @@ class ObserverSpec:
     sniffer_density_scale: float = 1.0
     ech_adoption: float = 0.0
     cache_refreshing_resolvers: bool = False
+    doh_adoption: float = 0.0
+    ciphertext_observer_share: float = 0.0
+    ciphertext_threshold: float = 0.6
+    ciphertext_fpr: float = 0.0
+    ciphertext_link_threshold: int = 3
+    nod_noise_rate: float = 0.0
 
 
 @dataclass(frozen=True)

@@ -307,3 +307,100 @@ class TestGoldenDigests:
         assert self.digest(self.canonical_table3(
             top_observer_ases_from_accumulator(
                 state.origins))) == self.TABLE3_DIGEST
+
+
+class TestMitigationMatrixGolden:
+    """Pinned matrix table for the encrypted-transport reference config.
+
+    The mitigation-vs-observer matrix is the deliverable of the
+    ciphertext-observer subsystem; this digest freezes its cell values
+    (per-mitigation sent/classified domain counts across all three
+    observer classes, plus visit-provenance counts) for the tiny seed.
+    Any drift in decoy mitigation adoption, observer placement, the
+    size/timing classifier, or destination-IP linkage shows up here.
+    """
+
+    MATRIX_DIGEST = "e94f8603a3744348ad465435f5e0739c1df8fc57fc7f9c3f8967897ec4023960"
+
+    @staticmethod
+    def ciphertext_config(seed: int, workers: int = 1) -> ExperimentConfig:
+        config = ExperimentConfig.tiny(seed=seed)
+        config.doh_adoption = 0.4
+        config.ech_adoption = 0.5
+        config.ciphertext_observer_share = 0.6
+        config.ciphertext_fpr = 0.02
+        config.nod_noise_rate = 0.2
+        config.workers = workers
+        return config
+
+    @staticmethod
+    def canonical_matrix(matrix):
+        return {
+            "rows": [[mitigation, sent, sorted(cells.items())]
+                     for mitigation, sent, cells in matrix.rows()],
+            "provenance": sorted(
+                [list(key), count]
+                for key, count in matrix.provenance_counts().items()),
+        }
+
+    @pytest.fixture(scope="class")
+    def ciphertext_result(self):
+        return Experiment(self.ciphertext_config(seed=20240301)).run()
+
+    def test_matrix_table_digest(self, ciphertext_result):
+        matrix = ciphertext_result.analysis.matrix
+        assert TestGoldenDigests.digest(
+            self.canonical_matrix(matrix)) == self.MATRIX_DIGEST
+
+    def test_matrix_tells_the_mitigation_story(self, ciphertext_result):
+        """ECH/DoH blind SNI DPI; metadata observers keep classifying."""
+        rows = {mitigation: (sent, cells) for mitigation, sent, cells
+                in ciphertext_result.analysis.matrix.rows()}
+        assert rows["none"][1]["sni-dpi"] > 0
+        for blinded in ("ech", "doh"):
+            sent, cells = rows[blinded]
+            assert cells["sni-dpi"] == 0
+            assert cells["traffic-analysis"] > 0
+            assert cells["dst-ip"] > 0
+
+    def test_provenance_splits_by_mitigation(self, ciphertext_result):
+        provenance = ciphertext_result.analysis.matrix.provenance_counts()
+        kinds = {key[1] for key in provenance}
+        assert kinds <= {"plaintext-read", "metadata-inferred"}
+        assert all(kind == "plaintext-read" for (mitigation, kind)
+                   in provenance if mitigation == "none")
+        assert all(kind == "metadata-inferred" for (mitigation, kind)
+                   in provenance if mitigation != "none")
+
+    def test_report_renders_matrix_section(self, ciphertext_result):
+        from repro.analysis.paperreport import full_report
+        text = full_report(ciphertext_result)
+        assert "Mitigation vs observer class" in text
+        assert "visit provenance:" in text
+
+
+class TestDigestNeutrality:
+    """The encrypted-transport knobs at their defaults change NOTHING.
+
+    These pins predate the ciphertext-observer subsystem: a default
+    campaign must produce byte-identical results and reports whether or
+    not the matrix machinery exists.  If either digest moves, a
+    supposedly opt-in knob leaked into the default pipeline.
+    """
+
+    RESULT_DIGEST = "7f8388dd184e6158c5de823d21b832efe1ccb46213fe59c5804930044f88e84c"
+    REPORT_DIGEST = "4b4412db87e6baeaa0006d1b017211ed3468427f668faba2f04c78ecf071af93"
+
+    def test_default_result_digest_unchanged(self, result):
+        from repro.core.shard import result_digest
+        assert result_digest(result) == self.RESULT_DIGEST
+
+    def test_default_report_unchanged_and_matrixless(self, result):
+        import hashlib
+        from repro.analysis.paperreport import full_report
+        text = full_report(result)
+        assert hashlib.sha256(text.encode()).hexdigest() == self.REPORT_DIGEST
+        assert "Mitigation vs observer class" not in text
+
+    def test_default_snapshot_has_no_matrix_key(self, result):
+        assert "matrix" not in result.analysis.snapshot()

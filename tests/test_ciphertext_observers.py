@@ -1,0 +1,324 @@
+"""Property tests for the ciphertext-metadata observer subsystem.
+
+Four properties from the issue, pinned as seeded tests:
+
+* **Padding-length invariance** — features (and hence classifier
+  scores) are invariant to payload padding that stays within one
+  32-byte size bucket, and only ever move by whole buckets otherwise.
+* **Feature determinism** — featurization is a pure function of the
+  packet bytes, and classification verdicts are a pure function of
+  (features, regularity, keyed substream), so two classifiers built
+  from identical keyed substreams agree flow-for-flow in any order.
+* **Threshold monotonicity** — raising the threshold can only shrink
+  the classified set; the underlying score never depends on it.
+* **``ech_adoption=1.0`` edge case** — with every TLS decoy ECH-wrapped
+  the SNI-DPI column of the ECH row is exactly zero, yet the
+  traffic-analysis and destination-correlation observers still classify.
+
+Plus unit coverage for the strategic placement planner and the
+destination-IP correlator that the end-to-end matrix tests exercise
+only in aggregate.
+"""
+
+import random
+
+import pytest
+
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import Experiment
+from repro.datasets.asns import SYNTHETIC_ASN_BASE
+from repro.mitigations.ech import ECH_EXTENSION_TYPE
+from repro.net.packet import PROTO_TCP, Packet
+from repro.net.path import Hop
+from repro.observers.ciphertext import (
+    PADDING_BUCKET,
+    CiphertextObserver,
+    DstIpCorrelator,
+    FlowFeatures,
+    TrafficClassifier,
+    featurize,
+    size_templates,
+)
+from repro.observers.placement import (
+    BACKBONE_WEIGHT,
+    EDGE_WEIGHT,
+    TRANSIT_WEIGHT,
+    PlacementPlanner,
+)
+from repro.protocols.tls import ClientHello, wrap_handshake
+from repro.simkit.rng import SubstreamFactory
+
+ZONE = "www.experiment.domain"
+
+
+def hello_payload(domain: str, extra_extensions=()) -> bytes:
+    return wrap_handshake(
+        ClientHello(server_name=domain, random=bytes(32),
+                    extra_extensions=tuple(extra_extensions)).encode())
+
+
+def tls_packet(payload: bytes, src="198.51.100.7", dst="203.0.113.9",
+               dst_port=443) -> Packet:
+    return Packet.tcp(src=src, dst=dst, ttl=64, src_port=40001,
+                      dst_port=dst_port, payload=payload)
+
+
+def pad_payload(payload: bytes, padding: int) -> bytes:
+    """TLS-style padding: trailing zero bytes outside the framed record.
+
+    The parser walks framed lengths only, so the bytes are invisible to
+    everything except the total payload length (the size bucket)."""
+    return payload + bytes(padding)
+
+
+def payload_with_headroom(minimum: int = 4) -> bytes:
+    """A ClientHello whose length leaves padding room inside its bucket.
+
+    The canonical 29-char decoy label happens to land flush on a bucket
+    boundary, so the padding properties probe nearby label lengths until
+    one leaves headroom — the invariance must hold at any length."""
+    for label_length in range(20, 20 + PADDING_BUCKET):
+        payload = hello_payload(f"{'a' * label_length}.{ZONE}")
+        if PADDING_BUCKET - 1 - (len(payload) % PADDING_BUCKET) >= minimum:
+            return payload
+    raise AssertionError("unreachable: some length must leave headroom")
+
+
+class TestPaddingInvariance:
+    """Features move only in whole PADDING_BUCKET steps."""
+
+    def test_within_bucket_padding_is_invisible(self):
+        payload = payload_with_headroom()
+        base = featurize(tls_packet(payload))
+        headroom = PADDING_BUCKET - 1 - (len(payload) % PADDING_BUCKET)
+        for padding in range(1, headroom + 1):
+            padded = featurize(tls_packet(pad_payload(payload, padding)))
+            assert padded == base
+
+    def test_crossing_a_bucket_moves_exactly_one_bucket(self):
+        payload = payload_with_headroom()
+        base = featurize(tls_packet(payload))
+        to_boundary = PADDING_BUCKET - (len(payload) % PADDING_BUCKET)
+        crossed = featurize(tls_packet(pad_payload(payload, to_boundary)))
+        assert crossed.size_bucket == base.size_bucket + 1
+        # Everything the parser reads from framing is untouched.
+        assert crossed.sni_length == base.sni_length
+        assert crossed.has_ech == base.has_ech
+
+    def test_score_is_invariant_under_within_bucket_padding(self):
+        classifier = TrafficClassifier(size_templates(ZONE), threshold=0.6)
+        payload = payload_with_headroom()
+        headroom = PADDING_BUCKET - 1 - (len(payload) % PADDING_BUCKET)
+        scores = {
+            classifier.score(featurize(tls_packet(pad_payload(payload, pad))),
+                             regularity=0.8)
+            for pad in range(0, headroom + 1)
+        }
+        assert len(scores) == 1
+
+
+class TestFeatureDeterminism:
+    """Same bytes, same keyed streams -> same features and verdicts."""
+
+    @staticmethod
+    def sample_flows(seed: int, count: int = 64):
+        draw = random.Random(seed)
+        flows = []
+        for index in range(count):
+            label = "".join(draw.choices("abcdefgh234567", k=29))
+            extensions = ()
+            if draw.random() < 0.5:
+                extensions = ((ECH_EXTENSION_TYPE, bytes(draw.randrange(40, 90))),)
+            payload = pad_payload(
+                hello_payload(f"{label}.{ZONE}", extensions),
+                draw.randrange(0, 3 * PADDING_BUCKET))
+            packet = tls_packet(payload, src=f"198.51.100.{draw.randrange(1, 250)}",
+                                dst=f"203.0.113.{draw.randrange(1, 250)}")
+            flows.append((packet, round(draw.random(), 4)))
+        return flows
+
+    def test_featurize_is_pure(self):
+        for packet, _ in self.sample_flows(101):
+            assert featurize(packet) == featurize(packet)
+
+    def test_identical_keyed_substreams_classify_identically(self):
+        templates = size_templates(ZONE)
+        flows = self.sample_flows(202)
+        verdicts = []
+        for attempt in range(2):
+            classifier = TrafficClassifier(
+                templates, threshold=0.55, fpr=0.15,
+                streams=SubstreamFactory(907, "ciphertext.classify"))
+            ordering = flows if attempt == 0 else list(reversed(flows))
+            batch = {}
+            for packet, regularity in ordering:
+                features = featurize(packet)
+                keys = ("hop-1", packet.ip.src, packet.ip.dst,
+                        features.size_bucket)
+                batch[keys] = classifier.classify(features, regularity,
+                                                  flow_keys=keys)
+            verdicts.append(batch)
+        assert verdicts[0] == verdicts[1]
+
+    def test_fpr_draw_is_keyed_not_sequential(self):
+        classifier = TrafficClassifier(
+            size_templates(ZONE), threshold=1.0, fpr=0.5,
+            streams=SubstreamFactory(11, "ciphertext.classify"))
+        features = featurize(tls_packet(hello_payload(f"{'c' * 29}.{ZONE}")))
+        keys = ("hop-9", "198.51.100.7", "203.0.113.9", features.size_bucket)
+        first = classifier.classify(features, 0.0, flow_keys=keys)
+        assert all(classifier.classify(features, 0.0, flow_keys=keys) == first
+                   for _ in range(10))
+
+
+class TestThresholdMonotonicity:
+    """The classified set shrinks monotonically as the threshold rises."""
+
+    def test_classified_sets_are_nested(self):
+        templates = size_templates(ZONE)
+        flows = TestFeatureDeterminism.sample_flows(303)
+        previous = None
+        for threshold in (0.2, 0.4, 0.6, 0.8, 1.0):
+            classifier = TrafficClassifier(templates, threshold=threshold)
+            classified = {
+                index for index, (packet, regularity) in enumerate(flows)
+                if classifier.classify(featurize(packet), regularity)
+            }
+            if previous is not None:
+                assert classified <= previous
+            previous = classified
+
+    def test_score_is_threshold_independent(self):
+        templates = size_templates(ZONE)
+        packet, regularity = TestFeatureDeterminism.sample_flows(404)[0]
+        features = featurize(packet)
+        scores = {TrafficClassifier(templates, threshold=t).score(
+            features, regularity) for t in (0.1, 0.5, 0.9)}
+        assert len(scores) == 1
+
+    def test_non_tls_traffic_scores_zero(self):
+        classifier = TrafficClassifier(size_templates(ZONE), threshold=0.0)
+        udp = FlowFeatures(transport=17, dst_port=53, size_bucket=1,
+                           sni_length=-1, has_ech=False)
+        off_port = FlowFeatures(transport=PROTO_TCP, dst_port=8443,
+                                size_bucket=1, sni_length=-1, has_ech=False)
+        assert classifier.score(udp, regularity=1.0) == 0.0
+        assert classifier.score(off_port, regularity=1.0) == 0.0
+
+    def test_parameter_validation(self):
+        templates = size_templates(ZONE)
+        with pytest.raises(ValueError):
+            TrafficClassifier(templates, threshold=1.5)
+        with pytest.raises(ValueError):
+            TrafficClassifier(templates, fpr=-0.1)
+        with pytest.raises(ValueError):
+            TrafficClassifier(templates, fpr=0.1)  # fpr > 0 needs streams
+
+
+class TestEchEverywhereEdgeCase:
+    """ech_adoption=1.0: SNI DPI fully blinded, metadata observers not."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = ExperimentConfig.tiny(seed=20240301)
+        config.ech_adoption = 1.0
+        config.ciphertext_observer_share = 0.6
+        return Experiment(config).run()
+
+    def test_ech_row_blinds_sni_but_not_metadata(self, result):
+        rows = {mitigation: cells for mitigation, _, cells
+                in result.analysis.matrix.rows()}
+        assert "ech" in rows
+        assert rows["ech"]["sni-dpi"] == 0
+        assert rows["ech"]["traffic-analysis"] > 0
+        assert rows["ech"]["dst-ip"] > 0
+
+    def test_every_ech_visit_is_metadata_inferred(self, result):
+        provenance = result.analysis.matrix.provenance_counts()
+        assert all(kind == "metadata-inferred"
+                   for (mitigation, kind) in provenance
+                   if mitigation == "ech")
+
+
+class TestPlacementPlanner:
+    """Centrality weights and the share -> probability mapping."""
+
+    @staticmethod
+    def hop(asn: int, address="10.0.0.1", **kwargs) -> Hop:
+        return Hop(address=address, asn=asn, country="US", **kwargs)
+
+    def test_synthetic_role_windows(self):
+        planner = PlacementPlanner(share=1.0)
+        backbone = self.hop(SYNTHETIC_ASN_BASE + 10_000 + 7)
+        transit = self.hop(SYNTHETIC_ASN_BASE + 20_000 + 7)
+        edge = self.hop(SYNTHETIC_ASN_BASE + 30_000 + 7)
+        assert planner.centrality_weight(backbone) == BACKBONE_WEIGHT
+        assert planner.centrality_weight(transit) == TRANSIT_WEIGHT
+        assert planner.centrality_weight(edge) == EDGE_WEIGHT
+
+    def test_destinations_are_never_observed(self):
+        planner = PlacementPlanner(share=1.0)
+        destination = self.hop(SYNTHETIC_ASN_BASE + 10_000,
+                               is_destination=True)
+        assert planner.centrality_weight(destination) == 0.0
+        assert planner.deploy_probability(destination) == 0.0
+
+    def test_real_backbones_by_list_and_registry(self):
+        planner = PlacementPlanner(share=1.0, extra_backbone_asns=(812,))
+        assert planner.centrality_weight(self.hop(4134)) == BACKBONE_WEIGHT
+        assert planner.centrality_weight(self.hop(812)) == BACKBONE_WEIGHT
+
+    def test_probability_scales_with_share(self):
+        transit = self.hop(SYNTHETIC_ASN_BASE + 20_000)
+        assert PlacementPlanner(share=0.4).deploy_probability(
+            transit) == pytest.approx(0.4 * TRANSIT_WEIGHT)
+        assert PlacementPlanner(share=1.0).deploy_probability(
+            self.hop(SYNTHETIC_ASN_BASE + 10_000)) == 1.0
+        with pytest.raises(ValueError):
+            PlacementPlanner(share=1.5)
+
+
+class TestDstIpCorrelator:
+    """Address-reuse linkage needs no TLS parsing at all."""
+
+    def test_flags_at_threshold(self):
+        correlator = DstIpCorrelator(link_threshold=3)
+        for src in ("10.0.0.1", "10.0.0.2"):
+            correlator.observe(src, "203.0.113.9")
+        assert not correlator.flagged("203.0.113.9")
+        correlator.observe("10.0.0.3", "203.0.113.9")
+        assert correlator.flagged("203.0.113.9")
+        assert correlator.flagged_destinations() == ["203.0.113.9"]
+
+    def test_repeat_sources_do_not_inflate(self):
+        correlator = DstIpCorrelator(link_threshold=2)
+        for _ in range(5):
+            correlator.observe("10.0.0.1", "203.0.113.9")
+        assert not correlator.flagged("203.0.113.9")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DstIpCorrelator(link_threshold=0)
+
+
+class TestObserverBookkeeping:
+    """The per-hop observer counts flows and reports upward."""
+
+    def test_tap_reports_every_flow(self):
+        hop = Hop(address="10.9.9.9", asn=SYNTHETIC_ASN_BASE + 10_000,
+                  country="US")
+        reports = []
+        clock = iter(float(t) for t in range(100))
+        observer = CiphertextObserver(
+            hop=hop,
+            classifier=TrafficClassifier(size_templates(ZONE), threshold=0.0),
+            correlator=DstIpCorrelator(link_threshold=1),
+            clock=lambda: next(clock),
+            report=lambda *args: reports.append(args))
+        packet = tls_packet(hello_payload(f"{'d' * 29}.{ZONE}"))
+        for _ in range(3):
+            observer.tap(1, hop, packet)
+        assert observer.flows_seen == 3
+        assert observer.flows_classified == 3
+        assert reports == [("10.9.9.9", packet.ip.src, packet.ip.dst, True)] * 3
+        assert observer.correlator.flagged(packet.ip.dst)

@@ -41,7 +41,8 @@ from repro.scenario import (
 from repro.scenario.spec import flat_fields, get_field, with_field
 from repro.simkit.units import DAY
 
-LIBRARY_NAMES = ("cn-interception-heavy", "ech-everywhere", "hostile-churn",
+LIBRARY_NAMES = ("cn-interception-heavy", "doh-fingerprinted",
+                 "ech-everywhere", "ech-everywhere-watched", "hostile-churn",
                  "minimal-smoke", "paper-faithful", "resolver-centralized")
 
 
@@ -218,6 +219,18 @@ class TestLibrary:
             assert config.seed == spec.seed, name
             assert set(trace) == {f.name for f in
                                   dataclasses.fields(ExperimentConfig)}
+
+    def test_encrypted_transport_pack_lowers_ciphertext_knobs(self):
+        """The two ciphertext-observer scenarios drive the new config
+        surface: full mitigation adoption plus metadata observers."""
+        watched = compile_scenario(load_named("ech-everywhere-watched"))
+        assert watched.ech_adoption == 1.0
+        assert watched.ciphertext_observer_share == 0.5
+        assert watched.ciphertext_fpr == 0.01
+        fingerprinted = compile_scenario(load_named("doh-fingerprinted"))
+        assert fingerprinted.doh_adoption == 1.0
+        assert fingerprinted.ciphertext_observer_share == 0.5
+        assert fingerprinted.nod_noise_rate == 0.1
 
     def test_unknown_name_lists_library(self):
         with pytest.raises(UnknownScenarioError, match="paper-faithful"):

@@ -163,3 +163,114 @@ class TestSnapshotRoundTrip:
         snapshot["format"] = 999
         with pytest.raises(ValueError):
             AnalysisState.from_snapshot(snapshot)
+
+
+def _ciphertext_config(seed, workers=1):
+    """The encrypted-transport reference shape (mirrors test_analysis)."""
+    config = ExperimentConfig.tiny(seed=seed)
+    config.doh_adoption = 0.4
+    config.ech_adoption = 0.5
+    config.ciphertext_observer_share = 0.6
+    config.ciphertext_fpr = 0.02
+    config.nod_noise_rate = 0.2
+    config.workers = workers
+    return config
+
+
+@pytest.fixture(scope="module")
+def ciphertext_runs():
+    """seed -> (serial result, 4-worker result), matrix enabled."""
+    return {
+        seed: (Experiment(_ciphertext_config(seed)).run(),
+               Experiment(_ciphertext_config(seed, workers=WORKERS)).run())
+        for seed in SEEDS
+    }
+
+
+class TestMitigationMatrixEquivalence:
+    """The matrix accumulator upholds the same bit-identity contract as
+    every other accumulator: batch and streaming render paths agree, and
+    a 4-worker shard merge reproduces the serial bytes exactly."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_batch_report_equals_streaming_report(self, ciphertext_runs, seed):
+        serial, _ = ciphertext_runs[seed]
+        batch = full_report(serial)
+        assert batch == full_report_from_state(serial.analysis)
+        assert "Mitigation vs observer class" in batch
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_serial_equals_sharded(self, ciphertext_runs, seed):
+        serial, sharded = ciphertext_runs[seed]
+        assert result_digest(serial) == result_digest(sharded)
+        assert serial.analysis.digest() == sharded.analysis.digest()
+        assert full_report(serial) == full_report(sharded)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_matrix_snapshot_round_trips(self, ciphertext_runs, seed):
+        serial, _ = ciphertext_runs[seed]
+        snapshot = serial.analysis.snapshot()
+        assert "matrix" in snapshot
+        wire = json.dumps(snapshot, sort_keys=True)
+        restored = AnalysisState.from_snapshot(json.loads(wire))
+        assert restored.matrix.enabled
+        assert restored.digest() == serial.analysis.digest()
+        assert full_report_from_state(restored) == full_report(serial)
+
+
+class TestMatrixMergeAlgebra:
+    def _accumulator(self, link_threshold=3):
+        from repro.analysis.streaming import MitigationMatrixAccumulator
+        return MitigationMatrixAccumulator(enabled=True,
+                                           link_threshold=link_threshold)
+
+    def test_merge_is_union_and_order_free(self):
+        import json as json_module
+        a, b = self._accumulator(), self._accumulator()
+        for acc, domains in ((a, ("d1", "d2")), (b, ("d2", "d3"))):
+            for domain in domains:
+                acc.observe_sent("ech", domain)
+                acc.observe_classified("traffic-analysis", "ech", domain)
+                acc.observe_flow("ech", domain, "10.0.0.1")
+                acc.observe_event(type("E", (), {
+                    "decoy": type("D", (), {"mitigation": "ech"})(),
+                    "provenance": "metadata-inferred"})())
+        ab, ba = self._accumulator(), self._accumulator()
+        ab.merge(a); ab.merge(b)
+        ba.merge(b); ba.merge(a)
+        assert (json_module.dumps(ab.snapshot(), sort_keys=True)
+                == json_module.dumps(ba.snapshot(), sort_keys=True))
+        rows = {m: cells for m, _, cells in ab.rows()}
+        assert ab.rows()[0][1] == 3  # union, not sum
+        assert rows["ech"]["traffic-analysis"] == 3
+
+    def test_link_threshold_applies_across_mitigations(self):
+        acc = self._accumulator(link_threshold=3)
+        acc.observe_sent("none", "d1")
+        acc.observe_sent("ech", "d2")
+        acc.observe_sent("doh", "d3")
+        for mitigation, domain in (("none", "d1"), ("ech", "d2")):
+            acc.observe_flow(mitigation, domain, "10.0.0.9")
+        assert acc.flagged_destinations() == set()
+        acc.observe_flow("doh", "d3", "10.0.0.9")  # third distinct domain
+        assert acc.flagged_destinations() == {"10.0.0.9"}
+        rows = {m: cells for m, _, cells in acc.rows()}
+        assert rows["none"]["dst-ip"] == 1
+        assert rows["ech"]["dst-ip"] == 1
+        assert rows["doh"]["dst-ip"] == 1
+
+    def test_disabled_default_adopts_enabled_side(self):
+        base = AnalysisState()
+        other = AnalysisState(matrix_enabled=True, matrix_link_threshold=2)
+        base.merge(other)
+        assert base.matrix.enabled
+        assert base.matrix.link_threshold == 2
+
+    def test_conflicting_link_thresholds_rejected(self):
+        left = AnalysisState(matrix_enabled=True, matrix_link_threshold=2)
+        right = AnalysisState(matrix_enabled=True, matrix_link_threshold=3)
+        with pytest.raises(AccumulatorMergeError):
+            left.merge(right)
+
+    def test_default_state_snapshot_is_matrixless(self):
+        assert "matrix" not in AnalysisState().snapshot()
